@@ -1,0 +1,111 @@
+// Micro-benchmarks of the symbolic substrate (ablation A2 in
+// DESIGN.md): the DBM/federation operations whose cost dominates the
+// game fixpoint — closure, delay operators, subtraction and pred_t.
+#include <benchmark/benchmark.h>
+
+#include "dbm/dbm.h"
+#include "dbm/federation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tigat::dbm;
+
+Dbm random_zone(tigat::util::Rng& rng, std::uint32_t dim, std::int32_t k) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Dbm z = Dbm::universal(dim);
+    for (std::uint32_t i = 1; i < dim; ++i) {
+      z.constrain(i, 0, make_weak(static_cast<bound_t>(rng.range(1, k))));
+    }
+    bool alive = true;
+    for (int c = 0; c < 4 && alive; ++c) {
+      const auto i = static_cast<std::uint32_t>(rng.range(0, dim - 1));
+      const auto j = static_cast<std::uint32_t>(rng.range(0, dim - 1));
+      if (i == j) continue;
+      alive = z.constrain(i, j, make_weak(static_cast<bound_t>(rng.range(-k, k))));
+    }
+    if (alive) return z;
+  }
+  return Dbm::universal(dim);
+}
+
+void BM_Close(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  tigat::util::Rng rng(7);
+  const Dbm z = random_zone(rng, dim, 50);
+  for (auto _ : state) {
+    Dbm copy(z);
+    benchmark::DoNotOptimize(copy.close());
+  }
+}
+BENCHMARK(BM_Close)->Arg(3)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_Constrain(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  tigat::util::Rng rng(11);
+  const Dbm z = random_zone(rng, dim, 50);
+  for (auto _ : state) {
+    Dbm copy(z);
+    benchmark::DoNotOptimize(copy.constrain(1, 0, make_weak(5)));
+  }
+}
+BENCHMARK(BM_Constrain)->Arg(3)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_UpDown(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  tigat::util::Rng rng(13);
+  const Dbm z = random_zone(rng, dim, 50);
+  for (auto _ : state) {
+    Dbm copy(z);
+    copy.up();
+    copy.down();
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_UpDown)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_Subtract(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  tigat::util::Rng rng(17);
+  const Dbm a = random_zone(rng, dim, 50);
+  const Dbm b = random_zone(rng, dim, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subtract(a, b));
+  }
+}
+BENCHMARK(BM_Subtract)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_PredT(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  const auto zones = static_cast<int>(state.range(1));
+  tigat::util::Rng rng(23);
+  Fed good(dim);
+  Fed bad(dim);
+  for (int i = 0; i < zones; ++i) {
+    good.add(random_zone(rng, dim, 50));
+    bad.add(random_zone(rng, dim, 50));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(good.pred_t(bad));
+  }
+}
+BENCHMARK(BM_PredT)->Args({3, 1})->Args({3, 4})->Args({6, 1})->Args({6, 4});
+
+void BM_FedSubset(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  tigat::util::Rng rng(29);
+  Fed a(dim);
+  Fed b(dim);
+  for (int i = 0; i < 4; ++i) {
+    a.add(random_zone(rng, dim, 50));
+    b.add(random_zone(rng, dim, 50));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.is_subset_of(b));
+  }
+}
+BENCHMARK(BM_FedSubset)->Arg(3)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

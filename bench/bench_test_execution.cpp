@@ -1,0 +1,88 @@
+// Ablation A3 (DESIGN.md): cost of strategy-based test execution —
+// per-decision strategy lookup and full Algorithm 3.1 runs.  Relevant
+// to the paper's future-work concern about "efficient strategy
+// representation": lookups walk the ranked zone federations.
+#include <benchmark/benchmark.h>
+
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "models/smart_light.h"
+#include "testing/executor.h"
+#include "testing/simulated_imp.h"
+
+namespace {
+
+using namespace tigat;
+
+constexpr std::int64_t kScale = 16;
+
+struct Fixture {
+  Fixture()
+      : light(models::make_smart_light()),
+        plant(models::make_smart_light_plant_only()),
+        strategy(game::GameSolver(
+                     light.system,
+                     tsystem::TestPurpose::parse(light.system,
+                                                 "control: A<> IUT.Bright"))
+                     .solve()) {}
+  models::SmartLight light;
+  models::SmartLight plant;
+  game::Strategy strategy;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_StrategyDecideInitial(benchmark::State& state) {
+  auto& f = fixture();
+  semantics::ConcreteSemantics sem(f.light.system, kScale);
+  const auto s = sem.initial();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.strategy.decide(s, kScale));
+  }
+}
+BENCHMARK(BM_StrategyDecideInitial);
+
+void BM_StrategyDecideMidGame(benchmark::State& state) {
+  auto& f = fixture();
+  semantics::ConcreteSemantics sem(f.light.system, kScale);
+  auto s = sem.initial();
+  sem.delay(s, kScale);  // user may touch
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.strategy.decide(s, kScale));
+  }
+}
+BENCHMARK(BM_StrategyDecideMidGame);
+
+void BM_FullTestRun(benchmark::State& state) {
+  auto& f = fixture();
+  testing::SimulatedImplementation imp(
+      f.plant.system, kScale,
+      testing::ImpPolicy{static_cast<std::int64_t>(state.range(0)), {}});
+  testing::TestExecutor exec(f.strategy, imp, kScale);
+  std::size_t passes = 0;
+  for (auto _ : state) {
+    const auto report = exec.run();
+    passes += report.verdict == testing::Verdict::kPass;
+  }
+  state.counters["pass_rate"] =
+      static_cast<double>(passes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FullTestRun)->Arg(0)->Arg(kScale)->Arg(2 * kScale);
+
+void BM_StrategySynthesisSmartLight(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    game::GameSolver solver(
+        f.light.system,
+        tsystem::TestPurpose::parse(f.light.system, "control: A<> IUT.Bright"));
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_StrategySynthesisSmartLight);
+
+}  // namespace
+
+BENCHMARK_MAIN();

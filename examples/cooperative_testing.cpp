@@ -1,0 +1,82 @@
+// Cooperative testing (paper future-work item 4): what to do when no
+// winning strategy exists.
+//
+// `control: A<> IUT.L6` is NOT controllable for the Smart Light: L6 is
+// only entered by touching during the L5 output window, and the light
+// may answer dim!/bright! before the user's reaction time allows a
+// second touch.  The tester "makes a small retreat": it computes a
+// cooperative plan (all actions treated as controllable) and hopes the
+// light plays along.
+//
+//   * a patient light (output latency ≥ 1) cooperates → PASS
+//   * an eager light (latency 0) answers first     → INCONCLUSIVE
+//   * a broken light still gets caught             → FAIL (sound)
+//
+// Build & run:  ./build/examples/cooperative_testing
+#include <cstdio>
+
+#include "game/cooperative.h"
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "models/smart_light.h"
+#include "testing/cooperative_executor.h"
+#include "testing/mutants.h"
+#include "testing/simulated_imp.h"
+
+int main() {
+  using namespace tigat;
+  constexpr std::int64_t kScale = 16;
+
+  models::SmartLight spec = models::make_smart_light();
+  models::SmartLight plant = models::make_smart_light_plant_only();
+  const auto purpose =
+      tsystem::TestPurpose::parse(spec.system, "control: A<> IUT.L6");
+
+  // No winning strategy exists...
+  game::GameSolver solver(spec.system, purpose);
+  const auto strict = solver.solve();
+  std::printf("winning strategy for %s: %s\n", purpose.source.c_str(),
+              strict->winning_from_initial() ? "exists" : "none");
+
+  // ...so retreat to a cooperative plan.
+  game::CooperativeResult coop = game::solve_cooperative(spec.system, purpose);
+  std::printf("cooperatively reachable: %s\n\n",
+              coop.reachable ? "yes" : "no");
+  if (!coop.reachable) return 1;
+  game::Strategy plan(coop.solution);
+
+  const auto run_against = [&](const char* label, const tsystem::System& sys,
+                               std::int64_t latency) {
+    testing::SimulatedImplementation imp(sys, kScale,
+                                         testing::ImpPolicy{latency, {}});
+    testing::CooperativeExecutor exec(spec.system, plan, imp, kScale);
+    const auto report = exec.run();
+    std::printf("%-16s verdict: %-13s %s\n", label,
+                testing::to_string(report.verdict), report.reason.c_str());
+    std::printf("%-16s trace:   %s\n\n", "", report.trace_string().c_str());
+  };
+
+  run_against("patient light", plant.system, 2 * kScale);
+  run_against("eager light", plant.system, 0);
+
+  // Soundness carries over: against a plan with output obligations
+  // (A<> Bright hopes for bright!), a genuinely faulty box still fails.
+  game::CooperativeResult coop2 = game::solve_cooperative(
+      spec.system,
+      tsystem::TestPurpose::parse(spec.system, "control: A<> IUT.Bright"));
+  game::Strategy plan2(coop2.solution);
+  for (const auto& m : testing::enumerate_mutants(plant.system)) {
+    const tsystem::System mutated = testing::apply_mutant(plant.system, m);
+    testing::SimulatedImplementation imp(mutated, kScale,
+                                         testing::ImpPolicy{3 * kScale, {}});
+    testing::CooperativeExecutor exec(spec.system, plan2, imp, kScale);
+    const auto report = exec.run();
+    if (report.verdict == testing::Verdict::kFail) {
+      std::printf("faulty light     verdict: fail          %s\n",
+                  report.reason.c_str());
+      std::printf("                 fault:   %s\n", m.description.c_str());
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fault injection walkthrough: what a failing game-based test run
+// looks like, for three characteristic implementation faults of the
+// Smart Light (a slow box, a wrong-output box, a forgotten-reset box).
+//
+// Build & run:  ./build/examples/fault_injection
+#include <cstdio>
+
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "models/smart_light.h"
+#include "testing/executor.h"
+#include "testing/mutants.h"
+#include "testing/simulated_imp.h"
+
+int main() {
+  using namespace tigat;
+  constexpr std::int64_t kScale = 16;
+
+  models::SmartLight spec = models::make_smart_light();
+  models::SmartLight plant = models::make_smart_light_plant_only();
+
+  game::GameSolver solver(
+      spec.system,
+      tsystem::TestPurpose::parse(spec.system, "control: A<> IUT.Bright"));
+  game::Strategy strategy(solver.solve());
+
+  // Reference: the unmutated plant passes.
+  {
+    testing::SimulatedImplementation imp(plant.system, kScale,
+                                         testing::ImpPolicy{kScale, {}});
+    testing::TestExecutor exec(strategy, imp, kScale);
+    const auto report = exec.run();
+    std::printf("reference (no fault):  %s\n  trace: %s\n\n",
+                testing::to_string(report.verdict),
+                report.trace_string().c_str());
+  }
+
+  // Walk the mutant catalogue and demonstrate one representative kill
+  // per interesting operator.
+  const auto mutants = testing::enumerate_mutants(plant.system);
+  int shown = 0;
+  for (const auto kind :
+       {testing::MutationKind::kInvariantWiden,
+        testing::MutationKind::kOutputSwap, testing::MutationKind::kResetDrop,
+        testing::MutationKind::kGuardShift}) {
+    bool demonstrated = false;
+    for (const auto& m : mutants) {
+      if (demonstrated) break;
+      if (m.kind != kind) continue;
+      const tsystem::System mutated = testing::apply_mutant(plant.system, m);
+      // A lazy policy exposes timing faults; urgent exposes the rest.
+      for (const std::int64_t latency : {3 * kScale, std::int64_t{0}}) {
+        testing::SimulatedImplementation imp(mutated, kScale,
+                                             testing::ImpPolicy{latency, {}});
+        testing::TestExecutor exec(strategy, imp, kScale);
+        const auto report = exec.run();
+        if (report.verdict == testing::Verdict::kFail) {
+          std::printf("fault:   %s (%s)\n", m.description.c_str(),
+                      testing::to_string(m.kind));
+          std::printf("verdict: fail — %s\n", report.reason.c_str());
+          std::printf("trace:   %s\n\n", report.trace_string().c_str());
+          ++shown;
+          demonstrated = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::printf("%d fault classes demonstrated; every fail verdict is sound:\n",
+              shown);
+  std::printf(
+      "it exhibits a concrete timed trace the specification forbids\n"
+      "(Theorem 10 — a failing run implies non-conformance).  Operators\n"
+      "with no kill here (e.g. forgotten resets or shifted input guards\n"
+      "off the strategy's path) survive because targeted testing only\n"
+      "answers for its purpose — see bench_fault_detection for the full\n"
+      "campaign across purposes and timing policies.\n");
+  return 0;
+}

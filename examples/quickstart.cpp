@@ -1,0 +1,100 @@
+// Quickstart: the full game-based testing workflow in one file.
+//
+//   1. model an uncontrollable system as a TIOGA network (a tiny
+//      request/response server with a response window);
+//   2. state a test purpose (`control: A<> ...`);
+//   3. synthesize a winning strategy with the game solver;
+//   4. execute the strategy as a test case against a black-box
+//      implementation (here: a simulated one) and get a verdict.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "testing/executor.h"
+#include "testing/simulated_imp.h"
+#include "tsystem/property.h"
+#include "tsystem/system.h"
+
+using namespace tigat;
+
+namespace {
+
+// The plant: after a request it answers ok! or retry! (its choice —
+// output uncontrollability) some time within 3 time units (timing
+// uncertainty).  A prompt re-request right after a retry (within one
+// time unit) is prioritised and answered ok! for sure.
+tsystem::System make_server(bool with_client) {
+  tsystem::System sys(with_client ? "server" : "server_plant");
+  const auto x = sys.add_clock("x");
+  const auto req = sys.add_channel("req", tsystem::Controllability::kControllable);
+  const auto ok = sys.add_channel("ok", tsystem::Controllability::kUncontrollable);
+  const auto retry =
+      sys.add_channel("retry", tsystem::Controllability::kUncontrollable);
+
+  auto& srv = sys.add_process("Server", tsystem::Controllability::kUncontrollable);
+  const auto idle = srv.add_location("Idle");
+  const auto busy = srv.add_location("Busy");
+  const auto second = srv.add_location("Second");
+  const auto done = srv.add_location("Done");
+  srv.set_invariant(busy, x <= 3);
+  srv.set_invariant(second, x <= 3);
+  srv.add_edge(idle, busy).receive(req).guard(x >= 1).reset(x);
+  srv.add_edge(busy, done).send(ok).reset(x);
+  srv.add_edge(busy, idle).send(retry).guard(x >= 1).reset(x);
+  srv.add_edge(idle, second).receive(req).guard(x < 1).reset(x);
+  srv.add_edge(second, done).send(ok).reset(x);
+  // Strong input-enabledness: extra requests are absorbed.
+  srv.add_edge(busy, busy).receive(req);
+  srv.add_edge(second, second).receive(req);
+  srv.add_edge(done, done).receive(req);
+
+  if (with_client) {
+    const auto z = sys.add_clock("z");
+    auto& client =
+        sys.add_process("Client", tsystem::Controllability::kControllable);
+    const auto c0 = client.add_location("C0");
+    client.add_edge(c0, c0).send(req).guard(z >= 1).reset(z);
+    for (const auto chan : {ok, retry}) client.add_edge(c0, c0).receive(chan);
+  }
+  sys.finalize();
+  return sys;
+}
+
+}  // namespace
+
+int main() {
+  // 1–2. Model and purpose.  "Whatever the server does, the tester can
+  // force an ok! response."
+  tsystem::System spec = make_server(/*with_client=*/true);
+  const auto purpose =
+      tsystem::TestPurpose::parse(spec, "control: A<> Server.Done");
+
+  // 3. Winning strategy.
+  game::GameSolver solver(spec, purpose);
+  const auto solution = solver.solve();
+  std::printf("purpose controllable: %s  (states: %zu, rounds: %zu)\n",
+              solution->winning_from_initial() ? "yes" : "no",
+              solution->stats().keys, solution->stats().rounds);
+  game::Strategy strategy(solution);
+  std::printf("\n%s\n", strategy.to_string().c_str());
+
+  // 4. Execute against a black box.  The simulated IMP resolves the
+  // spec's freedom deterministically: it prefers retry! and answers as
+  // late as allowed — a hostile but conforming implementation.
+  constexpr std::int64_t kScale = 16;
+  tsystem::System plant = make_server(/*with_client=*/false);
+  testing::SimulatedImplementation imp(
+      plant, kScale, testing::ImpPolicy{2 * kScale, {"retry", "ok"}});
+  testing::TestExecutor executor(strategy, imp, kScale);
+  const testing::TestReport report = executor.run();
+
+  std::printf("verdict: %s (%s)\n", testing::to_string(report.verdict),
+              report.reason.c_str());
+  std::printf("trace:   %s\n", report.trace_string().c_str());
+  std::printf("elapsed: %lld ticks (%lld time units)\n",
+              static_cast<long long>(report.total_ticks),
+              static_cast<long long>(report.total_ticks / kScale));
+  return report.verdict == testing::Verdict::kPass ? 0 : 1;
+}

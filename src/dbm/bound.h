@@ -1,0 +1,104 @@
+// Encoded clock-difference bounds.
+//
+// A DBM entry constrains `x_i - x_j ≺ c` with `≺ ∈ {<, ≤}`.  Following
+// the classical packed representation (Bengtsson & Yi; UPPAAL's UDBM),
+// a bound is one int32:
+//
+//     raw = 2·c + (≺ is ≤ ? 1 : 0)
+//
+// so that the integer order on raw values coincides with the tightness
+// order on bounds: raw1 < raw2  ⇔  bound1 is strictly stronger.
+// `(c, <)` sorts just below `(c, ≤)`, exactly as required.
+//
+// Infinity (no constraint) is a reserved large value; arithmetic
+// saturates on it.  Bound values must stay below kMaxBoundValue, which
+// comfortably holds every model constant after scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.h"
+
+namespace tigat::dbm {
+
+// Encoded bound; see file comment.
+using raw_t = std::int32_t;
+// Plain bound value (the `c` in `x - y ≺ c`).
+using bound_t = std::int32_t;
+
+// Strictness of a bound.
+enum class Strict : std::uint8_t {
+  kStrict = 0,  // <
+  kWeak = 1,    // ≤
+};
+
+inline constexpr bound_t kMaxBoundValue = 1 << 28;
+
+// `< ∞`: the absence of a constraint.  Encoded strict so that
+// `raw_infinity + raw_infinity` cannot overflow int32 even before the
+// saturation test kicks in.
+inline constexpr raw_t kInfinity = 2 * kMaxBoundValue;
+
+// `≤ 0`, the diagonal value of every consistent DBM.
+inline constexpr raw_t kLeZero = 1;
+// `< 0`, tighter than any satisfiable self-difference; marks emptiness.
+inline constexpr raw_t kLtZero = 0;
+
+[[nodiscard]] constexpr raw_t make_bound(bound_t value, Strict s) {
+  return static_cast<raw_t>(2 * value) + static_cast<raw_t>(s);
+}
+
+[[nodiscard]] constexpr raw_t make_weak(bound_t value) {
+  return make_bound(value, Strict::kWeak);
+}
+
+[[nodiscard]] constexpr raw_t make_strict(bound_t value) {
+  return make_bound(value, Strict::kStrict);
+}
+
+[[nodiscard]] constexpr bool is_infinity(raw_t raw) { return raw >= kInfinity; }
+
+[[nodiscard]] constexpr bound_t bound_value(raw_t raw) {
+  // Arithmetic shift: rounds towards −∞, which is exactly what the
+  // encoding needs for negative bounds (e.g. raw −3 = (−2, ≤)... no:
+  // raw = 2c+w, so c = (raw - w) / 2 = raw >> 1 for both signs).
+  return static_cast<bound_t>(raw >> 1);
+}
+
+[[nodiscard]] constexpr Strict strictness(raw_t raw) {
+  return static_cast<Strict>(raw & 1);
+}
+
+[[nodiscard]] constexpr bool is_weak(raw_t raw) { return (raw & 1) != 0; }
+
+// Bound addition: values add, the result is weak only if both inputs
+// are.  Saturates at infinity.
+[[nodiscard]] constexpr raw_t add_bounds(raw_t a, raw_t b) {
+  if (is_infinity(a) || is_infinity(b)) return kInfinity;
+  return a + b - ((a | b) & 1);
+}
+
+// Logical negation used by zone complementation / subtraction:
+//   ¬(x − y ≤ c)  =  y − x < −c
+//   ¬(x − y < c)  =  y − x ≤ −c
+// In the encoding this is the involution  raw ↦ 1 − raw.
+// Never call on infinity (an absent constraint has no complement).
+[[nodiscard]] constexpr raw_t negate_bound(raw_t raw) {
+  return 1 - raw;
+}
+
+// True when a concrete (scaled) difference satisfies the bound.
+// `diff` is in execution ticks, the bound value in model units;
+// `scale` converts between them (see semantics/concrete_state.h).
+[[nodiscard]] constexpr bool satisfies(std::int64_t diff, raw_t raw,
+                                       std::int64_t scale = 1) {
+  if (is_infinity(raw)) return true;
+  const std::int64_t limit = static_cast<std::int64_t>(bound_value(raw)) * scale;
+  return is_weak(raw) ? diff <= limit : diff < limit;
+}
+
+// Renders e.g. "<=3", "<∞" as "inf".
+[[nodiscard]] std::string bound_to_string(raw_t raw);
+
+}  // namespace tigat::dbm

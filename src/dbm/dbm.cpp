@@ -1,0 +1,381 @@
+#include "dbm/dbm.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/memory_meter.h"
+#include "util/text.h"
+
+namespace tigat::dbm {
+
+std::string bound_to_string(raw_t raw) {
+  if (is_infinity(raw)) return "<inf";
+  return util::format("%s%d", is_weak(raw) ? "<=" : "<", bound_value(raw));
+}
+
+Dbm::Dbm(std::uint32_t dim) : dim_(dim), m_(std::size_t{dim} * dim) {
+  TIGAT_ASSERT(dim >= 1, "a DBM needs at least the reference clock");
+  meter_add();
+}
+
+Dbm::Dbm(const Dbm& other)
+    : dim_(other.dim_), empty_(other.empty_), m_(other.m_) {
+  meter_add();
+}
+
+Dbm::Dbm(Dbm&& other) noexcept
+    : dim_(other.dim_), empty_(other.empty_), m_(std::move(other.m_)) {
+  other.dim_ = 0;
+  other.m_.clear();
+}
+
+Dbm& Dbm::operator=(const Dbm& other) {
+  if (this == &other) return *this;
+  meter_sub();
+  dim_ = other.dim_;
+  empty_ = other.empty_;
+  m_ = other.m_;
+  meter_add();
+  return *this;
+}
+
+Dbm& Dbm::operator=(Dbm&& other) noexcept {
+  if (this == &other) return *this;
+  meter_sub();
+  dim_ = other.dim_;
+  empty_ = other.empty_;
+  m_ = std::move(other.m_);
+  other.dim_ = 0;
+  other.m_.clear();
+  return *this;
+}
+
+Dbm::~Dbm() { meter_sub(); }
+
+void Dbm::meter_add() const noexcept {
+  if (dim_ != 0) util::zone_memory().add(memory_bytes());
+}
+
+void Dbm::meter_sub() const noexcept {
+  if (dim_ != 0) util::zone_memory().sub(memory_bytes());
+}
+
+Dbm Dbm::zero(std::uint32_t dim) {
+  Dbm d(dim);
+  std::fill(d.m_.begin(), d.m_.end(), kLeZero);
+  return d;
+}
+
+Dbm Dbm::universal(std::uint32_t dim) {
+  Dbm d(dim);
+  std::fill(d.m_.begin(), d.m_.end(), kInfinity);
+  for (std::uint32_t i = 0; i < dim; ++i) d.set_raw(i, i, kLeZero);
+  for (std::uint32_t j = 0; j < dim; ++j) d.set_raw(0, j, kLeZero);
+  return d;
+}
+
+bool Dbm::close() {
+  TIGAT_ASSERT(dim_ != 0, "close() on a moved-from DBM");
+  const std::uint32_t n = dim_;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const raw_t mik = m_[i * n + k];
+      if (is_infinity(mik)) continue;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const raw_t via = add_bounds(mik, m_[k * n + j]);
+        if (via < m_[i * n + j]) m_[i * n + j] = via;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (m_[i * n + i] < kLeZero) {
+      empty_ = true;
+      return false;
+    }
+    m_[i * n + i] = kLeZero;
+  }
+  empty_ = false;
+  return true;
+}
+
+bool Dbm::constrain(std::uint32_t i, std::uint32_t j, raw_t bound) {
+  TIGAT_DEBUG_ASSERT(i < dim_ && j < dim_ && i != j, "bad constraint indices");
+  TIGAT_ASSERT(!empty_, "constrain() on an empty DBM");
+  const std::uint32_t n = dim_;
+  if (bound >= m_[i * n + j]) return true;  // not tighter: no-op
+  if (add_bounds(m_[j * n + i], bound) < kLeZero) {
+    empty_ = true;
+    return false;
+  }
+  m_[i * n + j] = bound;
+  // Incremental closure through the tightened edge (i → j).
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const raw_t pi = m_[p * n + i];
+    if (is_infinity(pi)) continue;
+    const raw_t via_i = add_bounds(pi, bound);
+    for (std::uint32_t q = 0; q < n; ++q) {
+      const raw_t cand = add_bounds(via_i, m_[j * n + q]);
+      if (cand < m_[p * n + q]) m_[p * n + q] = cand;
+    }
+  }
+  return true;
+}
+
+void Dbm::up() {
+  TIGAT_ASSERT(!empty_, "up() on an empty DBM");
+  for (std::uint32_t i = 1; i < dim_; ++i) m_[i * dim_] = kInfinity;
+}
+
+void Dbm::down() {
+  TIGAT_ASSERT(!empty_, "down() on an empty DBM");
+  // Row 0 entries become the loosest lower bounds compatible with the
+  // difference constraints; the result is closed (Bengtsson & Yi,
+  // algorithm `down`).
+  for (std::uint32_t j = 1; j < dim_; ++j) {
+    raw_t best = kLeZero;
+    for (std::uint32_t i = 1; i < dim_; ++i) {
+      const raw_t mij = m_[i * dim_ + j];
+      if (mij < best) best = mij;
+    }
+    m_[j] = best;
+  }
+}
+
+void Dbm::reset(std::uint32_t k, bound_t value) {
+  TIGAT_DEBUG_ASSERT(k >= 1 && k < dim_, "cannot reset the reference clock");
+  TIGAT_ASSERT(!empty_, "reset() on an empty DBM");
+  const raw_t le_v = make_weak(value);
+  const raw_t le_neg_v = make_weak(-value);
+  for (std::uint32_t j = 0; j < dim_; ++j) {
+    if (j == k) continue;
+    m_[k * dim_ + j] = add_bounds(le_v, m_[j]);          // x_k − x_j ≤ v + D(0,j)
+    m_[j * dim_ + k] = add_bounds(m_[j * dim_], le_neg_v);  // x_j − x_k ≤ D(j,0) − v
+  }
+}
+
+void Dbm::free(std::uint32_t k) {
+  TIGAT_DEBUG_ASSERT(k >= 1 && k < dim_, "cannot free the reference clock");
+  TIGAT_ASSERT(!empty_, "free() on an empty DBM");
+  for (std::uint32_t j = 0; j < dim_; ++j) {
+    if (j == k) continue;
+    m_[k * dim_ + j] = kInfinity;
+    m_[j * dim_ + k] = m_[j * dim_];  // x_j − x_k ≤ x_j ≤ D(j,0)
+  }
+}
+
+bool Dbm::intersect_with(const Dbm& other) {
+  TIGAT_ASSERT(dim_ == other.dim_, "dimension mismatch");
+  TIGAT_ASSERT(!empty_ && !other.empty_, "intersect on empty DBM");
+  bool changed = false;
+  for (std::size_t idx = 0; idx < m_.size(); ++idx) {
+    if (other.m_[idx] < m_[idx]) {
+      m_[idx] = other.m_[idx];
+      changed = true;
+    }
+  }
+  if (!changed) return true;
+  return close();
+}
+
+bool Dbm::intersects(const Dbm& other) const {
+  Dbm tmp(*this);
+  return tmp.intersect_with(other);
+}
+
+Relation Dbm::relation(const Dbm& other) const {
+  TIGAT_ASSERT(dim_ == other.dim_, "dimension mismatch");
+  bool sub = true;
+  bool sup = true;
+  for (std::size_t idx = 0; idx < m_.size(); ++idx) {
+    if (m_[idx] > other.m_[idx]) sub = false;
+    if (m_[idx] < other.m_[idx]) sup = false;
+    if (!sub && !sup) return Relation::kDifferent;
+  }
+  if (sub && sup) return Relation::kEqual;
+  return sub ? Relation::kSubset : Relation::kSuperset;
+}
+
+bool Dbm::is_subset_of(const Dbm& other) const {
+  const Relation r = relation(other);
+  return r == Relation::kEqual || r == Relation::kSubset;
+}
+
+bool Dbm::operator==(const Dbm& other) const {
+  return dim_ == other.dim_ && empty_ == other.empty_ && m_ == other.m_;
+}
+
+void Dbm::extrapolate_max_bounds(std::span<const bound_t> max_constants) {
+  TIGAT_ASSERT(max_constants.size() == dim_, "one max constant per clock");
+  TIGAT_ASSERT(!empty_, "extrapolate on empty DBM");
+  // Classical Extra_M (Behrmann, Bouyer, Fleury, Larsen).  All rules
+  // read the ORIGINAL matrix, so decisions are taken on `before`.
+  const std::vector<raw_t> before(m_);
+  const auto orig = [&](std::uint32_t i, std::uint32_t j) {
+    return before[i * dim_ + j];
+  };
+  bool changed = false;
+  for (std::uint32_t i = 0; i < dim_; ++i) {
+    for (std::uint32_t j = 0; j < dim_; ++j) {
+      if (i == j) continue;
+      raw_t& b = m_[i * dim_ + j];
+      const bool bound_above_mi =
+          i != 0 && !is_infinity(b) && b > make_weak(max_constants[i]);
+      // x_i is everywhere above M(x_i): its exact value is indistinguishable.
+      const bool xi_above_mi = i != 0 && orig(0, i) < make_weak(-max_constants[i]);
+      // x_j is everywhere above M(x_j).
+      const bool xj_above_mj = orig(0, j) < make_weak(-max_constants[j]);
+      if (bound_above_mi || xi_above_mi || (i != 0 && xj_above_mj)) {
+        b = kInfinity;
+        changed = true;
+      } else if (i == 0 && xj_above_mj) {
+        b = make_strict(-max_constants[j]);
+        changed = true;
+      }
+    }
+  }
+  if (changed) {
+    const bool ok = close();
+    TIGAT_ASSERT(ok, "Extra_M can only loosen bounds; emptiness is a bug");
+  }
+}
+
+bool Dbm::contains_point(std::span<const std::int64_t> point,
+                         std::int64_t scale) const {
+  TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
+  TIGAT_DEBUG_ASSERT(point[0] == 0, "reference clock must be 0");
+  if (empty_) return false;
+  for (std::uint32_t i = 0; i < dim_; ++i) {
+    for (std::uint32_t j = 0; j < dim_; ++j) {
+      if (i == j) continue;
+      if (!satisfies(point[i] - point[j], m_[i * dim_ + j], scale)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::int64_t> Dbm::earliest_entry_delay(
+    std::span<const std::int64_t> point, std::int64_t scale) const {
+  TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
+  if (empty_) return std::nullopt;
+  // Difference constraints between real clocks are delay-invariant.
+  for (std::uint32_t i = 1; i < dim_; ++i) {
+    for (std::uint32_t j = 1; j < dim_; ++j) {
+      if (i == j) continue;
+      if (!satisfies(point[i] - point[j], m_[i * dim_ + j], scale)) {
+        return std::nullopt;
+      }
+    }
+  }
+  std::int64_t lo = 0;
+  std::int64_t hi = kNoDeadline;
+  for (std::uint32_t i = 1; i < dim_; ++i) {
+    // Upper bound: x_i + δ ≺ c·scale.
+    const raw_t upper = m_[i * dim_];
+    if (!is_infinity(upper)) {
+      std::int64_t limit =
+          static_cast<std::int64_t>(bound_value(upper)) * scale - point[i];
+      if (!is_weak(upper)) limit -= 1;  // strict: last integer tick inside
+      hi = std::min(hi, limit);
+    }
+    // Lower bound: −(x_i + δ) ≺ c·scale  ⇔  δ ⪰ −c·scale − x_i.
+    const raw_t lower = m_[i];
+    if (!is_infinity(lower)) {
+      std::int64_t limit =
+          -static_cast<std::int64_t>(bound_value(lower)) * scale - point[i];
+      if (!is_weak(lower)) limit += 1;
+      lo = std::max(lo, limit);
+    }
+  }
+  if (lo > hi) return std::nullopt;
+  return lo;
+}
+
+std::int64_t Dbm::latest_stay_delay(std::span<const std::int64_t> point,
+                                    std::int64_t scale) const {
+  TIGAT_ASSERT(contains_point(point, scale), "point must be inside the zone");
+  std::int64_t hi = kNoDeadline;
+  for (std::uint32_t i = 1; i < dim_; ++i) {
+    const raw_t upper = m_[i * dim_];
+    if (is_infinity(upper)) continue;
+    std::int64_t limit =
+        static_cast<std::int64_t>(bound_value(upper)) * scale - point[i];
+    if (!is_weak(upper)) limit -= 1;
+    hi = std::min(hi, limit);
+  }
+  return hi;
+}
+
+std::size_t Dbm::hash() const noexcept {
+  std::size_t h = 0x811c9dc5u ^ dim_;
+  for (const raw_t b : m_) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(b));
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::string Dbm::to_string(std::span<const std::string> names) const {
+  TIGAT_ASSERT(names.size() >= dim_, "need a name per clock");
+  if (empty_) return "false";
+  std::vector<std::string> parts;
+  for (std::uint32_t i = 0; i < dim_; ++i) {
+    for (std::uint32_t j = 0; j < dim_; ++j) {
+      if (i == j) continue;
+      const raw_t b = m_[i * dim_ + j];
+      if (is_infinity(b)) continue;
+      // Suppress the implicit x ≥ 0 facts to keep output readable.
+      if (i == 0 && b == kLeZero) continue;
+      const char* op = is_weak(b) ? "<=" : "<";
+      if (i == 0) {
+        // −x_j ≺ c  printed as  x_j ≥/−c.
+        parts.push_back(util::format("%s%s%d", names[j].c_str(),
+                                     is_weak(b) ? ">=" : ">", -bound_value(b)));
+      } else if (j == 0) {
+        parts.push_back(
+            util::format("%s%s%d", names[i].c_str(), op, bound_value(b)));
+      } else {
+        parts.push_back(util::format("%s-%s%s%d", names[i].c_str(),
+                                     names[j].c_str(), op, bound_value(b)));
+      }
+    }
+  }
+  if (parts.empty()) return "true";
+  return util::join(parts, " && ");
+}
+
+std::string Dbm::to_string() const {
+  std::vector<std::string> names(dim_);
+  for (std::uint32_t i = 0; i < dim_; ++i) names[i] = util::format("x%u", i);
+  return to_string(names);
+}
+
+std::vector<Dbm> subtract(const Dbm& z1, const Dbm& z2) {
+  TIGAT_ASSERT(z1.dimension() == z2.dimension(), "dimension mismatch");
+  std::vector<Dbm> pieces;
+  if (z1.is_empty()) return pieces;
+  if (z2.is_empty()) {
+    pieces.push_back(z1);
+    return pieces;
+  }
+  const std::uint32_t n = z1.dimension();
+  Dbm rest(z1);
+  for (std::uint32_t i = 0; i < n && !rest.is_empty(); ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const raw_t facet = z2.at(i, j);
+      if (is_infinity(facet)) continue;
+      if (rest.at(i, j) <= facet) continue;  // facet does not cut `rest`
+      // Piece outside this facet of z2: rest ∧ ¬(x_i − x_j ≺ c).
+      Dbm piece(rest);
+      if (piece.constrain(j, i, negate_bound(facet))) {
+        pieces.push_back(std::move(piece));
+      }
+      // Continue carving inside the facet; keeps pieces disjoint.
+      if (!rest.constrain(i, j, facet)) break;
+    }
+    if (rest.is_empty()) break;
+  }
+  return pieces;
+}
+
+}  // namespace tigat::dbm

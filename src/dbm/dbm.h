@@ -1,0 +1,158 @@
+// Difference Bound Matrices — the canonical representation of clock
+// zones (convex sets of clock valuations definable by conjunctions of
+// `x ≺ c`, `x − y ≺ c`).
+//
+// Conventions (classical; Bengtsson & Yi 2004):
+//   * clock 0 is the constant-zero reference clock;
+//   * entry (i, j) bounds `x_i − x_j`;
+//   * a Dbm at rest is CLOSED (canonical: every entry is the tightest
+//     bound implied by the others) and NON-EMPTY unless `is_empty()`;
+//   * all mutators keep the closed form, either by construction
+//     (`up`, `down`, `reset`, `free`) or by incremental closure
+//     (`constrain`), so the O(n³) `close()` only runs after bulk edits
+//     such as extrapolation.
+//
+// Zones carry no location/data information; that pairing happens in
+// `semantics::SymbolicState`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dbm/bound.h"
+
+namespace tigat::dbm {
+
+// Result of comparing two zones over the same clocks.
+enum class Relation : std::uint8_t {
+  kEqual,
+  kSubset,    // *this ⊂ other (strictly, as sets of valuations... see note)
+  kSuperset,  // *this ⊃ other
+  kDifferent,
+};
+
+class Dbm {
+ public:
+  // An empty-dimension Dbm is only useful as a moved-from shell.
+  Dbm() = default;
+
+  // The zone containing exactly the origin (all clocks = 0).
+  static Dbm zero(std::uint32_t dim);
+  // The zone of all valuations (clocks ≥ 0, otherwise unconstrained).
+  static Dbm universal(std::uint32_t dim);
+
+  Dbm(const Dbm&);
+  Dbm(Dbm&&) noexcept;
+  Dbm& operator=(const Dbm&);
+  Dbm& operator=(Dbm&&) noexcept;
+  ~Dbm();
+
+  [[nodiscard]] std::uint32_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] bool is_empty() const noexcept { return empty_; }
+
+  [[nodiscard]] raw_t at(std::uint32_t i, std::uint32_t j) const {
+    TIGAT_DEBUG_ASSERT(i < dim_ && j < dim_, "clock index out of range");
+    return m_[i * dim_ + j];
+  }
+
+  // Raw write; leaves the matrix possibly non-canonical.  Callers must
+  // run close() before using any other operation.  Exposed for the
+  // construction of ad-hoc zones in tests and for extrapolation.
+  void set_raw(std::uint32_t i, std::uint32_t j, raw_t b) {
+    TIGAT_DEBUG_ASSERT(i < dim_ && j < dim_, "clock index out of range");
+    m_[i * dim_ + j] = b;
+  }
+
+  // Full Floyd–Warshall canonicalisation.  Returns false (and marks the
+  // zone empty) on inconsistency.
+  bool close();
+
+  // Adds `x_i − x_j ≺ c` and restores the closed form incrementally
+  // (O(dim²)).  Returns false iff the zone became empty.
+  bool constrain(std::uint32_t i, std::uint32_t j, raw_t bound);
+
+  // Future: removes all upper bounds (`delay`, `Z↑`).
+  void up();
+  // Past: relaxes all lower bounds to 0 (`Z↓`).  Exact down-closure.
+  void down();
+
+  // x_k := value (model units).
+  void reset(std::uint32_t k, bound_t value = 0);
+  // Removes every constraint on x_k.
+  void free(std::uint32_t k);
+
+  // Pointwise-minimum + closure.  Returns false iff the result is empty
+  // (in which case *this is marked empty).
+  bool intersect_with(const Dbm& other);
+  [[nodiscard]] bool intersects(const Dbm& other) const;
+
+  [[nodiscard]] Relation relation(const Dbm& other) const;
+  [[nodiscard]] bool is_subset_of(const Dbm& other) const;  // ⊆ (non-strict)
+  [[nodiscard]] bool operator==(const Dbm& other) const;
+
+  // Classical maximal-constant extrapolation Extra_M.  `max_constants`
+  // holds M(x) per clock (index 0 unused, treated as 0).  Sound
+  // abstraction for (game) reachability; see game/solver.h for the
+  // discussion.  Re-closes the matrix.
+  void extrapolate_max_bounds(std::span<const bound_t> max_constants);
+
+  // Membership of a concrete valuation given in execution ticks, where
+  // model-unit bounds are multiplied by `scale`.  `point[0]` must be 0.
+  [[nodiscard]] bool contains_point(std::span<const std::int64_t> point,
+                                    std::int64_t scale = 1) const;
+  [[nodiscard]] bool contains_point(std::initializer_list<std::int64_t> point,
+                                    std::int64_t scale = 1) const {
+    return contains_point(std::span<const std::int64_t>(point.begin(), point.size()),
+                          scale);
+  }
+
+  // Earliest δ ≥ 0 (in ticks) with `point + δ` inside this zone, if the
+  // diagonal through `point` ever enters it at integer ticks.
+  // Strict bounds are honoured: entering `x > 2` at scale 1 yields δ
+  // such that x-value = 3.  Returns nullopt when unreachable by delay.
+  [[nodiscard]] std::optional<std::int64_t> earliest_entry_delay(
+      std::span<const std::int64_t> point, std::int64_t scale = 1) const;
+  [[nodiscard]] std::optional<std::int64_t> earliest_entry_delay(
+      std::initializer_list<std::int64_t> point, std::int64_t scale = 1) const {
+    return earliest_entry_delay(
+        std::span<const std::int64_t>(point.begin(), point.size()), scale);
+  }
+
+  // Latest δ ≥ 0 such that every δ' ∈ [0, δ] keeps `point + δ'` inside
+  // the zone; requires the point to be inside.  kNoDeadline when the
+  // zone is upward unbounded through the point.
+  static constexpr std::int64_t kNoDeadline = std::int64_t{1} << 62;
+  [[nodiscard]] std::int64_t latest_stay_delay(
+      std::span<const std::int64_t> point, std::int64_t scale = 1) const;
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  // Human-readable constraint list, e.g. "x<=2 && y-x<1".  `names[i]`
+  // labels clock i; names[0] is ignored.
+  [[nodiscard]] std::string to_string(std::span<const std::string> names) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return m_.capacity() * sizeof(raw_t);
+  }
+
+ private:
+  explicit Dbm(std::uint32_t dim);
+
+  void meter_add() const noexcept;
+  void meter_sub() const noexcept;
+
+  std::uint32_t dim_ = 0;
+  bool empty_ = false;
+  std::vector<raw_t> m_;
+};
+
+// Z1 \ Z2 as a list of pairwise-disjoint, closed, non-empty zones.
+// Splits only on the facets of `z2` that actually cut `z1`, which keeps
+// the fragment count near the minimum for typical game workloads.
+[[nodiscard]] std::vector<Dbm> subtract(const Dbm& z1, const Dbm& z2);
+
+}  // namespace tigat::dbm

@@ -1,0 +1,217 @@
+#include "dbm/federation.h"
+
+#include <algorithm>
+
+#include "util/text.h"
+
+namespace tigat::dbm {
+
+Fed::Fed(Dbm zone) : dim_(zone.dimension()) {
+  if (!zone.is_empty()) zones_.push_back(std::move(zone));
+}
+
+void Fed::add(Dbm zone) {
+  if (zone.is_empty()) return;
+  TIGAT_ASSERT(zone.dimension() == dim_, "dimension mismatch");
+  for (const Dbm& z : zones_) {
+    if (zone.is_subset_of(z)) return;  // already covered
+  }
+  std::erase_if(zones_, [&zone](const Dbm& z) { return z.is_subset_of(zone); });
+  zones_.push_back(std::move(zone));
+}
+
+Fed& Fed::operator|=(const Fed& other) {
+  TIGAT_ASSERT(other.dim_ == dim_, "dimension mismatch");
+  for (const Dbm& z : other.zones_) add(z);
+  return *this;
+}
+
+Fed& Fed::operator|=(const Dbm& zone) {
+  add(zone);
+  return *this;
+}
+
+Fed& Fed::operator&=(const Dbm& zone) {
+  TIGAT_ASSERT(zone.dimension() == dim_, "dimension mismatch");
+  std::vector<Dbm> out;
+  out.reserve(zones_.size());
+  for (Dbm& z : zones_) {
+    if (z.intersect_with(zone)) out.push_back(std::move(z));
+  }
+  zones_ = std::move(out);
+  return *this;
+}
+
+Fed& Fed::operator&=(const Fed& other) {
+  *this = intersection(other);
+  return *this;
+}
+
+Fed Fed::intersection(const Fed& other) const {
+  TIGAT_ASSERT(other.dim_ == dim_, "dimension mismatch");
+  Fed out(dim_);
+  for (const Dbm& a : zones_) {
+    for (const Dbm& b : other.zones_) {
+      Dbm z(a);
+      if (z.intersect_with(b)) out.add(std::move(z));
+    }
+  }
+  return out;
+}
+
+Fed Fed::minus(const Dbm& zone) const {
+  TIGAT_ASSERT(zone.dimension() == dim_, "dimension mismatch");
+  Fed out(dim_);
+  if (zone.is_empty()) {
+    out.zones_ = zones_;
+    return out;
+  }
+  for (const Dbm& z : zones_) {
+    for (Dbm& piece : subtract(z, zone)) out.add(std::move(piece));
+  }
+  return out;
+}
+
+Fed Fed::minus(const Fed& other) const {
+  TIGAT_ASSERT(other.dim_ == dim_, "dimension mismatch");
+  Fed out = *this;
+  for (const Dbm& z : other.zones_) {
+    if (out.is_empty()) break;
+    out = out.minus(z);
+  }
+  return out;
+}
+
+bool Fed::is_subset_of(const Fed& other) const {
+  return minus(other).is_empty();
+}
+
+bool Fed::same_set_as(const Fed& other) const {
+  return is_subset_of(other) && other.is_subset_of(*this);
+}
+
+Fed Fed::up() const {
+  Fed out(dim_);
+  for (const Dbm& z : zones_) {
+    Dbm zz(z);
+    zz.up();
+    out.add(std::move(zz));
+  }
+  return out;
+}
+
+Fed Fed::down() const {
+  Fed out(dim_);
+  for (const Dbm& z : zones_) {
+    Dbm zz(z);
+    zz.down();
+    out.add(std::move(zz));
+  }
+  return out;
+}
+
+Fed Fed::pred_t(const Fed& bad) const {
+  Fed result(dim_);
+  for (const Dbm& b : zones_) {
+    Dbm b_down(b);
+    b_down.down();
+    // pred_t(b, ∅) = b↓; intersect with pred_t(b, g) per bad zone.
+    Fed acc(b_down);
+    for (const Dbm& g : bad.zones_) {
+      if (acc.is_empty()) break;
+      Dbm g_down(g);
+      g_down.down();
+
+      // Term 1: b↓ \ g↓.
+      Fed term(dim_);
+      for (Dbm& piece : subtract(b_down, g_down)) term.add(std::move(piece));
+
+      // Term 2: ((b ∩ g↓) \ g)↓ \ g.
+      Dbm reach_below(b);
+      if (reach_below.intersect_with(g_down)) {
+        for (const Dbm& piece : subtract(reach_below, g)) {
+          Dbm piece_down(piece);
+          piece_down.down();
+          for (Dbm& frag : subtract(piece_down, g)) term.add(std::move(frag));
+        }
+      }
+      acc &= term;
+    }
+    result |= acc;
+  }
+  result.reduce();
+  return result;
+}
+
+bool Fed::contains_point(std::span<const std::int64_t> point,
+                         std::int64_t scale) const {
+  return std::any_of(zones_.begin(), zones_.end(), [&](const Dbm& z) {
+    return z.contains_point(point, scale);
+  });
+}
+
+bool Fed::intersects(const Dbm& zone) const {
+  return std::any_of(zones_.begin(), zones_.end(),
+                     [&](const Dbm& z) { return z.intersects(zone); });
+}
+
+std::optional<std::int64_t> Fed::earliest_entry_delay(
+    std::span<const std::int64_t> point, std::int64_t scale) const {
+  std::optional<std::int64_t> best;
+  for (const Dbm& z : zones_) {
+    if (const auto d = z.earliest_entry_delay(point, scale)) {
+      if (!best || *d < *best) best = d;
+    }
+  }
+  return best;
+}
+
+void Fed::extrapolate_max_bounds(std::span<const bound_t> max_constants) {
+  for (Dbm& z : zones_) z.extrapolate_max_bounds(max_constants);
+  reduce();
+}
+
+void Fed::reduce() {
+  // Two passes: decide first (comparisons need intact zones), move after.
+  const std::size_t n = zones_.size();
+  std::vector<bool> covered(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n && !covered[i]; ++j) {
+      if (i == j) continue;
+      const Relation r = zones_[i].relation(zones_[j]);
+      // Drop strict subsets; for equal zones keep only the first copy.
+      covered[i] = r == Relation::kSubset || (r == Relation::kEqual && j < i);
+    }
+  }
+  std::vector<Dbm> kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!covered[i]) kept.push_back(std::move(zones_[i]));
+  }
+  zones_ = std::move(kept);
+}
+
+std::size_t Fed::memory_bytes() const noexcept {
+  std::size_t total = sizeof(Fed);
+  for (const Dbm& z : zones_) total += z.memory_bytes();
+  return total;
+}
+
+std::string Fed::to_string(std::span<const std::string> names) const {
+  if (zones_.empty()) return "false";
+  std::vector<std::string> parts;
+  parts.reserve(zones_.size());
+  for (const Dbm& z : zones_) {
+    parts.push_back(zones_.size() == 1 ? z.to_string(names)
+                                       : "(" + z.to_string(names) + ")");
+  }
+  return util::join(parts, " || ");
+}
+
+std::string Fed::to_string() const {
+  std::vector<std::string> names(dim_);
+  for (std::uint32_t i = 0; i < dim_; ++i) names[i] = util::format("x%u", i);
+  return to_string(names);
+}
+
+}  // namespace tigat::dbm

@@ -1,0 +1,19 @@
+#include "game/cooperative.h"
+
+#include "tsystem/rebuild.h"
+
+namespace tigat::game {
+
+CooperativeResult solve_cooperative(const tsystem::System& system,
+                                    const tsystem::TestPurpose& purpose,
+                                    SolverOptions options) {
+  CooperativeResult result;
+  result.relaxed_system = std::make_unique<tsystem::System>(
+      tsystem::relax_all_controllable(system));
+  GameSolver solver(*result.relaxed_system, purpose, std::move(options));
+  result.solution = solver.solve();
+  result.reachable = result.solution->winning_from_initial();
+  return result;
+}
+
+}  // namespace tigat::game

@@ -1,0 +1,441 @@
+#include "game/region_solver.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "semantics/transition.h"
+#include "util/assert.h"
+#include "util/stopwatch.h"
+
+namespace tigat::game {
+
+using semantics::TransitionInstance;
+using tsystem::ClockConstraint;
+using tsystem::LocId;
+
+namespace {
+
+// Alur–Dill region over the clocks 1..dim-1.
+//   ip[i]  : integer part, clamped to M_i + 1 ("above M_i")
+//   grp[i] : -1 above M_i; 0 fraction zero; 1..m increasing fractions
+struct Region {
+  std::vector<std::int32_t> ip;
+  std::vector<std::int8_t> grp;
+
+  bool operator==(const Region&) const = default;
+};
+
+struct Node {
+  std::vector<LocId> locs;
+  tsystem::DataState data;
+  Region region;
+
+  bool operator==(const Node&) const = default;
+
+  [[nodiscard]] std::size_t hash() const noexcept {
+    std::size_t h = data.hash();
+    for (const LocId l : locs) h = h * 31 + l;
+    for (const auto v : region.ip) h = h * 31 + static_cast<std::size_t>(v + 1);
+    for (const auto v : region.grp) h = h * 31 + static_cast<std::size_t>(v + 2);
+    return h;
+  }
+};
+
+// Renumbers fraction groups densely: 0 stays 0, positive groups become
+// 1..m in order of their old ids.
+void normalize(Region& r) {
+  std::vector<std::int8_t> present;
+  for (const auto g : r.grp) {
+    if (g > 0 && std::find(present.begin(), present.end(), g) == present.end()) {
+      present.push_back(g);
+    }
+  }
+  std::sort(present.begin(), present.end());
+  for (auto& g : r.grp) {
+    if (g > 0) {
+      g = static_cast<std::int8_t>(
+          1 + (std::find(present.begin(), present.end(), g) - present.begin()));
+    }
+  }
+}
+
+}  // namespace
+
+struct RegionGameSolver::Impl {
+  const tsystem::System* sys;
+  tsystem::TestPurpose purpose;
+  std::vector<dbm::bound_t> max_const;
+  std::uint32_t dim;
+
+  std::vector<Node> nodes;
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> lookup;
+  // Per node: action successors (with controllability) and the delay
+  // successor (if any).
+  struct ActionSucc {
+    std::uint32_t target;
+    bool controllable;
+  };
+  std::vector<std::vector<ActionSucc>> succs;
+  std::vector<std::optional<std::uint32_t>> delay_succ;
+  std::vector<bool> time_punctual;  // zero-fraction clock or frozen loc
+  std::vector<bool> goal;
+  std::vector<bool> winning;
+  Stats stats;
+  bool solved = false;
+
+  // ── region primitives ───────────────────────────────────────────────
+
+  [[nodiscard]] bool above(const Region& r, std::uint32_t i) const {
+    return r.grp[i] < 0;
+  }
+
+  [[nodiscard]] Region region_of(std::span<const std::int64_t> ticks,
+                                 std::int64_t scale) const {
+    Region r;
+    r.ip.assign(dim, 0);
+    r.grp.assign(dim, 0);
+    // Order clocks by fractional remainder.
+    std::vector<std::pair<std::int64_t, std::uint32_t>> fracs;
+    for (std::uint32_t i = 1; i < dim; ++i) {
+      if (ticks[i] > static_cast<std::int64_t>(max_const[i]) * scale) {
+        r.ip[i] = max_const[i] + 1;
+        r.grp[i] = -1;
+        continue;
+      }
+      r.ip[i] = static_cast<std::int32_t>(ticks[i] / scale);
+      const std::int64_t rem = ticks[i] % scale;
+      if (rem == 0) {
+        r.grp[i] = 0;
+      } else {
+        fracs.emplace_back(rem, i);
+      }
+    }
+    std::sort(fracs.begin(), fracs.end());
+    std::int8_t next = 1;
+    std::int64_t prev = -1;
+    for (const auto& [rem, i] : fracs) {
+      if (rem != prev) {
+        r.grp[i] = next++;
+        prev = rem;
+      } else {
+        r.grp[i] = static_cast<std::int8_t>(next - 1);
+      }
+    }
+    return r;
+  }
+
+  // Constraint x_i ≺ c on a region (diagonal-free only).
+  [[nodiscard]] bool region_satisfies(const Region& r,
+                                      const ClockConstraint& c) const {
+    if (dbm::is_infinity(c.bound)) return true;
+    const dbm::bound_t v = dbm::bound_value(c.bound);
+    const bool weak = dbm::is_weak(c.bound);
+    if (c.j == 0) {
+      // x_i ≺ v
+      const std::uint32_t i = c.i;
+      if (above(r, i)) return false;  // x > M ≥ v: never < / ≤
+      if (r.grp[i] == 0) return weak ? r.ip[i] <= v : r.ip[i] < v;
+      return r.ip[i] < v;
+    }
+    // -x_j ≺ v, i.e. x_j ≻ -v.
+    const std::uint32_t j = c.j;
+    const dbm::bound_t w = -v;  // x_j > w (strict) or x_j ≥ w (weak)
+    if (above(r, j)) return true;
+    if (r.grp[j] == 0) return weak ? r.ip[j] >= w : r.ip[j] > w;
+    return r.ip[j] >= w;  // ip < x < ip+1: x > w ⟺ ip ≥ w
+  }
+
+  [[nodiscard]] bool invariant_ok(const std::vector<LocId>& locs,
+                                  const Region& r) const {
+    const auto& procs = sys->processes();
+    for (std::uint32_t p = 0; p < procs.size(); ++p) {
+      for (const ClockConstraint& c : procs[p].locations()[locs[p]].invariant) {
+        if (!region_satisfies(r, c)) return false;
+      }
+    }
+    return true;
+  }
+
+  // Immediate time successor, or nullopt when the region is the final
+  // all-above one (time successor is itself).
+  [[nodiscard]] std::optional<Region> region_delay_succ(const Region& r) const {
+    std::vector<std::uint32_t> zero_clocks;
+    std::int8_t top = 0;
+    for (std::uint32_t i = 1; i < dim; ++i) {
+      if (above(r, i)) continue;
+      if (r.grp[i] == 0) zero_clocks.push_back(i);
+      top = std::max(top, r.grp[i]);
+    }
+    Region s = r;
+    if (!zero_clocks.empty()) {
+      // Zero-fraction clocks acquire the new smallest positive
+      // fraction — unless they sit exactly at their max constant, in
+      // which case any positive fraction takes them above it.
+      for (auto& g : s.grp) {
+        if (g > 0) ++g;
+      }
+      for (const std::uint32_t i : zero_clocks) {
+        if (s.ip[i] >= max_const[i]) {
+          s.ip[i] = max_const[i] + 1;
+          s.grp[i] = -1;
+        } else {
+          s.grp[i] = 1;
+        }
+      }
+      normalize(s);
+      return s;
+    }
+    if (top == 0) return std::nullopt;  // all clocks above M
+    // Top-fraction clocks reach the next integer.
+    for (std::uint32_t i = 1; i < dim; ++i) {
+      if (!above(s, i) && s.grp[i] == top) {
+        s.ip[i] += 1;
+        if (s.ip[i] > max_const[i]) {
+          s.ip[i] = max_const[i] + 1;
+          s.grp[i] = -1;
+        } else {
+          s.grp[i] = 0;
+        }
+      }
+    }
+    normalize(s);
+    return s;
+  }
+
+  [[nodiscard]] bool is_time_punctual(const std::vector<LocId>& locs,
+                                      const Region& r) const {
+    if (semantics::time_frozen(*sys, locs)) return true;
+    for (std::uint32_t i = 1; i < dim; ++i) {
+      if (!above(r, i) && r.grp[i] == 0) return true;
+    }
+    return false;
+  }
+
+  // ── graph construction ──────────────────────────────────────────────
+
+  std::uint32_t intern(Node node) {
+    const std::size_t h = node.hash();
+    if (const auto it = lookup.find(h); it != lookup.end()) {
+      for (const std::uint32_t n : it->second) {
+        if (nodes[n] == node) return n;
+      }
+    }
+    const auto idx = static_cast<std::uint32_t>(nodes.size());
+    lookup[h].push_back(idx);
+    nodes.push_back(std::move(node));
+    succs.emplace_back();
+    delay_succ.emplace_back();
+    const Node& nd = nodes.back();
+    time_punctual.push_back(is_time_punctual(nd.locs, nd.region));
+    goal.push_back(purpose.formula.eval(nd.locs, nd.data, sys->data()));
+    return idx;
+  }
+
+  [[nodiscard]] bool edge_guard_ok(const Node& n,
+                                   const semantics::EdgeRef& ref) const {
+    const tsystem::Edge& e = sys->processes()[ref.process].edges()[ref.edge];
+    for (const ClockConstraint& c : e.guard) {
+      if (!region_satisfies(n.region, c)) return false;
+    }
+    return e.data_guard.eval_bool(n.data, sys->data());
+  }
+
+  void apply_effects(Node& n, const semantics::EdgeRef& ref) const {
+    const tsystem::Edge& e = sys->processes()[ref.process].edges()[ref.edge];
+    n.locs[ref.process] = e.dst;
+    for (const auto& rst : e.resets) {
+      TIGAT_ASSERT(rst.value <= max_const[rst.clock],
+                   "reset above max constant");
+      n.region.ip[rst.clock] = rst.value;
+      n.region.grp[rst.clock] = 0;
+    }
+    for (const auto& a : e.assignments) {
+      const std::int64_t index =
+          a.index.is_null() ? 0 : a.index.eval(n.data, sys->data());
+      sys->data().checked_store(n.data, a.var, index,
+                                a.rhs.eval(n.data, sys->data()));
+    }
+  }
+
+  void build() {
+    Node init;
+    for (const auto& p : sys->processes()) init.locs.push_back(p.initial());
+    init.data = sys->data().initial_state();
+    init.region.ip.assign(dim, 0);
+    init.region.grp.assign(dim, 0);
+    TIGAT_ASSERT(invariant_ok(init.locs, init.region),
+                 "initial state violates invariants");
+
+    std::deque<std::uint32_t> work;
+    work.push_back(intern(std::move(init)));
+    std::vector<bool> expanded;
+
+    while (!work.empty()) {
+      const std::uint32_t n = work.front();
+      work.pop_front();
+      if (n < expanded.size() && expanded[n]) continue;
+      if (expanded.size() <= n) expanded.resize(n + 1, false);
+      expanded[n] = true;
+
+      // Delay successor (only when time may elapse).
+      if (!semantics::time_frozen(*sys, nodes[n].locs)) {
+        if (const auto succ = region_delay_succ(nodes[n].region)) {
+          if (invariant_ok(nodes[n].locs, *succ)) {
+            Node next{nodes[n].locs, nodes[n].data, *succ};
+            const std::uint32_t t = intern(std::move(next));
+            delay_succ[n] = t;
+            if (t >= expanded.size() || !expanded[t]) work.push_back(t);
+          }
+        }
+      }
+
+      // Action successors.
+      for (const TransitionInstance& inst :
+           semantics::instances_from(*sys, nodes[n].locs)) {
+        if (!edge_guard_ok(nodes[n], inst.primary)) continue;
+        if (inst.receiver && !edge_guard_ok(nodes[n], *inst.receiver)) continue;
+        Node next = nodes[n];
+        apply_effects(next, inst.primary);
+        if (inst.receiver) apply_effects(next, *inst.receiver);
+        normalize(next.region);
+        if (!invariant_ok(next.locs, next.region)) continue;
+        const std::uint32_t t = intern(std::move(next));
+        succs[n].push_back({t, inst.controllable});
+        ++stats.edges;
+        if (t >= expanded.size() || !expanded[t]) work.push_back(t);
+      }
+    }
+  }
+
+  // ── the attractor ───────────────────────────────────────────────────
+
+  [[nodiscard]] bool unc_escape(std::uint32_t n) const {
+    for (const ActionSucc& s : succs[n]) {
+      if (!s.controllable && !winning[s.target]) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool has_enabled_unc(std::uint32_t n) const {
+    return std::any_of(succs[n].begin(), succs[n].end(),
+                       [](const ActionSucc& s) { return !s.controllable; });
+  }
+
+  [[nodiscard]] bool ctrl_into_winning(std::uint32_t n) const {
+    for (const ActionSucc& s : succs[n]) {
+      if (s.controllable && winning[s.target]) return true;
+    }
+    return false;
+  }
+
+  // Can the controller force the attractor from n by waiting along the
+  // delay chain?  (Chain nodes must all be opponent-safe.)
+  [[nodiscard]] bool force(std::uint32_t start) const {
+    std::uint32_t n = start;
+    std::vector<bool> visited(nodes.size(), false);
+    for (;;) {
+      if (visited[n]) return false;  // delay cycle without progress
+      visited[n] = true;
+      // Delaying into W ends the play favourably; W states are either
+      // goal (escapes moot) or escape-free by construction.
+      if (n != start && winning[n]) return true;
+      if (unc_escape(n)) return false;  // ties go to the SUT
+      if (ctrl_into_winning(n)) return true;
+      if (!delay_succ[n]) {
+        // End of the chain: a time-punctual node with an enabled
+        // uncontrollable move forces the SUT (all its moves are safe
+        // here, i.e. winning, since unc_escape failed).
+        return time_punctual[n] && has_enabled_unc(n);
+      }
+      n = *delay_succ[n];
+    }
+  }
+
+  void attractor() {
+    winning.assign(nodes.size(), false);
+    for (std::uint32_t n = 0; n < nodes.size(); ++n) winning[n] = goal[n];
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+        if (winning[n]) continue;
+        if (force(n)) {
+          winning[n] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+};
+
+RegionGameSolver::RegionGameSolver(const tsystem::System& system,
+                                   tsystem::TestPurpose purpose)
+    : impl_(std::make_unique<Impl>()) {
+  TIGAT_ASSERT(system.finalized(), "system must be finalized");
+  if (purpose.kind != tsystem::PurposeKind::kReach) {
+    throw tsystem::ModelError("RegionGameSolver handles control: A<> only");
+  }
+  impl_->sys = &system;
+  impl_->purpose = std::move(purpose);
+  impl_->max_const = system.max_constants();
+  impl_->dim = system.clock_count();
+
+  // Reject diagonal constraints: regions are exact only without them.
+  const auto check = [](const ClockConstraint& c) {
+    if (c.i != 0 && c.j != 0) {
+      throw tsystem::ModelError(
+          "RegionGameSolver requires diagonal-free models");
+    }
+  };
+  for (const auto& p : system.processes()) {
+    for (const auto& loc : p.locations()) {
+      for (const auto& c : loc.invariant) check(c);
+    }
+    for (const auto& e : p.edges()) {
+      for (const auto& c : e.guard) check(c);
+    }
+  }
+}
+
+RegionGameSolver::~RegionGameSolver() = default;
+RegionGameSolver::RegionGameSolver(RegionGameSolver&&) noexcept = default;
+RegionGameSolver& RegionGameSolver::operator=(RegionGameSolver&&) noexcept =
+    default;
+
+void RegionGameSolver::solve() {
+  if (impl_->solved) return;
+  util::Stopwatch watch;
+  impl_->build();
+  impl_->attractor();
+  impl_->stats.nodes = impl_->nodes.size();
+  impl_->stats.winning = static_cast<std::size_t>(
+      std::count(impl_->winning.begin(), impl_->winning.end(), true));
+  impl_->stats.solve_seconds = watch.seconds();
+  impl_->solved = true;
+}
+
+bool RegionGameSolver::winning_from_initial() const {
+  TIGAT_ASSERT(impl_->solved, "call solve() first");
+  return impl_->winning[0];
+}
+
+bool RegionGameSolver::state_winning(const semantics::ConcreteState& state,
+                                     std::int64_t scale) const {
+  TIGAT_ASSERT(impl_->solved, "call solve() first");
+  Node node{state.locs, state.data,
+            impl_->region_of(state.clocks, scale)};
+  const std::size_t h = node.hash();
+  const auto it = impl_->lookup.find(h);
+  if (it == impl_->lookup.end()) return false;
+  for (const std::uint32_t n : it->second) {
+    if (impl_->nodes[n] == node) return impl_->winning[n];
+  }
+  return false;
+}
+
+const RegionGameSolver::Stats& RegionGameSolver::stats() const {
+  return impl_->stats;
+}
+
+}  // namespace tigat::game

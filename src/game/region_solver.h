@@ -1,0 +1,69 @@
+// Region-graph timed-game solver — an INDEPENDENT oracle and baseline.
+//
+// This is the classical construction of Maler–Pnueli–Sifakis (STACS
+// 1995), which proved timed reachability games decidable: build the
+// Alur–Dill region graph (finite, exact time-abstract bisimulation for
+// diagonal-free automata) and run an attractor computation on it.  It
+// shares NO code with the zone solver: regions instead of DBMs, an
+// explicit chain-walk instead of pred_t — which is precisely what
+// makes it a credible cross-check (tests/game_region_cross_test.cpp)
+// and the performance baseline the on-the-fly zone algorithm of
+// UPPAAL-TIGA was built to beat (bench/bench_ablation_solver.cpp).
+//
+// Semantics matched with the zone solver:
+//   * ties go to the opponent: a node where an uncontrollable edge
+//     escapes the attractor is unsafe even if the controller could act
+//     there simultaneously;
+//   * forced progress: a TIME-PUNCTUAL node (some clock fraction is 0,
+//     or an urgent/committed location) without a delay successor and
+//     with an enabled uncontrollable edge forces the SUT to move;
+//     time-open boundary nodes (strict invariants) never force.
+//
+// Restriction: diagonal-free models only (guards/invariants of the
+// form x ≺ c).  The constructor rejects diagonal constraints.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "semantics/concrete.h"
+#include "tsystem/property.h"
+
+namespace tigat::game {
+
+class RegionGameSolver {
+ public:
+  struct Stats {
+    std::size_t nodes = 0;     // reachable region-graph nodes
+    std::size_t winning = 0;   // nodes in the controller attractor
+    std::size_t edges = 0;     // action edges explored
+    double solve_seconds = 0.0;
+  };
+
+  RegionGameSolver(const tsystem::System& system,
+                   tsystem::TestPurpose purpose);
+  ~RegionGameSolver();
+  RegionGameSolver(RegionGameSolver&&) noexcept;
+  RegionGameSolver& operator=(RegionGameSolver&&) noexcept;
+
+  // Builds the reachable region graph and computes the attractor.
+  void solve();
+
+  [[nodiscard]] bool winning_from_initial() const;
+
+  // Membership of a concrete state (ticks at `scale`); requires
+  // solve().  States outside the reachable graph return false.
+  [[nodiscard]] bool state_winning(const semantics::ConcreteState& state,
+                                   std::int64_t scale) const;
+
+  [[nodiscard]] const Stats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tigat::game

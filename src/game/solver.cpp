@@ -1,0 +1,226 @@
+#include "game/solver.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/memory_meter.h"
+#include "util/stopwatch.h"
+
+namespace tigat::game {
+
+using dbm::Fed;
+using semantics::SymbolicEdge;
+using semantics::SymbolicGraph;
+
+GameSolution::GameSolution(std::unique_ptr<SymbolicGraph> graph,
+                           tsystem::TestPurpose purpose)
+    : graph_(std::move(graph)), purpose_(std::move(purpose)) {}
+
+Fed GameSolution::winning_up_to(std::uint32_t k, std::uint32_t round) const {
+  Fed out(graph_->system().clock_count());
+  for (const Delta& d : deltas_[k]) {
+    if (d.round <= round) out |= d.gained;
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> GameSolution::rank(
+    std::uint32_t k, std::span<const std::int64_t> clocks,
+    std::int64_t scale) const {
+  for (const Delta& d : deltas_[k]) {  // deltas are in round order
+    if (d.gained.contains_point(clocks, scale)) return d.round;
+  }
+  return std::nullopt;
+}
+
+bool GameSolution::winning_from_initial() const {
+  const std::vector<std::int64_t> zero(graph_->system().clock_count(), 0);
+  return win_all_[graph_->initial_key()].contains_point(zero, 1);
+}
+
+GameSolver::GameSolver(const tsystem::System& system,
+                       tsystem::TestPurpose purpose, SolverOptions options)
+    : sys_(&system), purpose_(std::move(purpose)), options_(std::move(options)) {
+  TIGAT_ASSERT(system.finalized(), "system must be finalized");
+  if (purpose_.kind != tsystem::PurposeKind::kReach) {
+    throw tsystem::ModelError(
+        "GameSolver handles reachability purposes (control: A<>) — "
+        "every purpose in the paper is one; safety games (control: A[]) "
+        "parse but are not solved yet");
+  }
+}
+
+std::shared_ptr<const GameSolution> GameSolver::solve() {
+  util::Stopwatch watch;
+  util::zone_memory().reset_peak();
+
+  auto graph = std::make_unique<SymbolicGraph>(*sys_, options_.exploration);
+  graph->explore();
+  const std::uint32_t n = graph->key_count();
+  const std::uint32_t dim = sys_->clock_count();
+
+  auto solution = std::make_shared<GameSolution>(std::move(graph), purpose_);
+  const SymbolicGraph& g = *solution->graph_;
+
+  // Round 0: goal keys win everywhere they are reachable (goals are
+  // formulas over the discrete part; Sec. 2.4's purposes are
+  // location/data predicates).
+  solution->goal_key_.assign(n, false);
+  solution->win_all_.assign(n, Fed(dim));
+  solution->deltas_.assign(n, {});
+  std::vector<bool> dirty(n, false);   // winning changed in last round
+  std::vector<bool> saturated(n, false);  // win == reach, nothing to gain
+  std::vector<Fed> loss;  // Reach \ Win cache, updated on change
+  loss.reserve(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const auto& key = g.key(k);
+    const bool is_goal =
+        purpose_.formula.eval(key.locs, key.data, sys_->data());
+    solution->goal_key_[k] = is_goal;
+    if (is_goal) {
+      solution->win_all_[k] = g.reach(k);
+      solution->deltas_[k].push_back({0, g.reach(k)});
+      dirty[k] = true;
+      saturated[k] = true;
+      loss.emplace_back(dim);
+    } else {
+      loss.push_back(g.reach(k));
+    }
+  }
+
+  // Forced candidates (round-independent): invariant-deadline states
+  // with an enabled uncontrollable edge.  The SUT must move there; the
+  // per-round G-avoidance decides whether every move is winning.
+  std::vector<Fed> forced(n, Fed(dim));
+  for (std::uint32_t k = 0; k < n; ++k) {
+    // Upper invariant boundary: some weak bound x_i ≤ b holds with
+    // equality.  Strict bounds have no attained deadline.
+    Fed boundary(dim);
+    const auto& key = g.key(k);
+    const auto& procs = sys_->processes();
+    for (std::uint32_t p = 0; p < procs.size(); ++p) {
+      for (const tsystem::ClockConstraint& c :
+           procs[p].locations()[key.locs[p]].invariant) {
+        if (c.j != 0 || dbm::is_infinity(c.bound) || !dbm::is_weak(c.bound)) {
+          continue;  // only weak upper bounds block delay attainably
+        }
+        dbm::Dbm at_deadline = g.invariant(k);
+        if (at_deadline.constrain(0, c.i,
+                                  dbm::make_weak(-dbm::bound_value(c.bound)))) {
+          boundary.add(std::move(at_deadline));
+        }
+      }
+    }
+    if (boundary.is_empty() && !semantics::time_frozen(*sys_, key.locs)) {
+      continue;
+    }
+    Fed unc_enabled(dim);
+    for (const std::uint32_t ei : g.edges_out(k)) {
+      const SymbolicEdge& e = g.edges()[ei];
+      if (e.inst.controllable) continue;
+      unc_enabled |= g.pred_through(e, g.reach(e.dst));
+    }
+    if (unc_enabled.is_empty()) continue;
+    if (semantics::time_frozen(*sys_, key.locs)) {
+      // Urgent/committed: every state is a deadline.
+      forced[k] = unc_enabled.intersection(g.reach(k));
+    } else {
+      forced[k] = boundary.intersection(unc_enabled).intersection(g.reach(k));
+    }
+  }
+
+  // Synchronous rounds with dirtiness filtering: a key can only gain
+  // in round r if itself or a successor gained in round r−1.
+  std::size_t rounds = 0;
+  for (std::uint32_t r = 1;; ++r) {
+    if (r > options_.max_rounds) {
+      throw semantics::ExplorationLimit("fixpoint round limit exceeded");
+    }
+    std::vector<bool> recompute(n, false);
+    bool any = false;
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (!dirty[k]) continue;
+      for (const std::uint32_t ei : g.edges_in(k)) {
+        const std::uint32_t src = g.edges()[ei].src;
+        if (!saturated[src]) {
+          recompute[src] = true;
+          any = true;
+        }
+      }
+      if (!saturated[k]) {
+        recompute[k] = true;
+        any = true;
+      }
+    }
+    if (!any) break;
+
+    // Jacobi iteration: every round-r computation reads only round-r−1
+    // winning sets, so the round index is a sound progress measure for
+    // strategy extraction (an action prescribed at rank r provably
+    // lands at rank < r).  Gains are staged and applied afterwards.
+    std::vector<std::pair<std::uint32_t, Fed>> staged;
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (!recompute[k]) continue;
+
+      // B: already-winning here, a controllable edge into winning, or
+      // a deadline where the SUT is forced to move (G filters out
+      // forced states with a non-winning escape).
+      Fed b = solution->win_all_[k];
+      if (!forced[k].is_empty()) b |= forced[k];
+      // G: an uncontrollable edge can escape to a non-winning state.
+      Fed gbad(dim);
+      for (const std::uint32_t ei : g.edges_out(k)) {
+        const SymbolicEdge& e = g.edges()[ei];
+        if (e.inst.controllable) {
+          if (!solution->win_all_[e.dst].is_empty()) {
+            b |= g.pred_through(e, solution->win_all_[e.dst]);
+          }
+        } else {
+          if (!loss[e.dst].is_empty()) {
+            gbad |= g.pred_through(e, loss[e.dst]);
+          }
+        }
+      }
+      b &= g.reach(k);
+      gbad &= g.reach(k);
+
+      Fed new_win = semantics::time_frozen(*sys_, g.key(k).locs)
+                        ? b.minus(gbad)
+                        : b.pred_t(gbad);
+      new_win &= g.reach(k);
+
+      Fed gained = new_win.minus(solution->win_all_[k]);
+      if (gained.is_empty()) continue;
+      gained.reduce();
+      staged.emplace_back(k, std::move(gained));
+    }
+
+    std::vector<bool> new_dirty(n, false);
+    for (auto& [k, gained] : staged) {
+      solution->deltas_[k].push_back({r, gained});
+      solution->win_all_[k] |= gained;
+      loss[k] = g.reach(k).minus(solution->win_all_[k]);
+      if (loss[k].is_empty()) saturated[k] = true;
+      new_dirty[k] = true;
+    }
+    dirty = std::move(new_dirty);
+    rounds = r;
+    if (std::none_of(dirty.begin(), dirty.end(), [](bool d) { return d; })) {
+      break;
+    }
+  }
+
+  // Stats.
+  const auto gstats = g.stats();
+  SolverStats& st = solution->stats_;
+  st.keys = gstats.keys;
+  st.reach_zones = gstats.zones;
+  st.edges = gstats.edges;
+  st.rounds = rounds;
+  for (const Fed& w : solution->win_all_) st.winning_zones += w.size();
+  st.peak_zone_bytes = util::zone_memory().peak();
+  st.solve_seconds = watch.seconds();
+  return solution;
+}
+
+}  // namespace tigat::game

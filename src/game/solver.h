@@ -1,0 +1,139 @@
+// The timed reachability-game solver — our re-implementation of the
+// UPPAAL-TIGA core the paper builds on (Sec. 3.2; algorithm of Cassez,
+// David, Fleury, Larsen, Lime, CONCUR 2005).
+//
+// Given a TIOGA network S and a test purpose `control: A<> φ`, the
+// solver computes, per discrete state q of the forward-explored zone
+// graph, the federation of clock valuations from which the controller
+// (tester) can force φ whatever the uncontrollable (SUT) moves do.
+// The fixpoint runs in synchronous rounds:
+//
+//   Win₀[q]   = Reach[q]                   if φ(q) else ∅
+//   Winₖ₊₁[q] = Winₖ[q] ∪ ( pred_t(Bₖ[q], Gₖ[q]) ∩ Reach[q] )
+//     Bₖ[q] = ( Winₖ[q] ∪ ⋃_{q →c q'} pred_e(Winₖ[q']) ) ∩ Reach[q]
+//     Gₖ[q] =   ⋃_{q →u q'} pred_e(Reach[q'] \ Winₖ[q'])  ∩ Reach[q]
+//
+// pred_t is the safe-timed-predecessor of dbm::Fed (closed avoidance:
+// simultaneous opponent moves win, the right semantics for black-box
+// testing); pred_e pins resets and applies guards.  In time-frozen
+// states (urgent/committed) pred_t degenerates to B \ G.
+//
+// B additionally contains the FORCED set: states on the (weak) upper
+// boundary of the invariant where at least one uncontrollable edge is
+// enabled.  There time cannot advance and — by the maximal-run
+// semantics of Def. 7/8 (a blocked non-goal run only counts as maximal
+// when no action is available) — the SUT must move; if no move escapes
+// (the state is outside G), every outcome is winning.  This is what
+// makes "wait for the forced output" strategies work, e.g. Smart Light
+// L6 where the only path to Bright is the uncontrollable bright!
+// bounded by Tp ≤ 2.  Deadlines induced by strict upper bounds are
+// not attained and therefore never force a move (conservative).
+//
+// The round at which a state enters Win is its RANK.  Ranks are the
+// progress measure that makes extracted strategies winning: a
+// controllable action prescribed at rank r lands at rank < r, an
+// uncontrollable move from a rank-r winning state lands at rank < r
+// (it was avoided as an escape at r−1), and the delay prescribed by
+// pred_t reaches B — rank < r territory — in bounded time.  Induction
+// over ranks is exactly the paper's Def. 8 winning-strategy argument.
+//
+// Intersecting B with Reach[q] is not an optimisation but soundness:
+// pred_t's endpoint must be a state the play can actually be in
+// (delay-closed reach zones make Reach[q] ⊇ every delay successor that
+// respects the invariant).  G ∩ Reach[q] is exact for the same reason.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dbm/federation.h"
+#include "semantics/symbolic.h"
+#include "tsystem/property.h"
+
+namespace tigat::game {
+
+struct SolverOptions {
+  semantics::ExplorationOptions exploration;
+  std::size_t max_rounds = 1u << 20;
+};
+
+struct SolverStats {
+  std::size_t keys = 0;
+  std::size_t reach_zones = 0;
+  std::size_t winning_zones = 0;
+  std::size_t edges = 0;
+  std::size_t rounds = 0;
+  std::size_t peak_zone_bytes = 0;
+  double solve_seconds = 0.0;
+};
+
+// The solved game: symbolic graph + ranked winning federations.
+// Shared (immutably) by strategies and the test executor.
+class GameSolution {
+ public:
+  struct Delta {
+    std::uint32_t round;
+    dbm::Fed gained;
+  };
+
+  GameSolution(std::unique_ptr<semantics::SymbolicGraph> graph,
+               tsystem::TestPurpose purpose);
+
+  [[nodiscard]] const semantics::SymbolicGraph& graph() const {
+    return *graph_;
+  }
+  [[nodiscard]] const tsystem::TestPurpose& purpose() const { return purpose_; }
+
+  [[nodiscard]] bool goal_key(std::uint32_t k) const { return goal_key_[k]; }
+
+  // Full winning federation of a key.
+  [[nodiscard]] const dbm::Fed& winning(std::uint32_t k) const {
+    return win_all_[k];
+  }
+  // Winning states of rank ≤ round.
+  [[nodiscard]] dbm::Fed winning_up_to(std::uint32_t k,
+                                       std::uint32_t round) const;
+  [[nodiscard]] const std::vector<Delta>& deltas(std::uint32_t k) const {
+    return deltas_[k];
+  }
+
+  // Rank of a concrete valuation (ticks at `scale`), if winning.
+  [[nodiscard]] std::optional<std::uint32_t> rank(
+      std::uint32_t k, std::span<const std::int64_t> clocks,
+      std::int64_t scale) const;
+
+  [[nodiscard]] bool winning_from_initial() const;
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+ private:
+  friend class GameSolver;
+  std::unique_ptr<semantics::SymbolicGraph> graph_;
+  tsystem::TestPurpose purpose_;
+  std::vector<bool> goal_key_;
+  std::vector<dbm::Fed> win_all_;
+  std::vector<std::vector<Delta>> deltas_;
+  SolverStats stats_;
+};
+
+// Solves `control: A<> φ` (PurposeKind::kReach) over a finalized
+// system.  Throws semantics::ExplorationLimit if the exploration
+// budget is exceeded and tsystem::ModelError on safety purposes
+// (`control: A[]` parses for forward compatibility but has no solver
+// yet; every purpose in the paper is a reachability one).
+class GameSolver {
+ public:
+  GameSolver(const tsystem::System& system, tsystem::TestPurpose purpose,
+             SolverOptions options = {});
+
+  [[nodiscard]] std::shared_ptr<const GameSolution> solve();
+
+ private:
+  const tsystem::System* sys_;
+  tsystem::TestPurpose purpose_;
+  SolverOptions options_;
+};
+
+}  // namespace tigat::game

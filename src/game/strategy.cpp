@@ -1,0 +1,142 @@
+#include "game/strategy.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/text.h"
+
+namespace tigat::game {
+
+using dbm::Fed;
+using semantics::SymbolicEdge;
+
+Strategy::Strategy(std::shared_ptr<const GameSolution> solution)
+    : solution_(std::move(solution)) {
+  TIGAT_ASSERT(solution_ != nullptr, "strategy needs a solution");
+}
+
+const Fed& Strategy::action_region(std::uint32_t ei,
+                                   std::uint32_t round) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(ei) << 32) | round;
+  const auto it = action_cache_.find(key);
+  if (it != action_cache_.end()) return it->second;
+  const auto& g = solution_->graph();
+  const SymbolicEdge& e = g.edges()[ei];
+  Fed region = g.pred_through(e, solution_->winning_up_to(e.dst, round));
+  region &= g.reach(e.src);
+  return action_cache_.emplace(key, std::move(region)).first->second;
+}
+
+Move Strategy::decide(const semantics::ConcreteState& state,
+                      std::int64_t scale) const {
+  const auto& g = solution_->graph();
+  Move move;
+
+  semantics::DiscreteKey key{state.locs, state.data};
+  const auto k = g.find_key(key);
+  if (!k) return move;  // not even discretely reachable
+
+  const auto rank = solution_->rank(*k, state.clocks, scale);
+  if (!rank) return move;
+  move.rank = rank;
+  if (*rank == 0) {
+    move.kind = MoveKind::kGoalReached;
+    return move;
+  }
+
+  // A controllable edge whose target is strictly lower-ranked?
+  for (const std::uint32_t ei : g.edges_out(*k)) {
+    const SymbolicEdge& e = g.edges()[ei];
+    if (!e.inst.controllable) continue;
+    const Fed& region = action_region(ei, *rank - 1);
+    if (region.contains_point(state.clocks, scale)) {
+      move.kind = MoveKind::kAction;
+      move.edge = ei;
+      return move;
+    }
+  }
+
+  // λ: wait.  The next decision point is the earliest entry into an
+  // action region at this rank or into a lower rank within this key.
+  move.kind = MoveKind::kDelay;
+  std::int64_t next = Move::kNoDecision;
+  for (const std::uint32_t ei : g.edges_out(*k)) {
+    const SymbolicEdge& e = g.edges()[ei];
+    if (!e.inst.controllable) continue;
+    const Fed& region = action_region(ei, *rank - 1);
+    if (const auto d = region.earliest_entry_delay(state.clocks, scale)) {
+      next = std::min(next, *d);
+    }
+  }
+  const Fed lower = solution_->winning_up_to(*k, *rank - 1);
+  if (const auto d = lower.earliest_entry_delay(state.clocks, scale)) {
+    next = std::min(next, *d);
+  }
+  move.next_decision_ticks = next;
+  return move;
+}
+
+std::size_t Strategy::size() const {
+  std::size_t rows = 0;
+  const auto& g = solution_->graph();
+  for (std::uint32_t k = 0; k < g.key_count(); ++k) {
+    for (const GameSolution::Delta& d : solution_->deltas(k)) {
+      rows += d.gained.size();
+    }
+  }
+  return rows;
+}
+
+std::string Strategy::to_string() const {
+  const auto& g = solution_->graph();
+  const auto& sys = g.system();
+  const auto& names = sys.clock_names();
+  std::string out;
+  out += "strategy for: " + solution_->purpose().source + "\n";
+
+  for (std::uint32_t k = 0; k < g.key_count(); ++k) {
+    const auto& deltas = solution_->deltas(k);
+    if (deltas.empty()) continue;
+
+    // Discrete state header.
+    std::string header = "state (";
+    for (std::uint32_t p = 0; p < sys.processes().size(); ++p) {
+      if (p != 0) header += ", ";
+      header += sys.processes()[p].name() + "." +
+                sys.processes()[p].locations()[g.key(k).locs[p]].name;
+    }
+    header += ")";
+    for (std::uint32_t slot = 0; slot < g.key(k).data.slot_count(); ++slot) {
+      header += util::format(" %s=%d", sys.data().slot_name(slot).c_str(),
+                             g.key(k).data.get(slot));
+    }
+    out += header + ":\n";
+
+    for (const GameSolution::Delta& d : deltas) {
+      if (d.round == 0) {
+        out += "  while " + d.gained.to_string(names) + " -> goal reached\n";
+        continue;
+      }
+      // Partition the delta among the controllable actions that the
+      // strategy would prescribe there; the remainder is a wait.
+      Fed rest = d.gained;
+      for (const std::uint32_t ei : g.edges_out(k)) {
+        const SymbolicEdge& e = g.edges()[ei];
+        if (!e.inst.controllable) continue;
+        Fed region = g.pred_through(e, solution_->winning_up_to(e.dst, d.round - 1));
+        region = region.intersection(rest);
+        if (region.is_empty()) continue;
+        out += "  while " + region.to_string(names) + " -> take " +
+               e.inst.label(sys) + "\n";
+        rest = rest.minus(region);
+        if (rest.is_empty()) break;
+      }
+      if (!rest.is_empty()) {
+        out += "  while " + rest.to_string(names) + " -> delay\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tigat::game

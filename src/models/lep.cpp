@@ -1,0 +1,197 @@
+#include "models/lep.h"
+
+#include "util/assert.h"
+
+namespace tigat::models {
+
+using tsystem::Controllability;
+using tsystem::Expr;
+using tsystem::LocationKind;
+using tsystem::Process;
+using tsystem::lit;
+
+Lep make_lep(LepParams params) {
+  TIGAT_ASSERT(params.nodes >= 2, "LEP needs at least two nodes");
+  const auto n = static_cast<std::int32_t>(params.nodes);
+  const std::int32_t own_addr = n - 1;
+
+  Lep m(tsystem::System("lep"), params);
+  m.w = m.system.add_clock("w");
+  m.e = m.system.add_clock("e");
+  m.msg = m.system.add_channel("msg", Controllability::kControllable);
+  m.fwd = m.system.add_channel("fwd", Controllability::kUncontrollable);
+  m.timeout = m.system.add_channel("timeout", Controllability::kUncontrollable);
+  m.elect = m.system.add_channel("elect", Controllability::kUncontrollable);
+
+  auto& data = m.system.data();
+  m.in_use = data.add_array("inUse", params.nodes, 0, 1, 0);
+  m.msg_addr = data.add_array("msgAddr", params.nodes, 0, n - 1, 0);
+  m.best = data.add_scalar("best", 0, n - 1, own_addr);
+  m.better_info = data.add_scalar("betterInfo", 0, 1, 0);
+  m.sel = data.add_scalar("sel", 0, n - 1, 0);
+
+  const Expr sel = Expr::var(m.sel);
+  const Expr best = Expr::var(m.best);
+  const Expr picked = Expr::var(m.msg_addr, sel);
+
+  // ── the IUT node ─────────────────────────────────────────────────────
+  Process& iut = m.system.add_process("IUT", Controllability::kUncontrollable);
+  m.iut = *m.system.find_process("IUT");
+  m.idle = iut.add_location("idle");
+  m.pending = iut.add_location("pending");
+  m.forward = iut.add_location("forward");
+  m.claim = iut.add_location("claim");
+  m.leader = iut.add_location("leader");
+  iut.set_initial(m.idle);
+
+  // Timeout windows: waiting states must react by timeout_hi; the
+  // forward window bounds pending and claim.
+  iut.set_invariant(m.idle, m.w <= params.timeout_hi);
+  iut.set_invariant(m.forward, m.w <= params.timeout_hi);
+  iut.set_invariant(m.pending, m.w <= params.forward_window);
+  iut.set_invariant(m.claim, m.w <= params.forward_window);
+
+  // Message consumption, identical from every waiting state; a better
+  // address means "record it and forward" (pending), otherwise drop.
+  const auto add_msg_edges = [&](tsystem::LocId from) {
+    iut.add_edge(from, m.pending)
+        .receive(m.msg)
+        .provided(picked < best)
+        .assign(m.best, picked)
+        .assign(m.better_info, lit(1))
+        .assign_elem(m.in_use, sel, lit(0))
+        .assign_elem(m.msg_addr, sel, lit(0))
+        .reset(m.w)
+        .comment("better address learned");
+    iut.add_edge(from, from)
+        .receive(m.msg)
+        .provided(picked >= best)
+        .assign(m.better_info, lit(0))
+        .assign_elem(m.in_use, sel, lit(0))
+        .assign_elem(m.msg_addr, sel, lit(0))
+        .comment("stale message consumed");
+  };
+  add_msg_edges(m.idle);
+  add_msg_edges(m.forward);
+  add_msg_edges(m.claim);
+  // pending/leader keep input-enabledness without changing course.
+  iut.add_edge(m.pending, m.pending)
+      .receive(m.msg)
+      .provided(picked < best)
+      .assign(m.best, picked)
+      .assign_elem(m.in_use, sel, lit(0))
+      .assign_elem(m.msg_addr, sel, lit(0))
+      .comment("even better address while forwarding");
+  iut.add_edge(m.pending, m.pending)
+      .receive(m.msg)
+      .provided(picked >= best)
+      .assign_elem(m.in_use, sel, lit(0))
+      .assign_elem(m.msg_addr, sel, lit(0));
+  iut.add_edge(m.leader, m.leader)
+      .receive(m.msg)
+      .assign_elem(m.in_use, sel, lit(0))
+      .assign_elem(m.msg_addr, sel, lit(0));
+
+  // Timeouts: anywhere in [timeout_lo, timeout_hi] — the paper's
+  // uncontrollable timing.  Best == own address → claim leadership,
+  // otherwise re-announce the best known address.
+  for (const tsystem::LocId from : {m.idle, m.forward}) {
+    iut.add_edge(from, m.claim)
+        .send(m.timeout)
+        .guard(m.w >= params.timeout_lo)
+        .provided(best == lit(own_addr))
+        .reset(m.w);
+    iut.add_edge(from, m.pending)
+        .send(m.timeout)
+        .guard(m.w >= params.timeout_lo)
+        .provided(best < lit(own_addr))
+        .reset(m.w);
+  }
+
+  // Forwarding into the lowest free buffer slot.  (Deterministic slot
+  // choice keeps the SPEC monitorable — Def. 5 needs a deterministic
+  // SPEC; the *timing* of fwd! inside the window stays uncontrollable.)
+  for (std::uint32_t i = 0; i < params.nodes; ++i) {
+    Expr lowest_free = Expr::var(m.in_use, lit(i)) == lit(0);
+    if (i > 0) {
+      lowest_free =
+          lowest_free &&
+          Expr::forall(0, static_cast<std::int64_t>(i) - 1,
+                       Expr::var(m.in_use, Expr::bound_var(0)) == lit(1));
+    }
+    iut.add_edge(m.pending, m.forward)
+        .send(m.fwd)
+        .provided(lowest_free)
+        .assign_elem(m.in_use, lit(i), lit(1))
+        .assign_elem(m.msg_addr, lit(i), best)
+        .reset(m.w)
+        .comment("forward into slot " + std::to_string(i));
+  }
+  iut.add_edge(m.pending, m.forward)
+      .send(m.fwd)
+      .provided(Expr::forall(0, n - 1,
+                             Expr::var(m.in_use, Expr::bound_var(0)) == lit(1)))
+      .reset(m.w)
+      .comment("buffer full: drop");
+
+  // Leadership claim.
+  iut.add_edge(m.claim, m.leader).send(m.elect).reset(m.w);
+
+  // ── the chaotic environment ──────────────────────────────────────────
+  Process& env = m.system.add_process("Env", Controllability::kControllable);
+  m.env = *m.system.find_process("Env");
+  m.env_idle = env.add_location("envIdle");
+  m.env_sel = env.add_location("envSel", LocationKind::kCommitted);
+  env.set_initial(m.env_idle);
+
+  // Other nodes put a message with their address into a free slot.
+  for (std::uint32_t i = 0; i < params.nodes; ++i) {
+    for (std::int32_t a = 0; a < n - 1; ++a) {
+      env.add_edge(m.env_idle, m.env_idle)
+          .provided(Expr::var(m.in_use, lit(i)) == lit(0))
+          .assign_elem(m.in_use, lit(i), lit(1))
+          .assign_elem(m.msg_addr, lit(i), lit(a))
+          .comment("node " + std::to_string(a) + " sends via slot " +
+                   std::to_string(i));
+    }
+  }
+  // Deliver a buffered message to the IUT (select slot, then the
+  // committed handshake fixes `sel` before the synchronisation).
+  for (std::uint32_t i = 0; i < params.nodes; ++i) {
+    env.add_edge(m.env_idle, m.env_sel)
+        .guard(m.e >= params.deliver_pace)
+        .provided(Expr::var(m.in_use, lit(i)) == lit(1))
+        .assign(m.sel, lit(i))
+        .comment("select slot " + std::to_string(i));
+  }
+  env.add_edge(m.env_sel, m.env_idle).send(m.msg).reset(m.e);
+  // Other nodes may also consume buffered messages.
+  for (std::uint32_t i = 0; i < params.nodes; ++i) {
+    env.add_edge(m.env_idle, m.env_idle)
+        .provided(Expr::var(m.in_use, lit(i)) == lit(1))
+        .assign_elem(m.in_use, lit(i), lit(0))
+        .assign_elem(m.msg_addr, lit(i), lit(0))
+        .comment("network consumes slot " + std::to_string(i));
+  }
+  // The environment always observes the IUT's outputs.
+  for (const auto chan : {m.fwd, m.timeout, m.elect}) {
+    env.add_edge(m.env_idle, m.env_idle).receive(chan);
+  }
+
+  m.system.finalize();
+  return m;
+}
+
+std::string lep_tp1() {
+  return "control: A<> (IUT.betterInfo == 1) and IUT.forward";
+}
+
+std::string lep_tp2() {
+  return "control: A<> forall (i : inUse) inUse[i] == 1";
+}
+
+std::string lep_tp3() {
+  return "control: A<> (forall (i : inUse) inUse[i] == 1) and IUT.idle";
+}
+
+}  // namespace tigat::models

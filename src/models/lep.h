@@ -1,0 +1,68 @@
+// The Leader Election Protocol (LEP) case study of Sec. 4.
+//
+// The paper models one protocol node (the IUT) as a TIOGA playing
+// against a "simulated chaotic environment including all the other
+// nodes and a buffer with certain capacity".  The original model lives
+// in an unavailable technical report; this reconstruction follows the
+// paper's description and Lamport's protocol (elect the node with the
+// lowest address by message passing):
+//
+//   * the IUT owns the highest address (n−1) and keeps `best`, the
+//     lowest address heard so far; a message with a smaller address
+//     sets `betterInfo` and must be forwarded (locations idle →
+//     pending → forward);
+//   * `timeout!` is produced anywhere in the window [T_lo, T_hi] after
+//     the last event — the paper's "timeout! event can be produced at
+//     any point of a time frame" (timing uncertainty);  a node whose
+//     best address is its own then claims leadership (`elect!`);
+//   * the buffer has n slots (`inUse[i]`, `msgAddr[i]`); the IUT's
+//     forward picks any free slot (uncontrollable choice) or drops the
+//     message when the buffer is full;
+//   * the chaotic environment (controllable: the tester's game moves)
+//     can create messages with any other node's address in any free
+//     slot, deliver any pending message to the IUT (rate-limited by
+//     its clock), and consume buffered messages.
+//
+// Test purposes TP1–TP3 of the paper are provided verbatim.
+#pragma once
+
+#include <string>
+
+#include "tsystem/system.h"
+
+namespace tigat::models {
+
+struct LepParams {
+  // Number of protocol nodes; buffer capacity equals `nodes` and
+  // other-node addresses range over 0..nodes-2 (paper: distance between
+  // nodes bounded by n−1).
+  std::uint32_t nodes = 3;
+  dbm::bound_t timeout_lo = 4;
+  dbm::bound_t timeout_hi = 6;
+  dbm::bound_t forward_window = 2;
+  dbm::bound_t deliver_pace = 1;
+};
+
+struct Lep {
+  Lep(tsystem::System sys, LepParams prm)
+      : system(std::move(sys)), params(prm) {}
+
+  tsystem::System system;
+  LepParams params;
+
+  tsystem::Clock w, e;
+  tsystem::ChannelId msg, fwd, timeout, elect;
+  std::uint32_t iut = 0, env = 0;
+  tsystem::LocId idle = 0, pending = 0, forward = 0, claim = 0, leader = 0;
+  tsystem::LocId env_idle = 0, env_sel = 0;
+  tsystem::VarId in_use, msg_addr, best, better_info, sel;
+};
+
+[[nodiscard]] Lep make_lep(LepParams params = {});
+
+// The paper's three test purposes for the given instance.
+[[nodiscard]] std::string lep_tp1();
+[[nodiscard]] std::string lep_tp2();
+[[nodiscard]] std::string lep_tp3();
+
+}  // namespace tigat::models

@@ -1,0 +1,146 @@
+#include "models/smart_light.h"
+
+namespace tigat::models {
+
+using tsystem::Controllability;
+using tsystem::LocId;
+using tsystem::Process;
+
+namespace {
+
+// Adds the plant process to `m.system`; fills the IUT handles.
+void build_plant(SmartLight& m) {
+  const auto& prm = m.params;
+  Process& iut = m.system.add_process("IUT", Controllability::kUncontrollable);
+  m.iut = *m.system.find_process("IUT");
+
+  m.loc_off = iut.add_location("Off");
+  m.loc_dim = iut.add_location("Dim");
+  m.loc_bright = iut.add_location("Bright");
+  m.l1 = iut.add_location("L1");
+  m.l2 = iut.add_location("L2");
+  m.l3 = iut.add_location("L3");
+  m.l4 = iut.add_location("L4");
+  m.l5 = iut.add_location("L5");
+  m.l6 = iut.add_location("L6");
+  iut.set_initial(m.loc_off);
+
+  for (const LocId l : {m.l1, m.l2, m.l3, m.l4, m.l5, m.l6}) {
+    iut.set_invariant(l, m.tp <= prm.output_window);
+  }
+
+  // Off: quick touch goes towards Dim, idle touch reactivates via L5.
+  iut.add_edge(m.loc_off, m.l1)
+      .receive(m.touch)
+      .guard(m.x < prm.t_idle)
+      .reset(m.x)
+      .reset(m.tp)
+      .comment("activate");
+  iut.add_edge(m.loc_off, m.l5)
+      .receive(m.touch)
+      .guard(m.x >= prm.t_idle)
+      .reset(m.x)
+      .reset(m.tp)
+      .comment("reactivate after idle");
+
+  // L1: light answers dim!, or a second touch escalates.
+  iut.add_edge(m.l1, m.loc_dim).send(m.dim).reset(m.x);
+  iut.add_edge(m.l1, m.l2).receive(m.touch).reset(m.x).reset(m.tp);
+
+  // L5: the light's free choice (dim/bright), or a second touch
+  // insists on bright via L6.
+  iut.add_edge(m.l5, m.loc_dim).send(m.dim).reset(m.x);
+  iut.add_edge(m.l5, m.loc_bright).send(m.bright).reset(m.x);
+  iut.add_edge(m.l5, m.l6).receive(m.touch).reset(m.x).reset(m.tp);
+
+  // L2/L6: bright! guaranteed (within the output window).
+  iut.add_edge(m.l2, m.loc_bright).send(m.bright).reset(m.x);
+  iut.add_edge(m.l6, m.loc_bright).send(m.bright).reset(m.x);
+
+  // Dim: quick touch brightens, slow touch moves towards Off.
+  iut.add_edge(m.loc_dim, m.l2)
+      .receive(m.touch)
+      .guard(m.x < prm.t_sw)
+      .reset(m.x)
+      .reset(m.tp)
+      .comment("quick touch: brighten");
+  iut.add_edge(m.loc_dim, m.l3)
+      .receive(m.touch)
+      .guard(m.x >= prm.t_sw)
+      .reset(m.x)
+      .reset(m.tp)
+      .comment("slow touch: switch off");
+
+  // L3: off as requested... or the light refuses and stays Dim.
+  iut.add_edge(m.l3, m.loc_off).send(m.off).reset(m.x);
+  iut.add_edge(m.l3, m.loc_dim).send(m.dim).reset(m.x);
+
+  // Bright: any touch enters L4 (light picks dim or off).
+  iut.add_edge(m.loc_bright, m.l4)
+      .receive(m.touch)
+      .reset(m.x)
+      .reset(m.tp);
+  iut.add_edge(m.l4, m.loc_dim).send(m.dim).reset(m.x);
+  iut.add_edge(m.l4, m.loc_off).send(m.off).reset(m.x);
+
+  // Strong input-enabledness: remaining locations ignore extra touches
+  // (without resetting the output window).
+  for (const LocId l : {m.l2, m.l3, m.l4}) {
+    iut.add_edge(l, l).receive(m.touch).comment("ignored touch");
+  }
+}
+
+void build_user(SmartLight& m) {
+  const auto& prm = m.params;
+  Process& user = m.system.add_process("User", Controllability::kControllable);
+  m.user = *m.system.find_process("User");
+  m.user_init = user.add_location("Init");
+  m.user_work = user.add_location("Work");
+  user.set_initial(m.user_init);
+
+  // Touches are rate-limited by the user's reaction time.
+  user.add_edge(m.user_init, m.user_work)
+      .send(m.touch)
+      .guard(m.z >= prm.t_react)
+      .reset(m.z);
+  user.add_edge(m.user_work, m.user_work)
+      .send(m.touch)
+      .guard(m.z >= prm.t_react)
+      .reset(m.z);
+
+  // The user always observes the light's outputs (never blocks them).
+  for (const LocId l : {m.user_init, m.user_work}) {
+    for (const tsystem::ChannelId chan : {m.dim, m.bright, m.off}) {
+      user.add_edge(l, l).receive(chan).reset(m.z).comment("observe");
+    }
+  }
+}
+
+SmartLight make_base(SmartLightParams params, bool with_user) {
+  SmartLight m(
+      tsystem::System(with_user ? "smart_light" : "smart_light_plant"),
+      params);
+  m.x = m.system.add_clock("x");
+  m.tp = m.system.add_clock("Tp");
+  if (with_user) m.z = m.system.add_clock("z");
+  m.touch = m.system.add_channel("touch", Controllability::kControllable);
+  m.dim = m.system.add_channel("dim", Controllability::kUncontrollable);
+  m.bright = m.system.add_channel("bright", Controllability::kUncontrollable);
+  m.off = m.system.add_channel("off", Controllability::kUncontrollable);
+  build_plant(m);
+  if (with_user) build_user(m);
+  m.system.finalize();
+  return m;
+}
+
+}  // namespace
+
+SmartLight make_smart_light(SmartLightParams params) {
+  return make_base(params, /*with_user=*/true);
+}
+
+SmartLight make_smart_light_plant_only(SmartLightParams params) {
+  return make_base(params, /*with_user=*/false);
+}
+
+}  // namespace tigat::models

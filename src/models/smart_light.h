@@ -1,0 +1,63 @@
+// The Smart Light running example (Fig. 2 + Fig. 3 of the paper).
+//
+// Plant (process "IUT"): a touch-controlled light with brightness
+// levels Off, Dim, Bright and transient decision locations L1..L6 in
+// which the light owns an output window of up to 2 time units
+// (invariant Tp ≤ 2).  The model is deliberately *uncontrollable*:
+//
+//   * timing uncertainty — in every L-location the output may occur
+//     anywhere in [0, 2];
+//   * output uncontrollability — L3, L4 and L5 offer several outputs
+//     (e.g. L5 may answer a reactivating touch with dim! or bright!);
+//     the light, not the tester, picks.
+//
+// Behaviour: a touch on an Off light activates it (to Dim via L1, or —
+// after an idle period of Tidle — through L5 where the light may choose
+// Dim or Bright).  A quick second touch (within Tsw) escalates to
+// Bright (L2/L6 guarantee bright!); a slow touch on Dim goes towards
+// Off via L3 (where the light may refuse and stay Dim).  Touching a
+// Bright light enters L4 (dim or off, light's choice).  The plant is
+// strongly input-enabled: every location accepts touch?.
+//
+// Environment (process "User", Fig. 3): touches at most once per
+// Treact time unit and observes the light's outputs (so plant outputs
+// are never blocked by the composition).
+//
+// Defaults: Tidle = 20, Tsw = 4, Treact = 1 (paper values).
+#pragma once
+
+#include "tsystem/system.h"
+
+namespace tigat::models {
+
+struct SmartLightParams {
+  dbm::bound_t t_idle = 20;
+  dbm::bound_t t_sw = 4;
+  dbm::bound_t t_react = 1;
+  dbm::bound_t output_window = 2;  // the Tp ≤ 2 invariants
+};
+
+struct SmartLight {
+  SmartLight(tsystem::System sys, SmartLightParams prm)
+      : system(std::move(sys)), params(prm) {}
+
+  tsystem::System system;
+  SmartLightParams params;
+
+  tsystem::Clock x, tp, z;
+  tsystem::ChannelId touch, dim, bright, off;
+  std::uint32_t iut = 0, user = 0;  // process indices
+  tsystem::LocId loc_off = 0, loc_dim = 0, loc_bright = 0;
+  tsystem::LocId l1 = 0, l2 = 0, l3 = 0, l4 = 0, l5 = 0, l6 = 0;
+  tsystem::LocId user_init = 0, user_work = 0;
+};
+
+// Builds and finalizes the composed model.
+[[nodiscard]] SmartLight make_smart_light(SmartLightParams params = {});
+
+// The plant alone (for IMP simulation): same structure, no User
+// process.  Location ids match the composed model's IUT process.
+[[nodiscard]] SmartLight make_smart_light_plant_only(
+    SmartLightParams params = {});
+
+}  // namespace tigat::models

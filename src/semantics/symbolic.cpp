@@ -1,0 +1,313 @@
+#include "semantics/symbolic.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.h"
+#include "util/memory_meter.h"
+#include "util/stopwatch.h"
+
+namespace tigat::semantics {
+
+using dbm::Dbm;
+using dbm::Fed;
+using tsystem::ClockConstraint;
+using tsystem::Edge;
+
+std::size_t DiscreteKey::hash() const noexcept {
+  std::size_t h = data.hash();
+  for (const tsystem::LocId l : locs) {
+    h ^= l + 0x9e3779b9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+SymbolicGraph::SymbolicGraph(const tsystem::System& system,
+                             ExplorationOptions options)
+    : sys_(&system), options_(std::move(options)) {
+  TIGAT_ASSERT(system.finalized(), "system must be finalized");
+  max_constants_ = system.max_constants();
+  if (!options_.extra_max_constants.empty()) {
+    TIGAT_ASSERT(options_.extra_max_constants.size() == max_constants_.size(),
+                 "extra max constants must match clock count");
+    for (std::size_t i = 0; i < max_constants_.size(); ++i) {
+      max_constants_[i] =
+          std::max(max_constants_[i], options_.extra_max_constants[i]);
+    }
+  }
+}
+
+std::optional<std::uint32_t> SymbolicGraph::find_key(
+    const DiscreteKey& key) const {
+  const auto it = key_lookup_.find(key.hash());
+  if (it == key_lookup_.end()) return std::nullopt;
+  for (const std::uint32_t k : it->second) {
+    if (keys_[k] == key) return k;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t SymbolicGraph::intern_key(DiscreteKey key) {
+  if (const auto existing = find_key(key)) return *existing;
+  if (keys_.size() >= options_.max_keys) {
+    throw ExplorationLimit("discrete state limit exceeded");
+  }
+  const auto index = static_cast<std::uint32_t>(keys_.size());
+  key_lookup_[key.hash()].push_back(index);
+
+  // Cache the invariant zone of the new key.
+  Dbm inv = Dbm::universal(sys_->clock_count());
+  bool alive = true;
+  const auto& procs = sys_->processes();
+  for (std::uint32_t p = 0; p < procs.size() && alive; ++p) {
+    for (const ClockConstraint& c :
+         procs[p].locations()[key.locs[p]].invariant) {
+      if (!inv.constrain(c.i, c.j, c.bound)) {
+        alive = false;
+        break;
+      }
+    }
+  }
+  TIGAT_ASSERT(alive, "key with unsatisfiable invariant interned");
+  keys_.push_back(std::move(key));
+  reach_.emplace_back(sys_->clock_count());
+  invariants_.push_back(std::move(inv));
+  return index;
+}
+
+const Dbm& SymbolicGraph::invariant(std::uint32_t k) const {
+  return invariants_[k];
+}
+
+void SymbolicGraph::collect_guard(const EdgeRef& ref, Dbm& zone,
+                                  bool& alive) const {
+  if (!alive) return;
+  const Edge& e = sys_->processes()[ref.process].edges()[ref.edge];
+  for (const ClockConstraint& c : e.guard) {
+    if (!zone.constrain(c.i, c.j, c.bound)) {
+      alive = false;
+      return;
+    }
+  }
+}
+
+namespace {
+
+// Final value per reset clock; later writes win (sender before
+// receiver, matching the concrete semantics).
+std::vector<tsystem::ClockReset> merged_resets(const tsystem::System& sys,
+                                               const TransitionInstance& t) {
+  std::vector<tsystem::ClockReset> out;
+  const auto apply = [&](const EdgeRef& ref) {
+    const Edge& e = sys.processes()[ref.process].edges()[ref.edge];
+    for (const auto& r : e.resets) {
+      bool found = false;
+      for (auto& existing : out) {
+        if (existing.clock == r.clock) {
+          existing.value = r.value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.push_back(r);
+    }
+  };
+  apply(t.primary);
+  if (t.receiver) apply(*t.receiver);
+  return out;
+}
+
+void apply_discrete_effects(const tsystem::System& sys, DiscreteKey& key,
+                            const EdgeRef& ref) {
+  const Edge& e = sys.processes()[ref.process].edges()[ref.edge];
+  key.locs[ref.process] = e.dst;
+  for (const auto& a : e.assignments) {
+    const std::int64_t index =
+        a.index.is_null() ? 0 : a.index.eval(key.data, sys.data());
+    const std::int64_t value = a.rhs.eval(key.data, sys.data());
+    sys.data().checked_store(key.data, a.var, index, value);
+  }
+}
+
+}  // namespace
+
+std::optional<std::pair<DiscreteKey, Dbm>> SymbolicGraph::apply(
+    std::uint32_t src_key, const Dbm& zone,
+    const TransitionInstance& inst) const {
+  // Data guards must already hold (instances are enumerated per key).
+  Dbm z(zone);
+  bool alive = true;
+  collect_guard(inst.primary, z, alive);
+  if (inst.receiver) collect_guard(*inst.receiver, z, alive);
+  if (!alive) return std::nullopt;
+
+  DiscreteKey key = keys_[src_key];
+  apply_discrete_effects(*sys_, key, inst.primary);
+  if (inst.receiver) apply_discrete_effects(*sys_, key, *inst.receiver);
+
+  for (const auto& r : merged_resets(*sys_, inst)) z.reset(r.clock, r.value);
+
+  // Target invariant, then delay closure (unless time is frozen there).
+  const auto& procs = sys_->processes();
+  for (std::uint32_t p = 0; p < procs.size(); ++p) {
+    for (const ClockConstraint& c : procs[p].locations()[key.locs[p]].invariant) {
+      if (!z.constrain(c.i, c.j, c.bound)) return std::nullopt;
+    }
+  }
+  if (!time_frozen(*sys_, key.locs)) {
+    z.up();
+    for (std::uint32_t p = 0; p < procs.size(); ++p) {
+      for (const ClockConstraint& c :
+           procs[p].locations()[key.locs[p]].invariant) {
+        const bool ok = z.constrain(c.i, c.j, c.bound);
+        TIGAT_ASSERT(ok, "delay closure emptied a non-empty zone");
+      }
+    }
+  }
+  return std::make_pair(std::move(key), std::move(z));
+}
+
+void SymbolicGraph::explore() {
+  if (explored_) return;
+
+  // Initial symbolic state.
+  DiscreteKey init;
+  for (const auto& p : sys_->processes()) init.locs.push_back(p.initial());
+  init.data = sys_->data().initial_state();
+
+  Dbm z0 = Dbm::zero(sys_->clock_count());
+  const std::uint32_t k0 = intern_key(std::move(init));
+  {
+    bool alive = !invariants_[k0].is_empty();
+    Dbm z(z0);
+    if (alive) alive = z.intersect_with(invariants_[k0]);
+    TIGAT_ASSERT(alive, "initial state violates invariants");
+    if (!time_frozen(*sys_, keys_[k0].locs)) {
+      z.up();
+      const bool ok = z.intersect_with(invariants_[k0]);
+      TIGAT_ASSERT(ok, "initial delay closure empty");
+    }
+    if (options_.extrapolate) z.extrapolate_max_bounds(max_constants_);
+    reach_[k0].add(z);
+  }
+
+  std::deque<std::pair<std::uint32_t, Dbm>> waiting;
+  waiting.emplace_back(k0, reach_[k0].zones().front());
+
+  const util::Stopwatch watch;
+  std::size_t zone_count = 1;
+  std::size_t pops = 0;
+  while (!waiting.empty()) {
+    auto [k, z] = std::move(waiting.front());
+    waiting.pop_front();
+    if (options_.deadline_seconds > 0.0 && (++pops & 1023u) == 0 &&
+        watch.seconds() > options_.deadline_seconds) {
+      throw ExplorationLimit("exploration deadline exceeded");
+    }
+
+    for (const TransitionInstance& inst : instances_from(*sys_, keys_[k].locs)) {
+      // Data guards: evaluated once per (key, instance).
+      const auto data_ok = [&](const EdgeRef& ref) {
+        const Edge& e = sys_->processes()[ref.process].edges()[ref.edge];
+        return e.data_guard.eval_bool(keys_[k].data, sys_->data());
+      };
+      if (!data_ok(inst.primary)) continue;
+      if (inst.receiver && !data_ok(*inst.receiver)) continue;
+
+      auto next = apply(k, z, inst);
+      if (!next) continue;
+      auto& [key, zone] = *next;
+      if (options_.extrapolate) zone.extrapolate_max_bounds(max_constants_);
+
+      const std::uint32_t kd = intern_key(std::move(key));
+      // Record the symbolic edge once per (src, instance, dst); the
+      // out-index doubles as the exact dedup structure.
+      if (out_index_.size() < keys_.size()) out_index_.resize(keys_.size());
+      bool duplicate = false;
+      for (const std::uint32_t ei : out_index_[k]) {
+        if (edges_[ei].dst == kd && edges_[ei].inst == inst) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        out_index_[k].push_back(static_cast<std::uint32_t>(edges_.size()));
+        edges_.push_back({k, kd, inst});
+      }
+
+      // Subsumption: skip zones already covered by a single member.
+      bool covered = false;
+      for (const Dbm& existing : reach_[kd].zones()) {
+        if (zone.is_subset_of(existing)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      reach_[kd].add(zone);
+      ++zone_count;
+      if (zone_count > options_.max_zones) {
+        throw ExplorationLimit("zone limit exceeded");
+      }
+      if (util::zone_memory().current() > options_.max_zone_bytes) {
+        throw ExplorationLimit("zone memory budget exceeded");
+      }
+      waiting.emplace_back(kd, std::move(zone));
+    }
+  }
+
+  build_edge_index();
+  explored_ = true;
+}
+
+void SymbolicGraph::build_edge_index() {
+  out_index_.resize(keys_.size());
+  in_index_.assign(keys_.size(), {});
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    in_index_[edges_[i].dst].push_back(i);
+  }
+}
+
+std::span<const std::uint32_t> SymbolicGraph::edges_out(
+    std::uint32_t k) const {
+  return out_index_[k];
+}
+
+std::span<const std::uint32_t> SymbolicGraph::edges_in(std::uint32_t k) const {
+  return in_index_[k];
+}
+
+Fed SymbolicGraph::pred_through(const SymbolicEdge& e,
+                                const Fed& target) const {
+  Fed result(sys_->clock_count());
+  const auto resets = merged_resets(*sys_, e.inst);
+  for (const Dbm& w : target.zones()) {
+    Dbm z(w);
+    bool alive = true;
+    // Pin every reset clock to its written value, then free it.
+    for (const auto& r : resets) {
+      if (!z.constrain(r.clock, 0, dbm::make_weak(r.value)) ||
+          !z.constrain(0, r.clock, dbm::make_weak(-r.value))) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    for (const auto& r : resets) z.free(r.clock);
+    collect_guard(e.inst.primary, z, alive);
+    if (e.inst.receiver) collect_guard(*e.inst.receiver, z, alive);
+    if (alive) result.add(std::move(z));
+  }
+  return result;
+}
+
+SymbolicGraph::Stats SymbolicGraph::stats() const {
+  Stats s;
+  s.keys = keys_.size();
+  s.edges = edges_.size();
+  for (const Fed& f : reach_) s.zones += f.size();
+  s.peak_zone_bytes = util::zone_memory().peak();
+  return s;
+}
+
+}  // namespace tigat::semantics

@@ -1,0 +1,142 @@
+// Symbolic (zone-graph) semantics: forward reachability over states
+// (location vector, data valuation, zone federation).
+//
+// Symbolic states are grouped by their discrete part (the "key"); the
+// reachable clock sets accumulate in one federation per key.  Every
+// stored zone is delay-closed within the invariant — `up(Z) ∩ Inv` —
+// except when an urgent/committed location freezes time.  The graph
+// records the discrete transitions between keys; the game solver
+// back-propagates winning federations along them.
+//
+// Extrapolation: classical Extra_M with the per-clock maximal constants
+// of the system (optionally raised by the caller).  Extra_M preserves
+// reachability exactly on the region-abstraction level and is the
+// abstraction UPPAAL-TIGA applies during timed-game solving; the
+// region-solver cross-check in tests/game_solver_test.cpp exercises
+// this implementation against an extrapolation-free oracle.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dbm/federation.h"
+#include "semantics/transition.h"
+#include "tsystem/system.h"
+
+namespace tigat::semantics {
+
+struct DiscreteKey {
+  std::vector<tsystem::LocId> locs;
+  tsystem::DataState data;
+
+  [[nodiscard]] bool operator==(const DiscreteKey&) const = default;
+  [[nodiscard]] std::size_t hash() const noexcept;
+};
+
+struct SymbolicEdge {
+  std::uint32_t src = 0;  // key index
+  std::uint32_t dst = 0;
+  TransitionInstance inst;
+};
+
+// Thrown when exploration exceeds the configured limits (the Table 1
+// harness converts this into the paper's "/" out-of-budget marker).
+class ExplorationLimit : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ExplorationOptions {
+  bool extrapolate = true;
+  // Extra max constants merged over the system's (e.g. from a goal).
+  std::vector<dbm::bound_t> extra_max_constants;
+  std::size_t max_keys = 1u << 22;
+  std::size_t max_zones = 1u << 24;
+  // Abort when the zone-memory meter exceeds this many bytes.
+  std::size_t max_zone_bytes = std::numeric_limits<std::size_t>::max();
+  // Wall-clock budget for exploration (seconds); 0 = unlimited.  Used
+  // by the Table 1 harness to reproduce the paper's "/" cells.
+  double deadline_seconds = 0.0;
+};
+
+class SymbolicGraph {
+ public:
+  explicit SymbolicGraph(const tsystem::System& system,
+                         ExplorationOptions options = {});
+
+  // Runs forward exploration to the fixpoint (or throws
+  // ExplorationLimit).  Idempotent.
+  void explore();
+
+  [[nodiscard]] const tsystem::System& system() const { return *sys_; }
+  [[nodiscard]] std::uint32_t key_count() const {
+    return static_cast<std::uint32_t>(keys_.size());
+  }
+  [[nodiscard]] const DiscreteKey& key(std::uint32_t k) const {
+    return keys_[k];
+  }
+  [[nodiscard]] const dbm::Fed& reach(std::uint32_t k) const {
+    return reach_[k];
+  }
+  [[nodiscard]] std::uint32_t initial_key() const { return 0; }
+  [[nodiscard]] std::optional<std::uint32_t> find_key(
+      const DiscreteKey& key) const;
+
+  [[nodiscard]] const std::vector<SymbolicEdge>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> edges_out(std::uint32_t k) const;
+  [[nodiscard]] std::span<const std::uint32_t> edges_in(std::uint32_t k) const;
+
+  // Invariant zone of a key (cached).
+  [[nodiscard]] const dbm::Dbm& invariant(std::uint32_t k) const;
+
+  // Predecessor through an edge: states satisfying the edge's clock
+  // guards whose reset image lies in `target`.  NOT intersected with
+  // the source invariant or reach set; callers do that.
+  [[nodiscard]] dbm::Fed pred_through(const SymbolicEdge& e,
+                                      const dbm::Fed& target) const;
+
+  // Forward image used by exploration; exposed for tests.  Applies
+  // guards, resets, target invariant and (unless frozen) delay closure,
+  // but no extrapolation.
+  [[nodiscard]] std::optional<std::pair<DiscreteKey, dbm::Dbm>> apply(
+      std::uint32_t src_key, const dbm::Dbm& zone,
+      const TransitionInstance& inst) const;
+
+  struct Stats {
+    std::size_t keys = 0;
+    std::size_t zones = 0;
+    std::size_t edges = 0;
+    std::size_t peak_zone_bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::vector<dbm::bound_t>& max_constants() const {
+    return max_constants_;
+  }
+
+ private:
+  std::uint32_t intern_key(DiscreteKey key);
+  void collect_guard(const EdgeRef& ref, dbm::Dbm& zone, bool& alive) const;
+  void build_edge_index();
+
+  const tsystem::System* sys_;
+  ExplorationOptions options_;
+  std::vector<dbm::bound_t> max_constants_;
+
+  std::vector<DiscreteKey> keys_;
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> key_lookup_;
+  std::vector<dbm::Fed> reach_;
+  std::vector<dbm::Dbm> invariants_;
+  std::vector<SymbolicEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> out_index_;
+  std::vector<std::vector<std::uint32_t>> in_index_;
+  bool explored_ = false;
+};
+
+}  // namespace tigat::semantics

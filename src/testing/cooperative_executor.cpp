@@ -1,0 +1,137 @@
+#include "testing/cooperative_executor.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/text.h"
+
+namespace tigat::testing {
+
+CooperativeExecutor::CooperativeExecutor(const tsystem::System& original,
+                                         const game::Strategy& strategy,
+                                         Implementation& imp,
+                                         std::int64_t scale,
+                                         ExecutorOptions options)
+    : original_(&original),
+      strategy_(&strategy),
+      imp_(&imp),
+      monitor_(original, scale),
+      scale_(scale),
+      options_(options) {}
+
+TestReport CooperativeExecutor::run() {
+  TestReport report;
+  monitor_.reset();
+  imp_->reset();
+
+  const auto finish = [&](Verdict v, std::string reason) {
+    report.verdict = v;
+    report.reason = std::move(reason);
+    return report;
+  };
+
+  // Handles an observed output: FAIL on tioco violation, otherwise the
+  // monitor advances and the plan re-decides from wherever we landed.
+  const auto absorb_output = [&](const ObservedOutput& obs) -> bool {
+    if (obs.after_ticks > 0) {
+      if (!monitor_.apply_delay(obs.after_ticks)) return false;
+      report.total_ticks += obs.after_ticks;
+      report.trace.push_back({TraceEvent::Kind::kDelay, "", obs.after_ticks});
+    }
+    if (!monitor_.apply_output(obs.channel)) return false;
+    report.trace.push_back({TraceEvent::Kind::kOutput, obs.channel, 0});
+    return true;
+  };
+
+  for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
+    const game::Move move = strategy_->decide(monitor_.state(), scale_);
+    switch (move.kind) {
+      case game::MoveKind::kGoalReached:
+        return finish(Verdict::kPass, "test purpose reached (cooperatively)");
+
+      case game::MoveKind::kUnwinnable:
+        return finish(Verdict::kInconclusive,
+                      "the SUT drifted off the cooperative plan");
+
+      case game::MoveKind::kAction: {
+        const auto& edge = strategy_->solution().graph().edges()[*move.edge];
+        // The relaxation marked everything controllable; recover the
+        // edge's true owner from the original partition.
+        const auto& proc =
+            original_->processes()[edge.inst.primary.process];
+        const auto& orig_edge = proc.edges()[edge.inst.primary.edge];
+        const bool truly_controllable =
+            original_->edge_controllable(proc, orig_edge);
+        const auto chan = edge.inst.channel_name(*original_);
+
+        if (truly_controllable) {
+          if (!chan) {  // tester-internal bookkeeping
+            const bool ok = monitor_.apply_instance(edge.inst);
+            TIGAT_ASSERT(ok, "SPEC rejected a planned tau move");
+            break;
+          }
+          imp_->offer_input(*chan);
+          const bool ok = monitor_.apply_input(*chan);
+          TIGAT_ASSERT(ok, "SPEC rejected a planned input");
+          report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
+          break;
+        }
+
+        // Hoped-for SUT move: wait for it (up to the SPEC deadline).
+        TIGAT_ASSERT(chan.has_value(), "hoped-for silent SUT move");
+        const std::int64_t deadline = monitor_.allowed_delay();
+        const std::int64_t wait =
+            std::min<std::int64_t>(deadline, options_.idle_wait_cap);
+        const auto obs = imp_->advance(wait);
+        if (!obs) {
+          if (wait == deadline && deadline < options_.idle_wait_cap) {
+            return finish(Verdict::kFail,
+                          "quiescence violation while hoping for '" + *chan +
+                              "'");
+          }
+          return finish(Verdict::kInconclusive,
+                        "the SUT declined to produce '" + *chan +
+                            "' (within its rights)");
+        }
+        if (!absorb_output(*obs)) {
+          return finish(Verdict::kFail,
+                        "unexpected output '" + obs->channel +
+                            "': not in Out(s After sigma)");
+        }
+        break;
+      }
+
+      case game::MoveKind::kDelay: {
+        std::int64_t wait = options_.idle_wait_cap;
+        if (move.next_decision_ticks < game::Move::kNoDecision) {
+          wait = move.next_decision_ticks;
+        }
+        const std::int64_t deadline = monitor_.allowed_delay();
+        if (deadline < semantics::ConcreteSemantics::kNoDeadline) {
+          wait = std::min(wait, deadline);
+        }
+        const auto obs = imp_->advance(wait);
+        if (!obs) {
+          if (wait == 0) {
+            return finish(Verdict::kFail,
+                          "quiescence violation: output deadline expired");
+          }
+          const bool ok = monitor_.apply_delay(wait);
+          TIGAT_ASSERT(ok, "delay within the deadline rejected");
+          report.total_ticks += wait;
+          report.trace.push_back({TraceEvent::Kind::kDelay, "", wait});
+          break;
+        }
+        if (!absorb_output(*obs)) {
+          return finish(Verdict::kFail,
+                        "unexpected output '" + obs->channel +
+                            "': not in Out(s After sigma)");
+        }
+        break;
+      }
+    }
+  }
+  return finish(Verdict::kInconclusive, "step budget exhausted");
+}
+
+}  // namespace tigat::testing

@@ -1,0 +1,42 @@
+// Cooperative test execution (paper future-work item 4).
+//
+// Runs a cooperative strategy — computed on the all-controllable
+// relaxation by game::solve_cooperative — against a black box.  The
+// strategy's moves split by their controllability in the ORIGINAL
+// game partition:
+//
+//   * genuinely controllable moves are executed like Algorithm 3.1;
+//   * moves that are really the SUT's (hoped-for outputs) make the
+//     executor wait; if the SUT cooperates, the plan continues, if it
+//     legally does something else, the run ends INCONCLUSIVE.
+//
+// FAIL is still sound: it is only emitted on tioco violations, exactly
+// as in the winning-strategy executor.
+#pragma once
+
+#include "game/cooperative.h"
+#include "game/strategy.h"
+#include "testing/executor.h"
+
+namespace tigat::testing {
+
+class CooperativeExecutor {
+ public:
+  // `original` is the un-relaxed SPEC (true game partition); the
+  // strategy must come from game::solve_cooperative on it.
+  CooperativeExecutor(const tsystem::System& original,
+                      const game::Strategy& strategy, Implementation& imp,
+                      std::int64_t scale, ExecutorOptions options = {});
+
+  [[nodiscard]] TestReport run();
+
+ private:
+  const tsystem::System* original_;
+  const game::Strategy* strategy_;
+  Implementation* imp_;
+  SpecMonitor monitor_;
+  std::int64_t scale_;
+  ExecutorOptions options_;
+};
+
+}  // namespace tigat::testing

@@ -1,0 +1,147 @@
+#include "testing/executor.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/text.h"
+
+namespace tigat::testing {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kFail: return "fail";
+    case Verdict::kInconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+std::string TestReport::trace_string() const {
+  std::string out;
+  for (const TraceEvent& e : trace) {
+    if (!out.empty()) out += " . ";
+    switch (e.kind) {
+      case TraceEvent::Kind::kInput: out += e.channel + "!"; break;
+      case TraceEvent::Kind::kOutput: out += e.channel + "?"; break;
+      case TraceEvent::Kind::kDelay:
+        out += util::format("%lld", static_cast<long long>(e.ticks));
+        break;
+    }
+  }
+  return out;
+}
+
+TestExecutor::TestExecutor(const game::Strategy& strategy, Implementation& imp,
+                           std::int64_t scale, ExecutorOptions options)
+    : strategy_(&strategy),
+      imp_(&imp),
+      monitor_(strategy.solution().graph().system(), scale),
+      scale_(scale),
+      options_(options) {}
+
+TestReport TestExecutor::run() {
+  TestReport report;
+  monitor_.reset();
+  imp_->reset();
+
+  const auto fail = [&](std::string reason) {
+    report.verdict = Verdict::kFail;
+    report.reason = std::move(reason);
+    return report;
+  };
+  const auto inconclusive = [&](std::string reason) {
+    report.verdict = Verdict::kInconclusive;
+    report.reason = std::move(reason);
+    return report;
+  };
+
+  for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
+    const game::Move move = strategy_->decide(monitor_.state(), scale_);
+    switch (move.kind) {
+      case game::MoveKind::kGoalReached:
+        report.verdict = Verdict::kPass;
+        report.reason = "test purpose reached";
+        return report;
+
+      case game::MoveKind::kUnwinnable:
+        // A winning strategy never leaves its winning region on
+        // conforming behaviour; landing here means the purpose was not
+        // controllable from the start (caller error).
+        return inconclusive("state outside the winning region");
+
+      case game::MoveKind::kAction: {
+        const auto& edge =
+            strategy_->solution().graph().edges()[*move.edge];
+        const auto chan =
+            edge.inst.channel_name(monitor_.semantics().system());
+        if (!chan) {
+          // Environment-internal controllable move (tester bookkeeping,
+          // e.g. the LEP environment creating a buffered message):
+          // nothing crosses the tester/IMP boundary.
+          const bool ok = monitor_.apply_instance(edge.inst);
+          TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed tau move");
+          break;
+        }
+        imp_->offer_input(*chan);  // mutants may ignore it; that alone
+                                   // is not observable — the missing
+                                   // consequences will be.
+        const bool ok = monitor_.apply_input(*chan);
+        TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed input");
+        report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
+        break;
+      }
+
+      case game::MoveKind::kDelay: {
+        // How long may we sleep?  Until the strategy's next decision
+        // point, or the SPEC's invariant deadline (by which the SUT
+        // must have produced something), whichever is earlier.  A wait
+        // of 0 means the SUT must act at this very instant.
+        std::int64_t wait = options_.idle_wait_cap;
+        if (move.next_decision_ticks < game::Move::kNoDecision) {
+          wait = move.next_decision_ticks;
+        }
+        const std::int64_t deadline = monitor_.allowed_delay();
+        if (deadline < semantics::ConcreteSemantics::kNoDeadline) {
+          wait = std::min(wait, deadline);
+        }
+        TIGAT_ASSERT(wait >= 0, "negative waiting time");
+
+        const auto obs = imp_->advance(wait);
+        if (!obs) {
+          if (wait == 0) {
+            return fail(
+                "quiescence violation: output deadline expired with no "
+                "output");
+          }
+          // Quiescent for the whole window (allowed: wait ≤ deadline).
+          const bool ok = monitor_.apply_delay(wait);
+          TIGAT_ASSERT(ok, "delay within the deadline rejected");
+          report.total_ticks += wait;
+          report.trace.push_back({TraceEvent::Kind::kDelay, "", wait});
+          break;
+        }
+
+        // Output observed inside the window.
+        if (obs->after_ticks > 0) {
+          const bool ok = monitor_.apply_delay(obs->after_ticks);
+          TIGAT_ASSERT(ok, "delay within the window exceeded a deadline");
+          report.total_ticks += obs->after_ticks;
+          report.trace.push_back(
+              {TraceEvent::Kind::kDelay, "", obs->after_ticks});
+        }
+        if (!monitor_.apply_output(obs->channel)) {
+          return fail(util::format(
+              "unexpected output '%s' after %lld ticks: not in "
+              "Out(s After sigma)",
+              obs->channel.c_str(),
+              static_cast<long long>(obs->after_ticks)));
+        }
+        report.trace.push_back({TraceEvent::Kind::kOutput, obs->channel, 0});
+        break;
+      }
+    }
+  }
+  return inconclusive("step budget exhausted");
+}
+
+}  // namespace tigat::testing

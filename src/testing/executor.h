@@ -1,0 +1,81 @@
+// Test execution with a winning strategy — Algorithm 3.1 of the paper.
+//
+// The executor incrementally builds a test run by consulting the
+// strategy at the monitored SPEC state:
+//
+//   * "input i"  → send i to the IMP, advance the monitor;
+//   * "delay d"  → let (virtual) time pass; if the IMP emits o after
+//     d' ≤ d, check o ∈ Out(s0 After σ·d') — fail on violation —
+//     otherwise record the full delay;
+//   * a goal state (rank 0) yields PASS.
+//
+// Additional fail condition implicit in tioco: observing quiescence
+// past the SPEC's invariant deadline (the promised output never came).
+//
+// Soundness (Theorem 10): FAIL is only emitted on an output or a
+// silence that the SPEC forbids after the observed trace — evidence of
+// non-conformance.  Partial completeness (Theorem 11) appears as the
+// mutation experiments: IMPs that break conformance along the strategy
+// are driven into a failing run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/strategy.h"
+#include "testing/implementation.h"
+#include "testing/monitor.h"
+
+namespace tigat::testing {
+
+enum class Verdict : std::uint8_t {
+  kPass,
+  kFail,
+  kInconclusive,  // budget exhausted or internal limitation — no verdict
+};
+
+[[nodiscard]] const char* to_string(Verdict v);
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kInput, kOutput, kDelay };
+  Kind kind;
+  std::string channel;     // input/output
+  std::int64_t ticks = 0;  // delay duration, or the instant's offset 0
+};
+
+struct TestReport {
+  Verdict verdict = Verdict::kInconclusive;
+  std::string reason;
+  std::vector<TraceEvent> trace;
+  std::int64_t total_ticks = 0;
+  std::size_t steps = 0;
+
+  [[nodiscard]] std::string trace_string() const;
+};
+
+struct ExecutorOptions {
+  std::size_t max_steps = 10000;
+  // Cap for a single wait when neither the strategy nor the invariants
+  // provide a deadline (defensive; a winning strategy always does).
+  std::int64_t idle_wait_cap = 1 << 20;
+};
+
+class TestExecutor {
+ public:
+  // All three parties must use the same tick scale.
+  TestExecutor(const game::Strategy& strategy, Implementation& imp,
+               std::int64_t scale, ExecutorOptions options = {});
+
+  // One full test run (resets the IMP first).
+  [[nodiscard]] TestReport run();
+
+ private:
+  const game::Strategy* strategy_;
+  Implementation* imp_;
+  SpecMonitor monitor_;
+  std::int64_t scale_;
+  ExecutorOptions options_;
+};
+
+}  // namespace tigat::testing

@@ -1,0 +1,39 @@
+// The black-box interface between the tester and the implementation
+// under test (IMP in the paper's terminology).
+//
+// The tester can do exactly two things, matching Fig. 1 / Fig. 4:
+// offer an input now, and let (virtual) time pass while watching for
+// outputs.  Nothing about the IMP's internals is visible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tigat::testing {
+
+struct ObservedOutput {
+  std::string channel;
+  std::int64_t after_ticks = 0;  // offset from when advance() started
+};
+
+class Implementation {
+ public:
+  virtual ~Implementation() = default;
+
+  // Back to the initial state (a new test run).
+  virtual void reset() = 0;
+
+  // Lets up to `ticks` of virtual time pass.  If the implementation
+  // emits an output after d' ≤ ticks, internal time advances by d' and
+  // the output is returned; otherwise time advances by the full amount
+  // and nullopt is returned (quiescence for the whole period).
+  virtual std::optional<ObservedOutput> advance(std::int64_t ticks) = 0;
+
+  // Offers an input at the current instant.  Returns false when the
+  // implementation ignores it (a correct strongly input-enabled IMP
+  // always accepts; mutants may not).
+  virtual bool offer_input(const std::string& channel) = 0;
+};
+
+}  // namespace tigat::testing

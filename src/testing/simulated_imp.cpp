@@ -1,0 +1,197 @@
+#include "testing/simulated_imp.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace tigat::testing {
+
+using semantics::ConcreteState;
+using tsystem::ClockConstraint;
+using tsystem::Edge;
+using tsystem::SyncKind;
+
+SimulatedImplementation::SimulatedImplementation(const tsystem::System& plant,
+                                                 std::int64_t scale,
+                                                 ImpPolicy policy)
+    : sys_(&plant), sem_(plant, scale), policy_(std::move(policy)) {
+  TIGAT_ASSERT(plant.processes().size() == 1,
+               "the IMP simulator interprets a single plant process");
+  // Diagonal-free check: the firing-window arithmetic below shifts all
+  // clocks uniformly, which only bounds constraints against clock 0.
+  for (const Edge& e : plant.processes()[0].edges()) {
+    for (const ClockConstraint& c : e.guard) {
+      if (c.i != 0 && c.j != 0) {
+        throw tsystem::ModelError("IMP simulator requires diagonal-free guards");
+      }
+    }
+  }
+  reset();
+}
+
+void SimulatedImplementation::reset() {
+  state_ = sem_.initial();
+  plan_.reset();
+  plan_valid_ = false;
+}
+
+int SimulatedImplementation::preference_rank(const std::string& channel) const {
+  for (std::size_t i = 0; i < policy_.channel_preference.size(); ++i) {
+    if (policy_.channel_preference[i] == channel) return static_cast<int>(i);
+  }
+  return static_cast<int>(policy_.channel_preference.size());
+}
+
+bool SimulatedImplementation::edge_enabled(const Edge& e) const {
+  const std::int64_t scale = sem_.scale();
+  for (const ClockConstraint& c : e.guard) {
+    if (!dbm::satisfies(state_.clocks[c.i] - state_.clocks[c.j], c.bound,
+                        scale)) {
+      return false;
+    }
+  }
+  if (!e.data_guard.eval_bool(state_.data, sys_->data())) return false;
+  // Target invariant must hold after the jump.
+  ConcreteState probe = state_;
+  probe.locs[0] = e.dst;
+  for (const auto& r : e.resets) {
+    probe.clocks[r.clock] = static_cast<std::int64_t>(r.value) * scale;
+  }
+  return sem_.invariant_holds(probe);
+}
+
+void SimulatedImplementation::fire_edge(const Edge& e) {
+  state_.locs[0] = e.dst;
+  for (const auto& r : e.resets) {
+    state_.clocks[r.clock] = static_cast<std::int64_t>(r.value) * sem_.scale();
+  }
+  for (const auto& a : e.assignments) {
+    const std::int64_t index =
+        a.index.is_null() ? 0 : a.index.eval(state_.data, sys_->data());
+    sys_->data().checked_store(state_.data, a.var, index,
+                               a.rhs.eval(state_.data, sys_->data()));
+  }
+}
+
+std::optional<SimulatedImplementation::PlannedOutput>
+SimulatedImplementation::plan_output(std::int64_t horizon) const {
+  const std::int64_t scale = sem_.scale();
+  const auto& proc = sys_->processes()[0];
+  std::optional<PlannedOutput> best;
+  int best_rank = 1 << 30;
+  std::string best_chan;
+
+  for (std::uint32_t ei = 0; ei < proc.edges().size(); ++ei) {
+    const Edge& e = proc.edges()[ei];
+    if (e.src != state_.locs[0]) continue;
+    // Outputs and silent internal moves are the IMP's own.
+    if (e.sync == SyncKind::kReceive) continue;
+    if (!e.data_guard.eval_bool(state_.data, sys_->data())) continue;
+
+    // Firing window [lo, hi] in ticks from now.
+    std::int64_t lo = 0;
+    std::int64_t hi = horizon;
+    for (const ClockConstraint& c : e.guard) {
+      if (dbm::is_infinity(c.bound)) continue;
+      const std::int64_t limit =
+          static_cast<std::int64_t>(dbm::bound_value(c.bound)) * scale;
+      if (c.j == 0) {  // x + d ≺ limit
+        std::int64_t h = limit - state_.clocks[c.i];
+        if (!dbm::is_weak(c.bound)) h -= 1;
+        hi = std::min(hi, h);
+      } else {  // −(x + d) ≺ limit  ⇔  d ⪰ −limit − x
+        std::int64_t l = -limit - state_.clocks[c.j];
+        if (!dbm::is_weak(c.bound)) l += 1;
+        lo = std::max(lo, l);
+      }
+    }
+    // Target invariant on clocks that are NOT reset also bounds d.
+    for (const ClockConstraint& c :
+         proc.locations()[e.dst].invariant) {
+      if (c.j != 0 || dbm::is_infinity(c.bound)) continue;
+      const bool is_reset =
+          std::any_of(e.resets.begin(), e.resets.end(),
+                      [&](const auto& r) { return r.clock == c.i; });
+      if (is_reset) continue;
+      std::int64_t h = static_cast<std::int64_t>(dbm::bound_value(c.bound)) *
+                           scale -
+                       state_.clocks[c.i];
+      if (!dbm::is_weak(c.bound)) h -= 1;
+      hi = std::min(hi, h);
+    }
+    // The source invariant must allow delaying into the window at all.
+    const std::int64_t max_d = sem_.max_delay(state_);
+    if (lo > hi || lo > max_d) continue;
+
+    const std::int64_t fire_in =
+        std::min({lo + policy_.latency, hi, max_d});  // ≥ lo by the guards
+    const std::string chan =
+        e.sync == SyncKind::kSend ? sys_->channels()[e.channel.id].name : "";
+    const int rank = e.sync == SyncKind::kSend ? preference_rank(chan)
+                                               : -1;  // τ before outputs
+    // Isolation: earliest fire time wins; preference breaks ties.
+    if (!best || fire_in < best->fire_in ||
+        (fire_in == best->fire_in && rank < best_rank)) {
+      best = PlannedOutput{ei, fire_in};
+      best_rank = rank;
+      best_chan = chan;
+    }
+  }
+  return best;
+}
+
+std::optional<ObservedOutput> SimulatedImplementation::advance(
+    std::int64_t ticks) {
+  std::int64_t elapsed = 0;
+  // The silent-move bound guards against zeno τ-loops in broken models.
+  for (int silent_moves = 0; silent_moves < 10000; ++silent_moves) {
+    if (!plan_valid_) {
+      plan_ = plan_output(kPlanHorizon);
+      plan_valid_ = true;
+    }
+    const std::int64_t remaining = ticks - elapsed;
+    if (!plan_ || plan_->fire_in > remaining) {
+      // Quiescent for the rest of the period.  Internal time follows,
+      // clamped to the invariant: a wedged mutant (invariant expired,
+      // nothing fireable) simply freezes — nothing observable happens
+      // either way, which is exactly how a black box looks.
+      const std::int64_t step = std::min(remaining, sem_.max_delay(state_));
+      if (step > 0) sem_.delay(state_, step);
+      if (plan_) plan_->fire_in -= remaining;
+      return std::nullopt;
+    }
+    if (plan_->fire_in > 0) {
+      const std::int64_t step = std::min(plan_->fire_in, sem_.max_delay(state_));
+      sem_.delay(state_, step);
+    }
+    elapsed += plan_->fire_in;
+    const Edge& e = sys_->processes()[0].edges()[plan_->edge];
+    const bool observable = e.sync == SyncKind::kSend;
+    const std::string chan =
+        observable ? sys_->channels()[e.channel.id].name : "";
+    fire_edge(e);
+    plan_valid_ = false;
+    if (observable) return ObservedOutput{chan, elapsed};
+    // Silent internal move: keep going.
+  }
+  return std::nullopt;
+}
+
+bool SimulatedImplementation::offer_input(const std::string& channel) {
+  const auto chan = sys_->find_channel(channel);
+  if (!chan) return false;
+  const auto& proc = sys_->processes()[0];
+  for (const Edge& e : proc.edges()) {
+    if (e.src != state_.locs[0] || e.sync != SyncKind::kReceive ||
+        e.channel.id != chan->id) {
+      continue;
+    }
+    if (!edge_enabled(e)) continue;
+    fire_edge(e);
+    plan_valid_ = false;
+    return true;
+  }
+  return false;  // ignored input
+}
+
+}  // namespace tigat::testing

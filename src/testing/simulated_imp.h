@@ -1,0 +1,84 @@
+// Simulated implementations honouring the paper's test hypotheses
+// (Sec. 2.5): the IMP is a deterministic TIOTS with the same action
+// alphabet as the SPEC, strongly input-enabled, OUTPUT-URGENT and with
+// ISOLATED OUTPUTS.
+//
+// The simulator interprets a single-process plant model (e.g. the
+// Smart Light of Fig. 2 without the user, or a mutated copy).  The
+// SPEC's timing uncertainty is resolved by a deterministic policy:
+//
+//   * when one or more output edges become enabled, the IMP commits to
+//     the one ranked first by `channel_preference` (isolation);
+//   * it fires that output `latency` ticks after enabling — clipped to
+//     whatever the guard/invariant still allows (urgency-after-latency;
+//     latency 0 is classical output urgency).
+//
+// Any latency inside the SPEC's window yields a tioco-conforming
+// implementation; the test suite uses several latencies to exercise
+// the paper's "timing uncertainty of outputs".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "semantics/concrete.h"
+#include "testing/implementation.h"
+#include "tsystem/system.h"
+
+namespace tigat::testing {
+
+struct ImpPolicy {
+  // Ticks between an output edge becoming enabled and it firing.
+  std::int64_t latency = 0;
+  // Channel ranking for isolated-output choice; unlisted channels rank
+  // after listed ones, alphabetically.
+  std::vector<std::string> channel_preference;
+};
+
+class SimulatedImplementation final : public Implementation {
+ public:
+  // `plant` must be a finalized single-process system.  The instance
+  // keeps a reference; the system must outlive it.
+  SimulatedImplementation(const tsystem::System& plant, std::int64_t scale,
+                          ImpPolicy policy = {});
+
+  void reset() override;
+  std::optional<ObservedOutput> advance(std::int64_t ticks) override;
+  bool offer_input(const std::string& channel) override;
+
+  // Introspection for tests.
+  [[nodiscard]] const semantics::ConcreteState& state() const { return state_; }
+  [[nodiscard]] const tsystem::System& plant() const { return *sys_; }
+
+ private:
+  struct PlannedOutput {
+    std::uint32_t edge = 0;
+    std::int64_t fire_in = 0;  // ticks from now
+  };
+
+  [[nodiscard]] bool edge_enabled(const tsystem::Edge& e) const;
+  void fire_edge(const tsystem::Edge& e);
+  // Deterministic choice of the next output: which edge, in how many
+  // ticks.  nullopt if no output can fire within `horizon`.
+  [[nodiscard]] std::optional<PlannedOutput> plan_output(
+      std::int64_t horizon) const;
+  [[nodiscard]] int preference_rank(const std::string& channel) const;
+
+  // Far beyond any model constant; plans are compared against the
+  // caller's window, not truncated by it (keeps slicing-invariance).
+  static constexpr std::int64_t kPlanHorizon = std::int64_t{1} << 40;
+
+  const tsystem::System* sys_;
+  semantics::ConcreteSemantics sem_;
+  ImpPolicy policy_;
+  semantics::ConcreteState state_;
+  // Committed next move (deterministic policy), invalidated by any
+  // discrete transition.
+  std::optional<PlannedOutput> plan_;
+  bool plan_valid_ = false;
+};
+
+}  // namespace tigat::testing

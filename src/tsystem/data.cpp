@@ -1,0 +1,90 @@
+#include "tsystem/data.h"
+
+#include "util/text.h"
+
+namespace tigat::tsystem {
+
+std::size_t DataState::hash() const noexcept {
+  std::size_t h = 0x9e3779b9u;
+  for (const std::int32_t v : values_) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(v)) + 0x9e3779b9u +
+         (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+VarId DataLayout::add_scalar(std::string name, std::int32_t lo, std::int32_t hi,
+                             std::int32_t init) {
+  return add_array(std::move(name), 1, lo, hi, init);
+}
+
+VarId DataLayout::add_array(std::string name, std::uint32_t size,
+                            std::int32_t lo, std::int32_t hi,
+                            std::int32_t init) {
+  if (size == 0) throw ModelError("array '" + name + "' has size 0");
+  if (lo > hi) throw ModelError("variable '" + name + "' has empty range");
+  if (init < lo || init > hi) {
+    throw ModelError("initial value of '" + name + "' outside range");
+  }
+  if (find(name)) throw ModelError("duplicate variable '" + name + "'");
+  VarDecl d;
+  d.name = std::move(name);
+  d.lo = lo;
+  d.hi = hi;
+  d.init = init;
+  d.size = size;
+  d.first_slot = next_slot_;
+  next_slot_ += size;
+  decls_.push_back(std::move(d));
+  return VarId{static_cast<std::uint32_t>(decls_.size() - 1)};
+}
+
+std::optional<VarId> DataLayout::find(const std::string& name) const {
+  for (std::uint32_t i = 0; i < decls_.size(); ++i) {
+    if (decls_[i].name == name) return VarId{i};
+  }
+  return std::nullopt;
+}
+
+DataState DataLayout::initial_state() const {
+  std::vector<std::int32_t> values(next_slot_);
+  for (const VarDecl& d : decls_) {
+    for (std::uint32_t k = 0; k < d.size; ++k) values[d.first_slot + k] = d.init;
+  }
+  return DataState(std::move(values));
+}
+
+std::uint32_t DataLayout::slot_of(VarId id, std::int64_t index) const {
+  const VarDecl& d = decl(id);
+  if (index < 0 || index >= static_cast<std::int64_t>(d.size)) {
+    throw ModelError(util::format("index %lld out of range for '%s[%u]'",
+                                  static_cast<long long>(index),
+                                  d.name.c_str(), d.size));
+  }
+  return d.first_slot + static_cast<std::uint32_t>(index);
+}
+
+void DataLayout::checked_store(DataState& state, VarId id, std::int64_t index,
+                               std::int64_t value) const {
+  const VarDecl& d = decl(id);
+  if (value < d.lo || value > d.hi) {
+    throw ModelError(util::format("assignment %s := %lld outside [%d, %d]",
+                                  d.name.c_str(), static_cast<long long>(value),
+                                  d.lo, d.hi));
+  }
+  state.set(slot_of(id, index), static_cast<std::int32_t>(value));
+}
+
+std::string DataLayout::slot_name(std::uint32_t slot) const {
+  for (const VarDecl& d : decls_) {
+    if (slot >= d.first_slot && slot < d.first_slot + d.size) {
+      if (d.is_array()) {
+        return util::format("%s[%u]", d.name.c_str(), slot - d.first_slot);
+      }
+      return d.name;
+    }
+  }
+  return util::format("slot%u", slot);
+}
+
+}  // namespace tigat::tsystem

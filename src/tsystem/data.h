@@ -1,0 +1,96 @@
+// Bounded integer state variables of a timed system.
+//
+// UPPAAL-style models pair clocks with discrete data (scalars and
+// arrays of bounded integers).  The Leader Election case study needs
+// both: per-buffer-slot `inUse[i]` flags and scalar bookkeeping such as
+// `betterInfo`.  All variables live in one flat slot array so that a
+// discrete state is a single vector (cheap to hash and copy during
+// symbolic exploration).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tigat::tsystem {
+
+// Raised on malformed models and on runtime violations such as
+// out-of-range assignments or division by zero in guards.
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Index of a declared variable (scalar or array base).
+struct VarId {
+  std::uint32_t index = 0;  // declaration index, not slot
+};
+
+struct VarDecl {
+  std::string name;
+  std::int32_t lo = 0;
+  std::int32_t hi = 0;
+  std::int32_t init = 0;
+  std::uint32_t size = 1;        // 1 for scalars
+  std::uint32_t first_slot = 0;  // into DataState
+  [[nodiscard]] bool is_array() const { return size > 1; }
+};
+
+// Concrete discrete state: one value per slot.
+class DataState {
+ public:
+  DataState() = default;
+  explicit DataState(std::vector<std::int32_t> values)
+      : values_(std::move(values)) {}
+
+  [[nodiscard]] std::int32_t get(std::uint32_t slot) const {
+    return values_.at(slot);
+  }
+  void set(std::uint32_t slot, std::int32_t value) { values_.at(slot) = value; }
+  [[nodiscard]] std::size_t slot_count() const { return values_.size(); }
+  [[nodiscard]] const std::vector<std::int32_t>& values() const {
+    return values_;
+  }
+
+  [[nodiscard]] bool operator==(const DataState&) const = default;
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  std::vector<std::int32_t> values_;
+};
+
+// The set of declarations; owned by the System.
+class DataLayout {
+ public:
+  VarId add_scalar(std::string name, std::int32_t lo, std::int32_t hi,
+                   std::int32_t init);
+  VarId add_array(std::string name, std::uint32_t size, std::int32_t lo,
+                  std::int32_t hi, std::int32_t init);
+
+  [[nodiscard]] const VarDecl& decl(VarId id) const {
+    return decls_.at(id.index);
+  }
+  [[nodiscard]] std::optional<VarId> find(const std::string& name) const;
+  [[nodiscard]] std::uint32_t slot_count() const { return next_slot_; }
+  [[nodiscard]] std::size_t decl_count() const { return decls_.size(); }
+
+  [[nodiscard]] DataState initial_state() const;
+
+  // Bounds-checked slot resolution for an array access.
+  [[nodiscard]] std::uint32_t slot_of(VarId id, std::int64_t index) const;
+
+  // Validates and stores a value; throws ModelError outside [lo, hi].
+  void checked_store(DataState& state, VarId id, std::int64_t index,
+                     std::int64_t value) const;
+
+  // "name" or "name[i]" for diagnostics.
+  [[nodiscard]] std::string slot_name(std::uint32_t slot) const;
+
+ private:
+  std::vector<VarDecl> decls_;
+  std::uint32_t next_slot_ = 0;
+};
+
+}  // namespace tigat::tsystem

@@ -1,0 +1,99 @@
+// Integer expression trees for data guards, updates and test purposes.
+//
+// Expressions are immutable and cheaply copyable (shared nodes).
+// Booleans are 0/1 integers, mirroring UPPAAL's expression language.
+// `forall`/`exists` bind an integer running over a constant range; the
+// bound variable is referenced by its de Bruijn depth (0 = innermost),
+// which keeps evaluation a simple stack walk and lets the parser reuse
+// the machinery for nested quantifiers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tsystem/data.h"
+
+namespace tigat::tsystem {
+
+// Evaluation environment for quantifier-bound variables.
+using BoundEnv = std::vector<std::int64_t>;
+
+// Implementation node; opaque outside expr.cpp.
+struct ExprNode;
+
+class Expr {
+ public:
+  enum class Kind : std::uint8_t {
+    kConst,
+    kVar,       // scalar variable or array element (index child)
+    kBoundVar,  // quantifier-bound integer, payload = de Bruijn depth
+    kAdd, kSub, kMul, kDiv, kMod, kNeg,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr, kNot,
+    kForall, kExists,  // payload children: body; lo/hi in node
+  };
+
+  // A default-constructed Expr is "absent" (used for optional guards);
+  // it evaluates as true (1).
+  Expr() = default;
+  [[nodiscard]] bool is_null() const { return node_ == nullptr; }
+
+  // ── constructors ────────────────────────────────────────────────────
+  static Expr constant(std::int64_t value);
+  static Expr var(VarId id);                 // scalar
+  static Expr var(VarId id, Expr index);     // array element
+  static Expr bound_var(std::uint32_t depth);
+  static Expr binary(Kind op, Expr lhs, Expr rhs);
+  static Expr unary(Kind op, Expr operand);
+  // ∀/∃ i ∈ [lo, hi] : body, where body references the bound variable
+  // at depth 0 (incrementing the depth of any outer binders).
+  static Expr forall(std::int64_t lo, std::int64_t hi, Expr body);
+  static Expr exists(std::int64_t lo, std::int64_t hi, Expr body);
+
+  // ── evaluation ──────────────────────────────────────────────────────
+  // Throws ModelError on division by zero.
+  [[nodiscard]] std::int64_t eval(const DataState& state,
+                                  const DataLayout& layout,
+                                  BoundEnv& env) const;
+  [[nodiscard]] std::int64_t eval(const DataState& state,
+                                  const DataLayout& layout) const {
+    BoundEnv env;
+    return eval(state, layout, env);
+  }
+  [[nodiscard]] bool eval_bool(const DataState& state,
+                               const DataLayout& layout) const {
+    return is_null() || eval(state, layout) != 0;
+  }
+
+  [[nodiscard]] std::string to_string(const DataLayout& layout) const;
+
+  [[nodiscard]] Kind kind() const;
+
+  // ── operator sugar for the model-builder API ────────────────────────
+  friend Expr operator+(Expr a, Expr b) { return binary(Kind::kAdd, a, b); }
+  friend Expr operator-(Expr a, Expr b) { return binary(Kind::kSub, a, b); }
+  friend Expr operator*(Expr a, Expr b) { return binary(Kind::kMul, a, b); }
+  friend Expr operator/(Expr a, Expr b) { return binary(Kind::kDiv, a, b); }
+  friend Expr operator%(Expr a, Expr b) { return binary(Kind::kMod, a, b); }
+  friend Expr operator-(Expr a) { return unary(Kind::kNeg, a); }
+  friend Expr operator==(Expr a, Expr b) { return binary(Kind::kEq, a, b); }
+  friend Expr operator!=(Expr a, Expr b) { return binary(Kind::kNe, a, b); }
+  friend Expr operator<(Expr a, Expr b) { return binary(Kind::kLt, a, b); }
+  friend Expr operator<=(Expr a, Expr b) { return binary(Kind::kLe, a, b); }
+  friend Expr operator>(Expr a, Expr b) { return binary(Kind::kGt, a, b); }
+  friend Expr operator>=(Expr a, Expr b) { return binary(Kind::kGe, a, b); }
+  friend Expr operator&&(Expr a, Expr b) { return binary(Kind::kAnd, a, b); }
+  friend Expr operator||(Expr a, Expr b) { return binary(Kind::kOr, a, b); }
+  friend Expr operator!(Expr a) { return unary(Kind::kNot, a); }
+
+ private:
+  explicit Expr(std::shared_ptr<const ExprNode> node) : node_(std::move(node)) {}
+  std::shared_ptr<const ExprNode> node_;
+};
+
+// Mixed int/Expr convenience, e.g. `v == 1`.
+inline Expr lit(std::int64_t v) { return Expr::constant(v); }
+
+}  // namespace tigat::tsystem

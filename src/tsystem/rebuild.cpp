@@ -1,0 +1,79 @@
+#include "tsystem/rebuild.h"
+
+#include "util/assert.h"
+
+namespace tigat::tsystem {
+
+System rebuild_system(const System& source, const EdgeRebuildHook& edge_hook,
+                      const InvariantRebuildHook& invariant_hook,
+                      const std::string& name_suffix) {
+  TIGAT_ASSERT(source.finalized(), "rebuild requires a finalized system");
+  System out(source.name() + name_suffix);
+  for (std::uint32_t c = 1; c < source.clock_count(); ++c) {
+    out.add_clock(source.clock_names()[c]);
+  }
+  for (const auto& chan : source.channels()) {
+    out.add_channel(chan.name, chan.control);
+  }
+  for (std::uint32_t d = 0; d < source.data().decl_count(); ++d) {
+    const auto& decl = source.data().decl(VarId{d});
+    if (decl.is_array()) {
+      out.data().add_array(decl.name, decl.size, decl.lo, decl.hi, decl.init);
+    } else {
+      out.data().add_scalar(decl.name, decl.lo, decl.hi, decl.init);
+    }
+  }
+  for (std::uint32_t p = 0; p < source.processes().size(); ++p) {
+    const Process& sp = source.processes()[p];
+    Process& tp = out.add_process(sp.name(), sp.default_control());
+    for (LocId l = 0; l < sp.locations().size(); ++l) {
+      const auto& loc = sp.locations()[l];
+      tp.add_location(loc.name, loc.kind);
+      std::vector<ClockConstraint> inv = loc.invariant;
+      if (invariant_hook) invariant_hook(p, l, inv);
+      for (const auto& c : inv) tp.set_invariant(l, c);
+    }
+    tp.set_initial(sp.initial());
+    for (std::uint32_t ei = 0; ei < sp.edges().size(); ++ei) {
+      Edge copy = sp.edges()[ei];
+      if (edge_hook && !edge_hook(p, ei, copy)) continue;  // dropped
+      auto builder = tp.add_edge(copy.src, copy.dst);
+      if (copy.sync == SyncKind::kSend) builder.send(copy.channel);
+      if (copy.sync == SyncKind::kReceive) builder.receive(copy.channel);
+      for (const auto& g : copy.guard) builder.guard(g);
+      if (!copy.data_guard.is_null()) builder.provided(copy.data_guard);
+      for (const auto& r : copy.resets) {
+        builder.reset(Clock{r.clock}, r.value);
+      }
+      for (const auto& a : copy.assignments) {
+        if (a.index.is_null()) {
+          builder.assign(a.var, a.rhs);
+        } else {
+          builder.assign_elem(a.var, a.index, a.rhs);
+        }
+      }
+      if (copy.controllable_override) {
+        builder.controllable(*copy.controllable_override);
+      }
+      if (!copy.comment.empty()) builder.comment(copy.comment);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+System clone_system(const System& source) {
+  return rebuild_system(source, nullptr, nullptr, "");
+}
+
+System relax_all_controllable(const System& source) {
+  return rebuild_system(
+      source,
+      [](std::uint32_t, std::uint32_t, Edge& copy) {
+        copy.controllable_override = true;
+        return true;
+      },
+      nullptr, "__coop");
+}
+
+}  // namespace tigat::tsystem

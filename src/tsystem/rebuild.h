@@ -1,0 +1,37 @@
+// Structural transformation of finalized systems.
+//
+// Several features need "this system, but slightly different": mutation
+// operators (testing/mutants.h), the all-controllable relaxation of
+// cooperative testing (game/cooperative.h).  `rebuild_system` copies a
+// finalized System declaration-by-declaration, letting hooks adjust or
+// drop edges and adjust invariants on the way; the result is finalized.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tsystem/system.h"
+
+namespace tigat::tsystem {
+
+// May modify the edge copy; returning false drops the edge.
+using EdgeRebuildHook =
+    std::function<bool(std::uint32_t process, std::uint32_t edge, Edge& copy)>;
+// May modify the invariant constraint list of a location.
+using InvariantRebuildHook = std::function<void(
+    std::uint32_t process, LocId loc, std::vector<ClockConstraint>& invariant)>;
+
+[[nodiscard]] System rebuild_system(const System& source,
+                                    const EdgeRebuildHook& edge_hook,
+                                    const InvariantRebuildHook& invariant_hook,
+                                    const std::string& name_suffix);
+
+// Identity copy.
+[[nodiscard]] System clone_system(const System& source);
+
+// Copy in which every edge carries `controllable_override = true`: the
+// one-player relaxation used by cooperative test generation.
+[[nodiscard]] System relax_all_controllable(const System& source);
+
+}  // namespace tigat::tsystem

@@ -1,0 +1,14 @@
+#include "util/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tigat::util {
+
+void assert_fail(const char* file, int line, std::string_view message) {
+  std::fprintf(stderr, "%s:%d: assertion failed: %.*s\n", file, line,
+               static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+}  // namespace tigat::util

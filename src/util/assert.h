@@ -1,0 +1,34 @@
+// Lightweight always-on assertion support.
+//
+// TIGAT_ASSERT checks internal invariants of the library (canonical DBM
+// form, index ranges, ...).  Unlike <cassert> it is active in every build
+// type: the symbolic algorithms are subtle enough that silently corrupt
+// zones are far more expensive than the check.  The checks on hot paths
+// are O(1); expensive diagnostics belong under TIGAT_DEBUG_ASSERT which
+// compiles away in release builds.
+#pragma once
+
+#include <string_view>
+
+namespace tigat::util {
+
+// Prints `file:line: message` to stderr and aborts.  Out-of-line so the
+// macro expansion stays tiny.
+[[noreturn]] void assert_fail(const char* file, int line, std::string_view message);
+
+}  // namespace tigat::util
+
+#define TIGAT_ASSERT(cond, message)                                   \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::tigat::util::assert_fail(__FILE__, __LINE__, (message));      \
+    }                                                                 \
+  } while (false)
+
+#ifndef NDEBUG
+#define TIGAT_DEBUG_ASSERT(cond, message) TIGAT_ASSERT(cond, message)
+#else
+#define TIGAT_DEBUG_ASSERT(cond, message) \
+  do {                                    \
+  } while (false)
+#endif

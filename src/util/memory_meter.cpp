@@ -1,0 +1,14 @@
+#include "util/memory_meter.h"
+
+namespace tigat::util {
+
+MemoryMeter& zone_memory() noexcept {
+  static MemoryMeter meter;
+  return meter;
+}
+
+double to_mebibytes(std::size_t bytes) noexcept {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace tigat::util

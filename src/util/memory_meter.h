@@ -1,0 +1,49 @@
+// Byte accounting for the symbolic data structures.
+//
+// Table 1 of the paper reports the memory consumed by strategy
+// generation.  Rather than sampling the process RSS (noisy, allocator
+// dependent) the library keeps exact counters of the bytes held by
+// zones, federations and symbolic-state tables.  Each counted structure
+// calls `add`/`sub` from its constructor/destructor; `peak()` gives the
+// high-water mark that the benchmark harness prints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tigat::util {
+
+class MemoryMeter {
+ public:
+  void add(std::size_t bytes) noexcept {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void sub(std::size_t bytes) noexcept {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  [[nodiscard]] std::size_t current() const noexcept { return current_; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+
+  // Forgets the history; used between benchmark cells.
+  void reset() noexcept {
+    current_ = 0;
+    peak_ = 0;
+  }
+  // Keeps the live bytes but restarts the high-water mark from them.
+  void reset_peak() noexcept { peak_ = current_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+// Process-wide meter used by the zone layer.  Single-threaded by design
+// (the solver itself is single-threaded, as was UPPAAL-TIGA in 2008);
+// keeping the counter plain avoids atomic traffic on the hottest path.
+MemoryMeter& zone_memory() noexcept;
+
+double to_mebibytes(std::size_t bytes) noexcept;
+
+}  // namespace tigat::util

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Intentionally empty: Rng is header-only, the file keeps the module's
+// translation-unit list uniform.

@@ -1,0 +1,43 @@
+// Small deterministic PRNG (splitmix64) for property tests, randomized
+// model generation and the chaotic-environment simulators.
+//
+// Determinism matters: every randomized test logs its seed so a failure
+// reproduces exactly; std::mt19937 would work but its state is bulky and
+// its distributions are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace tigat::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  // True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return next() % den < num;
+  }
+
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tigat::util

@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only in practice; this translation unit pins the vtable-free
+// class into the library so every module shares one definition.

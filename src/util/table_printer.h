@@ -1,0 +1,29 @@
+// Fixed-width table rendering for the benchmark harnesses.
+//
+// The Table 1 reproduction prints the same row/column layout as the
+// paper; this helper keeps the column alignment logic out of the
+// benchmark binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tigat::util {
+
+class TablePrinter {
+ public:
+  // `headers` fixes the column count; every row must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header underline; columns are right-aligned except
+  // the first (row label).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tigat::util

@@ -1,0 +1,24 @@
+// Small string helpers shared by the pretty printers and parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tigat::util {
+
+// Joins `parts` with `sep`; empty input gives "".
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tigat::util

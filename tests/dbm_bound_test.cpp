@@ -1,0 +1,81 @@
+// Unit tests for the packed bound encoding (dbm/bound.h).
+#include "dbm/bound.h"
+
+#include <gtest/gtest.h>
+
+namespace tigat::dbm {
+namespace {
+
+TEST(Bound, EncodingRoundTrip) {
+  for (bound_t v : {-7, -1, 0, 1, 5, 1024}) {
+    EXPECT_EQ(bound_value(make_weak(v)), v);
+    EXPECT_EQ(bound_value(make_strict(v)), v);
+    EXPECT_EQ(strictness(make_weak(v)), Strict::kWeak);
+    EXPECT_EQ(strictness(make_strict(v)), Strict::kStrict);
+  }
+}
+
+TEST(Bound, OrderMatchesTightness) {
+  // (c, <) is tighter than (c, ≤) is tighter than (c+1, <).
+  EXPECT_LT(make_strict(3), make_weak(3));
+  EXPECT_LT(make_weak(3), make_strict(4));
+  EXPECT_LT(make_weak(-2), make_strict(0));
+  EXPECT_LT(make_weak(123), kInfinity);
+  EXPECT_LT(kLtZero, kLeZero);
+  EXPECT_EQ(kLeZero, make_weak(0));
+  EXPECT_EQ(kLtZero, make_strict(0));
+}
+
+TEST(Bound, AdditionAddsValuesAndStrictness) {
+  EXPECT_EQ(add_bounds(make_weak(2), make_weak(3)), make_weak(5));
+  EXPECT_EQ(add_bounds(make_weak(2), make_strict(3)), make_strict(5));
+  EXPECT_EQ(add_bounds(make_strict(2), make_weak(3)), make_strict(5));
+  EXPECT_EQ(add_bounds(make_strict(2), make_strict(3)), make_strict(5));
+  EXPECT_EQ(add_bounds(make_weak(-4), make_weak(1)), make_weak(-3));
+  EXPECT_EQ(add_bounds(make_strict(-4), make_weak(4)), make_strict(0));
+}
+
+TEST(Bound, AdditionSaturatesAtInfinity) {
+  EXPECT_EQ(add_bounds(kInfinity, make_weak(5)), kInfinity);
+  EXPECT_EQ(add_bounds(make_strict(-100), kInfinity), kInfinity);
+  EXPECT_EQ(add_bounds(kInfinity, kInfinity), kInfinity);
+}
+
+TEST(Bound, NegationFlipsStrictness) {
+  EXPECT_EQ(negate_bound(make_weak(5)), make_strict(-5));
+  EXPECT_EQ(negate_bound(make_strict(5)), make_weak(-5));
+  EXPECT_EQ(negate_bound(make_weak(0)), make_strict(0));
+  // Involution.
+  for (bound_t v : {-3, 0, 7}) {
+    EXPECT_EQ(negate_bound(negate_bound(make_weak(v))), make_weak(v));
+    EXPECT_EQ(negate_bound(negate_bound(make_strict(v))), make_strict(v));
+  }
+}
+
+TEST(Bound, SatisfiesChecksStrictness) {
+  // x − y ≤ 3 with scale 1.
+  EXPECT_TRUE(satisfies(3, make_weak(3)));
+  EXPECT_FALSE(satisfies(3, make_strict(3)));
+  EXPECT_TRUE(satisfies(2, make_strict(3)));
+  EXPECT_FALSE(satisfies(4, make_weak(3)));
+  EXPECT_TRUE(satisfies(1 << 20, kInfinity));
+}
+
+TEST(Bound, SatisfiesAppliesScale) {
+  // Model bound 3 at scale 1000: ticks up to 3000 satisfy ≤, not 3001.
+  EXPECT_TRUE(satisfies(3000, make_weak(3), 1000));
+  EXPECT_FALSE(satisfies(3001, make_weak(3), 1000));
+  EXPECT_FALSE(satisfies(3000, make_strict(3), 1000));
+  EXPECT_TRUE(satisfies(2999, make_strict(3), 1000));
+  EXPECT_TRUE(satisfies(-3000, make_weak(-3), 1000));
+  EXPECT_FALSE(satisfies(-2999, make_strict(-3), 1000));
+}
+
+TEST(Bound, ToString) {
+  EXPECT_EQ(bound_to_string(make_weak(4)), "<=4");
+  EXPECT_EQ(bound_to_string(make_strict(-2)), "<-2");
+  EXPECT_EQ(bound_to_string(kInfinity), "<inf");
+}
+
+}  // namespace
+}  // namespace tigat::dbm

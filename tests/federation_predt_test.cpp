@@ -1,0 +1,190 @@
+// Tests for the safe-timed-predecessor operator pred_t(B, G) — the key
+// symbolic primitive of the timed-game fixpoint.
+//
+// Hand cases first (1-clock intervals where the answer is obvious),
+// then randomized comparison against the discretised oracle.
+#include <gtest/gtest.h>
+
+#include "dbm/federation.h"
+#include "support/grid_oracle.h"
+#include "util/rng.h"
+
+namespace tigat::dbm {
+namespace {
+
+using test::GridOracle;
+
+Dbm interval(bound_t lo, bound_t hi, Strict lo_s = Strict::kWeak,
+             Strict hi_s = Strict::kWeak) {
+  Dbm z = Dbm::universal(2);
+  EXPECT_TRUE(z.constrain(1, 0, make_bound(hi, hi_s)));
+  EXPECT_TRUE(z.constrain(0, 1, make_bound(-lo, lo_s)));
+  return z;
+}
+
+bool holds_at(const Fed& f, std::int64_t x2) {  // x2 in half units
+  return f.contains_point({0, x2}, 2);
+}
+
+TEST(PredT, NoBadIsDownClosure) {
+  Fed good(interval(5, 6));
+  const Fed p = good.pred_t(Fed(2));
+  EXPECT_TRUE(holds_at(p, 0));
+  EXPECT_TRUE(holds_at(p, 12));   // 6.0
+  EXPECT_FALSE(holds_at(p, 13));  // 6.5
+}
+
+TEST(PredT, BadAboveGoodDoesNotBlock) {
+  // good [2,3], bad [5,6]: anything ≤ 3 delays into good before bad.
+  Fed good(interval(2, 3));
+  Fed bad(interval(5, 6));
+  const Fed p = good.pred_t(bad);
+  EXPECT_TRUE(holds_at(p, 0));
+  EXPECT_TRUE(holds_at(p, 6));    // 3.0
+  EXPECT_FALSE(holds_at(p, 7));   // 3.5: good already passed
+  EXPECT_FALSE(holds_at(p, 10));  // 5.0: inside bad
+  EXPECT_FALSE(holds_at(p, 14));  // 7.0: above everything
+}
+
+TEST(PredT, BadBelowGoodBlocksFromBelow) {
+  // good [5,6], bad [2,3]: only (3,6] can reach good avoiding bad.
+  Fed good(interval(5, 6));
+  Fed bad(interval(2, 3));
+  const Fed p = good.pred_t(bad);
+  EXPECT_FALSE(holds_at(p, 0));
+  EXPECT_FALSE(holds_at(p, 4));  // 2.0 ∈ bad
+  EXPECT_FALSE(holds_at(p, 6));  // 3.0 ∈ bad (closed avoidance)
+  EXPECT_TRUE(holds_at(p, 7));   // 3.5
+  EXPECT_TRUE(holds_at(p, 12));  // 6.0
+  EXPECT_FALSE(holds_at(p, 13));
+}
+
+TEST(PredT, BadInsideGoodSplitsRegion) {
+  // good [2,3], bad [2.5, 2.7] ≈ use bad (2,3) strict inner interval:
+  // model integers only, so take good [2,6], bad [3,4].
+  Fed good(interval(2, 6));
+  Fed bad(interval(3, 4));
+  const Fed p = good.pred_t(bad);
+  // From 0: reaches good at 2 < 3 = bad entry.  In.
+  EXPECT_TRUE(holds_at(p, 0));
+  EXPECT_TRUE(holds_at(p, 4));   // 2.0 already in good
+  EXPECT_TRUE(holds_at(p, 5));   // 2.5 in good, before bad
+  EXPECT_FALSE(holds_at(p, 6));  // 3.0 ∈ bad
+  EXPECT_FALSE(holds_at(p, 8));  // 4.0 ∈ bad
+  EXPECT_TRUE(holds_at(p, 9));   // 4.5 in good above bad
+  EXPECT_TRUE(holds_at(p, 12));  // 6.0
+  EXPECT_FALSE(holds_at(p, 13));
+}
+
+TEST(PredT, UnionGoodDecomposes) {
+  // good [2,3] ∪ [7,8], bad [5,6]: [0,3] ∪ (6,8].
+  Fed good(2);
+  good.add(interval(2, 3));
+  good.add(interval(7, 8));
+  Fed bad(interval(5, 6));
+  const Fed p = good.pred_t(bad);
+  EXPECT_TRUE(holds_at(p, 0));
+  EXPECT_TRUE(holds_at(p, 6));    // 3.0
+  EXPECT_FALSE(holds_at(p, 7));   // 3.5 — must cross bad to reach [7,8]
+  EXPECT_FALSE(holds_at(p, 12));  // 6.0 ∈ bad
+  EXPECT_TRUE(holds_at(p, 13));   // 6.5
+  EXPECT_TRUE(holds_at(p, 16));   // 8.0
+  EXPECT_FALSE(holds_at(p, 17));
+}
+
+TEST(PredT, UnionBadIntersects) {
+  // good [7,9], bad [2,3] ∪ [5,6]: entry only above 6.
+  Fed good(interval(7, 9));
+  Fed bad(2);
+  bad.add(interval(2, 3));
+  bad.add(interval(5, 6));
+  const Fed p = good.pred_t(bad);
+  EXPECT_FALSE(holds_at(p, 0));
+  EXPECT_FALSE(holds_at(p, 7));   // 3.5: still blocked by [5,6]
+  EXPECT_FALSE(holds_at(p, 12));  // 6.0 ∈ bad
+  EXPECT_TRUE(holds_at(p, 13));   // 6.5
+  EXPECT_TRUE(holds_at(p, 18));   // 9.0
+  EXPECT_FALSE(holds_at(p, 19));
+}
+
+TEST(PredT, StrictBadBoundaryAdmitsTouching) {
+  // bad (3,4) open: waiting at exactly 3 is allowed, and good [3,3]
+  // punctual is reachable from below.
+  Fed good(interval(3, 3));
+  Fed bad(interval(3, 4, Strict::kStrict, Strict::kStrict));
+  const Fed p = good.pred_t(bad);
+  EXPECT_TRUE(holds_at(p, 0));
+  EXPECT_TRUE(holds_at(p, 6));  // 3.0 itself
+  EXPECT_FALSE(holds_at(p, 7));
+}
+
+TEST(PredT, GoodInsideBadIsUnreachable) {
+  Fed good(interval(3, 4));
+  Fed bad(interval(2, 5));
+  EXPECT_TRUE(good.pred_t(bad).is_empty());
+}
+
+TEST(PredT, TwoClockDiagonalBlocking) {
+  // Clocks x (1) and y (2).  good: x ∈ [4,5], y unrestricted.
+  // bad: y ∈ [2,3].  Starting at (x=0,y=0) the trajectory hits bad at
+  // y=2 long before x=4 ⇒ not in pred_t.  Starting at (2,0): x reaches
+  // 4 when y = 2 — still blocked (closed avoidance).  (3,0): x=4 at
+  // y=1 < 2 ⇒ in.
+  Dbm good_z = Dbm::universal(3);
+  ASSERT_TRUE(good_z.constrain(1, 0, make_weak(5)));
+  ASSERT_TRUE(good_z.constrain(0, 1, make_weak(-4)));
+  Dbm bad_z = Dbm::universal(3);
+  ASSERT_TRUE(bad_z.constrain(2, 0, make_weak(3)));
+  ASSERT_TRUE(bad_z.constrain(0, 2, make_weak(-2)));
+  Fed good(good_z);
+  Fed bad(bad_z);
+  const Fed p = good.pred_t(bad);
+  EXPECT_FALSE(p.contains_point({0, 0, 0}));
+  EXPECT_FALSE(p.contains_point({0, 2, 0}));
+  EXPECT_TRUE(p.contains_point({0, 3, 0}));
+  EXPECT_TRUE(p.contains_point({0, 4, 0}));
+  // Above bad entirely: y starts at 4.
+  EXPECT_TRUE(p.contains_point({0, 0, 4}));
+}
+
+// Randomized comparison with the oracle, the strongest evidence that
+// the three decomposition identities are implemented correctly.
+class PredTPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredTPropertyTest, MatchesOracleDim2) {
+  constexpr std::int32_t kMax = 4;
+  GridOracle grid(2, kMax);
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const Fed good = grid.random_fed(rng, kMax, 3);
+    const Fed bad = grid.random_fed(rng, kMax, 3);
+    const Fed p = good.pred_t(bad);
+    for (const auto& pt2 : grid.sample_points()) {
+      EXPECT_EQ(p.contains_point(pt2, GridOracle::kScale),
+                grid.in_pred_t(good, bad, pt2))
+          << "good: " << good.to_string() << "\nbad:  " << bad.to_string();
+    }
+  }
+}
+
+TEST_P(PredTPropertyTest, MatchesOracleDim3) {
+  constexpr std::int32_t kMax = 3;
+  GridOracle grid(3, kMax);
+  util::Rng rng(GetParam() + 500);
+  for (int iter = 0; iter < 15; ++iter) {
+    const Fed good = grid.random_fed(rng, kMax, 2);
+    const Fed bad = grid.random_fed(rng, kMax, 2);
+    const Fed p = good.pred_t(bad);
+    for (const auto& pt3 : grid.sample_points()) {
+      EXPECT_EQ(p.contains_point(pt3, GridOracle::kScale),
+                grid.in_pred_t(good, bad, pt3))
+          << "good: " << good.to_string() << "\nbad:  " << bad.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredTPropertyTest,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u));
+
+}  // namespace
+}  // namespace tigat::dbm

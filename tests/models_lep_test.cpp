@@ -1,0 +1,150 @@
+// Tests for the Leader Election Protocol model and the paper's three
+// test purposes (Sec. 4).
+#include <gtest/gtest.h>
+
+#include "game/solver.h"
+#include "models/lep.h"
+#include "semantics/concrete.h"
+
+namespace tigat::models {
+namespace {
+
+using game::GameSolver;
+using tsystem::TestPurpose;
+
+TEST(Lep, BuildsAndScalesStructurally) {
+  for (const std::uint32_t n : {2u, 3u, 5u}) {
+    const Lep m = make_lep({.nodes = n});
+    EXPECT_TRUE(m.system.finalized());
+    EXPECT_EQ(m.system.clock_count(), 3u);  // ref + w + e
+    EXPECT_EQ(m.system.data().decl(m.in_use).size, n);
+    EXPECT_EQ(m.system.data().decl(m.msg_addr).size, n);
+    // Put edges scale with slots × addresses.
+    const auto& env = m.system.processes()[m.env];
+    EXPECT_GT(env.edges().size(), n * (n - 1));
+  }
+}
+
+TEST(Lep, PurposesParse) {
+  const Lep m = make_lep({.nodes = 3});
+  for (const std::string& tp : {lep_tp1(), lep_tp2(), lep_tp3()}) {
+    EXPECT_NO_THROW(TestPurpose::parse(m.system, tp)) << tp;
+  }
+}
+
+TEST(Lep, ConcreteScenarioLearnAndForward) {
+  const Lep m = make_lep({.nodes = 3});
+  semantics::ConcreteSemantics sem(m.system, 4);
+  auto s = sem.initial();
+  EXPECT_EQ(s.locs[m.iut], m.idle);
+  EXPECT_EQ(s.data.get(m.system.data().slot_of(m.best, 0)), 2);  // own addr
+
+  // Env puts address 0 into slot 1 (a τ move, enabled immediately).
+  bool put_fired = false;
+  for (const auto& t : sem.enabled_instances(s)) {
+    if (t.is_sync() || t.primary.process != m.env) continue;
+    const auto& e = m.system.processes()[m.env].edges()[t.primary.edge];
+    if (e.comment == "node 0 sends via slot 1") {
+      sem.fire(s, t);
+      put_fired = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(put_fired);
+  EXPECT_EQ(s.data.get(m.system.data().slot_of(m.in_use, 1)), 1);
+  EXPECT_EQ(s.data.get(m.system.data().slot_of(m.msg_addr, 1)), 0);
+
+  // After the pacing delay, select the slot and deliver.
+  sem.delay(s, 4);  // e = 1
+  bool selected = false;
+  for (const auto& t : sem.enabled_instances(s)) {
+    if (t.is_sync() || t.primary.process != m.env) continue;
+    const auto& e = m.system.processes()[m.env].edges()[t.primary.edge];
+    if (e.comment == "select slot 1") {
+      sem.fire(s, t);
+      selected = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(selected);
+  EXPECT_EQ(s.locs[m.env], m.env_sel);
+  // Committed: time frozen, only the handshake may fire.
+  EXPECT_EQ(sem.max_delay(s), 0);
+  const auto actions = sem.enabled_instances(s);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].channel_name(m.system).value_or(""), "msg");
+  sem.fire(s, actions[0]);
+
+  // The IUT learned the better address and must forward it.
+  EXPECT_EQ(s.locs[m.iut], m.pending);
+  EXPECT_EQ(s.data.get(m.system.data().slot_of(m.best, 0)), 0);
+  EXPECT_EQ(s.data.get(m.system.data().slot_of(m.better_info, 0)), 1);
+  EXPECT_EQ(sem.max_delay(s), 2 * 4);  // forward window
+
+  // The forward goes to the lowest free slot (slot 0 here: slot 1 was
+  // consumed on delivery).
+  bool forwarded = false;
+  for (const auto& t : sem.enabled_instances(s)) {
+    if (t.channel_name(m.system).value_or("") == "fwd") {
+      sem.fire(s, t);
+      forwarded = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(forwarded);
+  EXPECT_EQ(s.locs[m.iut], m.forward);
+  EXPECT_EQ(s.data.get(m.system.data().slot_of(m.in_use, 0)), 1);
+  EXPECT_EQ(s.data.get(m.system.data().slot_of(m.msg_addr, 0)), 0);
+}
+
+TEST(Lep, TimeoutWindowIsUncontrollable) {
+  const Lep m = make_lep({.nodes = 3});
+  semantics::ConcreteSemantics sem(m.system, 4);
+  auto s = sem.initial();
+  // Before timeout_lo: no timeout possible.
+  sem.delay(s, 3 * 4);
+  for (const auto& t : sem.enabled_instances(s)) {
+    EXPECT_NE(t.channel_name(m.system).value_or(""), "timeout");
+  }
+  // Inside [timeout_lo, timeout_hi]: the (uncontrollable) timeout is on.
+  sem.delay(s, 2 * 4);
+  bool timeout_enabled = false;
+  for (const auto& t : sem.enabled_instances(s)) {
+    if (t.channel_name(m.system).value_or("") == "timeout") {
+      timeout_enabled = true;
+      EXPECT_FALSE(t.controllable);
+      // best == own address: the node heads for a leadership claim.
+      sem.fire(s, t);
+      EXPECT_EQ(s.locs[m.iut], m.claim);
+      break;
+    }
+  }
+  EXPECT_TRUE(timeout_enabled);
+  // The invariant forces the timeout by timeout_hi.
+  EXPECT_LE(sem.max_delay(s), 2 * 4);
+}
+
+TEST(Lep, AllThreePurposesAreControllable) {
+  const Lep m = make_lep({.nodes = 3});
+  for (const std::string& tp : {lep_tp1(), lep_tp2(), lep_tp3()}) {
+    GameSolver solver(m.system, TestPurpose::parse(m.system, tp));
+    const auto sol = solver.solve();
+    EXPECT_TRUE(sol->winning_from_initial()) << tp;
+  }
+}
+
+TEST(Lep, StateSpaceGrowsWithNodes) {
+  std::size_t prev_keys = 0;
+  for (const std::uint32_t n : {2u, 3u, 4u}) {
+    const Lep m = make_lep({.nodes = n});
+    GameSolver solver(m.system, TestPurpose::parse(m.system, lep_tp1()));
+    const auto sol = solver.solve();
+    EXPECT_TRUE(sol->winning_from_initial());
+    EXPECT_GT(sol->stats().keys, prev_keys);
+    prev_keys = sol->stats().keys;
+  }
+  EXPECT_GT(prev_keys, 100u);
+}
+
+}  // namespace
+}  // namespace tigat::models

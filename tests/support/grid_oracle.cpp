@@ -1,0 +1,130 @@
+#include "support/grid_oracle.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace tigat::test {
+
+GridOracle::GridOracle(std::uint32_t dim, std::int32_t max_const)
+    : dim_(dim), window_(2 * kScale * max_const + 2 * kSampleStep) {
+  TIGAT_ASSERT(dim >= 2, "need at least one real clock");
+  Point p(dim, 0);
+  while (true) {
+    samples_.push_back(p);
+    std::uint32_t i = 1;
+    while (i < dim && p[i] >= window_) {
+      p[i] = 0;
+      ++i;
+    }
+    if (i == dim) break;
+    p[i] += kSampleStep;
+  }
+}
+
+GridOracle::PointSet GridOracle::points_of(const dbm::Dbm& z) const {
+  PointSet out;
+  for (const Point& p : samples_) {
+    if (z.contains_point(p, kScale)) out.insert(p);
+  }
+  return out;
+}
+
+GridOracle::PointSet GridOracle::points_of(const dbm::Fed& f) const {
+  PointSet out;
+  for (const Point& p : samples_) {
+    if (f.contains_point(p, kScale)) out.insert(p);
+  }
+  return out;
+}
+
+bool GridOracle::in_down(const dbm::Fed& f, const Point& p) const {
+  Point q = p;
+  for (std::int64_t d = 0; d <= 2 * window_; ++d) {
+    for (std::uint32_t i = 1; i < dim_; ++i) q[i] = p[i] + d;
+    if (f.contains_point(q, kScale)) return true;
+  }
+  return false;
+}
+
+bool GridOracle::in_up(const dbm::Fed& f, const Point& p) const {
+  std::int64_t max_back = 2 * window_;
+  for (std::uint32_t i = 1; i < dim_; ++i) max_back = std::min(max_back, p[i]);
+  Point q = p;
+  for (std::int64_t d = 0; d <= max_back; ++d) {
+    for (std::uint32_t i = 1; i < dim_; ++i) q[i] = p[i] - d;
+    if (f.contains_point(q, kScale)) return true;
+  }
+  return false;
+}
+
+bool GridOracle::in_pred_t(const dbm::Fed& good, const dbm::Fed& bad,
+                           const Point& p) const {
+  Point q = p;
+  for (std::int64_t d = 0; d <= 2 * window_; ++d) {
+    for (std::uint32_t i = 1; i < dim_; ++i) q[i] = p[i] + d;
+    if (bad.contains_point(q, kScale)) return false;  // closed avoidance
+    if (good.contains_point(q, kScale)) return true;
+  }
+  return false;
+}
+
+bool GridOracle::in_reset(const dbm::Dbm& z, std::uint32_t k,
+                          const Point& p) const {
+  if (p[k] != 0) return false;
+  Point q = p;
+  for (std::int64_t v = 0; v <= window_; ++v) {
+    q[k] = v;
+    if (z.contains_point(q, kScale)) return true;
+  }
+  return false;
+}
+
+bool GridOracle::in_free(const dbm::Dbm& z, std::uint32_t k,
+                         const Point& p) const {
+  Point q = p;
+  for (std::int64_t v = 0; v <= window_; ++v) {
+    q[k] = v;
+    if (z.contains_point(q, kScale)) return true;
+  }
+  return false;
+}
+
+dbm::Dbm GridOracle::random_zone(util::Rng& rng, std::int32_t k,
+                                 int extra_constraints) const {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    dbm::Dbm z = dbm::Dbm::universal(dim_);
+    // Keep the zone inside the box so the sweep window is exhaustive.
+    for (std::uint32_t i = 1; i < dim_; ++i) {
+      z.constrain(i, 0,
+                  dbm::make_weak(static_cast<dbm::bound_t>(rng.range(0, k))));
+    }
+    bool alive = true;
+    for (int c = 0; c < extra_constraints && alive; ++c) {
+      const auto i = static_cast<std::uint32_t>(rng.range(0, dim_ - 1));
+      const auto j = static_cast<std::uint32_t>(rng.range(0, dim_ - 1));
+      if (i == j) continue;
+      const auto value = static_cast<dbm::bound_t>(rng.range(-k, k));
+      const auto strict =
+          rng.chance(1, 2) ? dbm::Strict::kWeak : dbm::Strict::kStrict;
+      alive = z.constrain(i, j, dbm::make_bound(value, strict));
+    }
+    if (alive && !z.is_empty()) return z;
+  }
+  // Fall back to a guaranteed non-empty zone.
+  dbm::Dbm z = dbm::Dbm::universal(dim_);
+  for (std::uint32_t i = 1; i < dim_; ++i) z.constrain(i, 0, dbm::make_weak(k));
+  return z;
+}
+
+dbm::Fed GridOracle::random_fed(util::Rng& rng, std::int32_t k,
+                                int max_zones) const {
+  dbm::Fed f(dim_);
+  const auto zones = rng.range(1, max_zones);
+  for (std::int64_t z = 0; z < zones; ++z) {
+    f.add(random_zone(rng, k, static_cast<int>(rng.range(0, 4))));
+  }
+  return f;
+}
+
+}  // namespace tigat::test

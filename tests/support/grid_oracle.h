@@ -1,0 +1,83 @@
+// Discretised ground-truth model for zone operations.
+//
+// Test zones use integer model constants in [-K, K] and are kept
+// bounded, so every zone lives inside the box [0, K]^n.
+//
+// Exactness argument.  Everything is scaled by kScale = 8:
+//   * constraint constants become multiples of 8;
+//   * SAMPLE points (where library results are compared against the
+//     oracle) have coordinates that are multiples of 2, i.e. quarter
+//     model units.  A non-empty difference of two integer-constant
+//     federations with ≤ 3 real clocks always contains a point with
+//     denominators ≤ 4 (fractional parts of n clocks can always be
+//     spread over a 1/(n+1) grid), so agreement on all sample points
+//     implies equality of the dense sets for dim ≤ 4;
+//   * QUANTIFIERS inside the oracle (delays, freed clock values) range
+//     over multiples of 1, i.e. eighth model units.  Starting from a
+//     sample point, the truth value of any constraint along a delay
+//     trajectory changes at  8·c − p_i,  a multiple of 2; hence every
+//     truth interval — open, closed or punctual — has endpoints in 2ℤ
+//     and the step-1 sweep visits its interior (2a, 2a+2) at 2a+1.
+//     No dense witness can be missed.
+//
+// The oracle never re-implements zone membership: it quantifies over
+// Dbm::contains_point / Fed::contains_point, whose 5-line comparison
+// core is unit-tested independently (dbm_bound_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "dbm/federation.h"
+#include "util/rng.h"
+
+namespace tigat::test {
+
+using Point = std::vector<std::int64_t>;  // point[0] == 0, scaled by kScale
+
+class GridOracle {
+ public:
+  static constexpr std::int64_t kScale = 8;
+  static constexpr std::int64_t kSampleStep = 2;
+
+  // dim includes the reference clock.  `max_const` is the largest model
+  // constant used by the zones under test; the window is sized so that
+  // every bounded-zone trajectory question is decided inside it.
+  GridOracle(std::uint32_t dim, std::int32_t max_const);
+
+  [[nodiscard]] std::uint32_t dimension() const { return dim_; }
+  [[nodiscard]] std::int64_t window() const { return window_; }
+  [[nodiscard]] const std::vector<Point>& sample_points() const {
+    return samples_;
+  }
+
+  // Set-style view, used in failure messages and simple identities.
+  using PointSet = std::set<Point>;
+  [[nodiscard]] PointSet points_of(const dbm::Dbm& z) const;
+  [[nodiscard]] PointSet points_of(const dbm::Fed& f) const;
+
+  // Reference predicates, evaluated at a sample point.
+  [[nodiscard]] bool in_down(const dbm::Fed& f, const Point& p) const;
+  [[nodiscard]] bool in_up(const dbm::Fed& f, const Point& p) const;
+  [[nodiscard]] bool in_pred_t(const dbm::Fed& good, const dbm::Fed& bad,
+                               const Point& p) const;
+  // x_k := 0 image.
+  [[nodiscard]] bool in_reset(const dbm::Dbm& z, std::uint32_t k,
+                              const Point& p) const;
+  [[nodiscard]] bool in_free(const dbm::Dbm& z, std::uint32_t k,
+                             const Point& p) const;
+
+  // Random bounded zone with constants in [-k, k]; never empty.
+  [[nodiscard]] dbm::Dbm random_zone(util::Rng& rng, std::int32_t k,
+                                     int extra_constraints) const;
+  [[nodiscard]] dbm::Fed random_fed(util::Rng& rng, std::int32_t k,
+                                    int max_zones) const;
+
+ private:
+  std::uint32_t dim_;
+  std::int64_t window_;            // max scaled coordinate swept
+  std::vector<Point> samples_;     // coarse grid, step kSampleStep
+};
+
+}  // namespace tigat::test

@@ -1,0 +1,137 @@
+// Tests for cooperative test generation and execution (paper
+// future-work item 4) and the rebuild utilities behind it.
+#include <gtest/gtest.h>
+
+#include "game/cooperative.h"
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "models/smart_light.h"
+#include "testing/cooperative_executor.h"
+#include "testing/mutants.h"
+#include "testing/simulated_imp.h"
+#include "tsystem/rebuild.h"
+
+namespace tigat::testing {
+namespace {
+
+using game::GameSolver;
+using game::Strategy;
+using models::make_smart_light;
+using models::make_smart_light_plant_only;
+using tsystem::TestPurpose;
+
+constexpr std::int64_t kScale = 16;
+
+TEST(Rebuild, RelaxAllControllableFlipsThePartition) {
+  models::SmartLight m = make_smart_light();
+  const tsystem::System relaxed =
+      tsystem::relax_all_controllable(m.system);
+  for (const auto& p : relaxed.processes()) {
+    for (const auto& e : p.edges()) {
+      EXPECT_TRUE(relaxed.edge_controllable(p, e));
+    }
+  }
+  // Structure preserved.
+  EXPECT_EQ(relaxed.clock_count(), m.system.clock_count());
+  EXPECT_EQ(relaxed.processes().size(), m.system.processes().size());
+}
+
+TEST(Cooperative, L6UnwinnableButCooperativelyReachable) {
+  models::SmartLight m = make_smart_light();
+  const auto purpose = TestPurpose::parse(m.system, "control: A<> IUT.L6");
+  GameSolver strict(m.system, purpose);
+  EXPECT_FALSE(strict.solve()->winning_from_initial());
+
+  const auto coop = game::solve_cooperative(m.system, purpose);
+  EXPECT_TRUE(coop.reachable);
+}
+
+TEST(Cooperative, WinnablePurposesStayWinnableUnderRelaxation) {
+  // Relaxation only helps: every controllable purpose must remain
+  // cooperatively reachable.
+  models::SmartLight m = make_smart_light();
+  for (const char* prop :
+       {"control: A<> IUT.Bright", "control: A<> IUT.Dim"}) {
+    const auto purpose = TestPurpose::parse(m.system, prop);
+    GameSolver strict(m.system, purpose);
+    ASSERT_TRUE(strict.solve()->winning_from_initial()) << prop;
+    EXPECT_TRUE(game::solve_cooperative(m.system, purpose).reachable) << prop;
+  }
+}
+
+TEST(Cooperative, PatientImpCooperatesToPass) {
+  models::SmartLight spec = make_smart_light();
+  models::SmartLight plant = make_smart_light_plant_only();
+  const auto purpose = TestPurpose::parse(spec.system, "control: A<> IUT.L6");
+  auto coop = game::solve_cooperative(spec.system, purpose);
+  ASSERT_TRUE(coop.reachable);
+  Strategy plan(coop.solution);
+
+  SimulatedImplementation imp(plant.system, kScale,
+                              ImpPolicy{2 * kScale, {}});
+  CooperativeExecutor exec(spec.system, plan, imp, kScale);
+  const TestReport report = exec.run();
+  EXPECT_EQ(report.verdict, Verdict::kPass) << report.reason;
+}
+
+TEST(Cooperative, EagerImpYieldsInconclusiveNotFail) {
+  models::SmartLight spec = make_smart_light();
+  models::SmartLight plant = make_smart_light_plant_only();
+  const auto purpose = TestPurpose::parse(spec.system, "control: A<> IUT.L6");
+  auto coop = game::solve_cooperative(spec.system, purpose);
+  Strategy plan(coop.solution);
+
+  // Latency 0: the light answers the reactivating touch immediately —
+  // legal behaviour that ruins the plan.  Must NOT be a fail.
+  SimulatedImplementation imp(plant.system, kScale, ImpPolicy{0, {}});
+  CooperativeExecutor exec(spec.system, plan, imp, kScale);
+  const TestReport report = exec.run();
+  EXPECT_EQ(report.verdict, Verdict::kInconclusive) << report.reason;
+}
+
+TEST(Cooperative, SoundnessStillFailsBrokenImp) {
+  // Use a purpose whose cooperative plan has output obligations on the
+  // path (A<> Bright hopes for bright!); lazy mutants with widened
+  // windows then miss deadlines — a sound FAIL even in cooperative
+  // mode.  (The L6 plan, by contrast, reaches its goal on inputs alone
+  // and can never fail — a run is judged only by what is observed.)
+  models::SmartLight spec = make_smart_light();
+  models::SmartLight plant = make_smart_light_plant_only();
+  const auto purpose =
+      TestPurpose::parse(spec.system, "control: A<> IUT.Bright");
+  auto coop = game::solve_cooperative(spec.system, purpose);
+  ASSERT_TRUE(coop.reachable);
+  Strategy plan(coop.solution);
+
+  const auto mutants = enumerate_mutants(plant.system);
+  bool found = false;
+  for (const auto& m : mutants) {
+    const tsystem::System mutated = apply_mutant(plant.system, m);
+    SimulatedImplementation imp(mutated, kScale, ImpPolicy{3 * kScale, {}});
+    CooperativeExecutor exec(spec.system, plan, imp, kScale);
+    if (exec.run().verdict == Verdict::kFail) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cooperative, CooperativeExecutorOnWinnablePurposeAlsoPasses) {
+  // A cooperative plan for a purpose that IS controllable behaves like
+  // ordinary testing when the IMP happens to cooperate.
+  models::SmartLight spec = make_smart_light();
+  models::SmartLight plant = make_smart_light_plant_only();
+  const auto purpose =
+      TestPurpose::parse(spec.system, "control: A<> IUT.Dim");
+  auto coop = game::solve_cooperative(spec.system, purpose);
+  ASSERT_TRUE(coop.reachable);
+  Strategy plan(coop.solution);
+  SimulatedImplementation imp(plant.system, kScale, ImpPolicy{kScale, {}});
+  CooperativeExecutor exec(spec.system, plan, imp, kScale);
+  const TestReport report = exec.run();
+  EXPECT_NE(report.verdict, Verdict::kFail) << report.reason;
+}
+
+}  // namespace
+}  // namespace tigat::testing

@@ -1,0 +1,187 @@
+// Unit tests for the simulated implementation, the SPEC monitor and
+// the mutation operators.
+#include <gtest/gtest.h>
+
+#include "models/smart_light.h"
+#include "testing/monitor.h"
+#include "testing/mutants.h"
+#include "testing/simulated_imp.h"
+
+namespace tigat::testing {
+namespace {
+
+using models::make_smart_light;
+using models::make_smart_light_plant_only;
+
+constexpr std::int64_t kScale = 16;
+
+TEST(SimulatedImp, QuiescentUntilStimulated) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  SimulatedImplementation imp(plant.system, kScale);
+  EXPECT_FALSE(imp.advance(100 * kScale).has_value());
+  EXPECT_EQ(imp.state().locs[0], plant.loc_off);
+}
+
+TEST(SimulatedImp, UrgentOutputAfterTouch) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  SimulatedImplementation imp(plant.system, kScale, ImpPolicy{0, {}});
+  ASSERT_TRUE(imp.offer_input("touch"));
+  EXPECT_EQ(imp.state().locs[0], plant.l1);  // x=0 < Tidle
+  const auto out = imp.advance(10 * kScale);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->channel, "dim");
+  EXPECT_EQ(out->after_ticks, 0);  // output urgency
+  EXPECT_EQ(imp.state().locs[0], plant.loc_dim);
+}
+
+TEST(SimulatedImp, LatencyDelaysTheOutput) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  SimulatedImplementation imp(plant.system, kScale,
+                              ImpPolicy{3 * kScale / 2, {}});
+  ASSERT_TRUE(imp.offer_input("touch"));
+  const auto out = imp.advance(10 * kScale);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->channel, "dim");
+  EXPECT_EQ(out->after_ticks, 3 * kScale / 2);  // 1.5 time units
+}
+
+TEST(SimulatedImp, LatencyClampedToWindow) {
+  // Latency 5 units, window 2 units: fires at the deadline.
+  models::SmartLight plant = make_smart_light_plant_only();
+  SimulatedImplementation imp(plant.system, kScale,
+                              ImpPolicy{5 * kScale, {}});
+  ASSERT_TRUE(imp.offer_input("touch"));
+  const auto out = imp.advance(10 * kScale);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->after_ticks, 2 * kScale);
+}
+
+TEST(SimulatedImp, PreferenceBreaksOutputChoice) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  // Reach L5 (both dim! and bright! enabled): idle 20 units first.
+  for (const std::string preferred : {"bright", "dim"}) {
+    SimulatedImplementation imp(plant.system, kScale,
+                                ImpPolicy{0, {preferred}});
+    EXPECT_FALSE(imp.advance(20 * kScale).has_value());
+    ASSERT_TRUE(imp.offer_input("touch"));
+    EXPECT_EQ(imp.state().locs[0], plant.l5);
+    const auto out = imp.advance(kScale);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->channel, preferred);
+  }
+}
+
+TEST(SimulatedImp, AdvanceSlicingIsInvariant) {
+  // Many small advances must behave like one big one.
+  models::SmartLight plant = make_smart_light_plant_only();
+  SimulatedImplementation imp(plant.system, kScale, ImpPolicy{kScale, {}});
+  ASSERT_TRUE(imp.offer_input("touch"));
+  std::int64_t waited = 0;
+  std::optional<ObservedOutput> out;
+  while (!out && waited < 10 * kScale) {
+    out = imp.advance(3);  // awkward slice size on purpose
+    waited += 3;
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->channel, "dim");
+  // Fired one latency unit after the touch, regardless of slicing.
+  EXPECT_LE(waited - 3, kScale);
+  EXPECT_GE(waited, kScale);
+}
+
+TEST(SimulatedImp, AdvanceZeroFiresDueOutput) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  SimulatedImplementation imp(plant.system, kScale, ImpPolicy{0, {}});
+  ASSERT_TRUE(imp.offer_input("touch"));
+  const auto out = imp.advance(0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->channel, "dim");
+}
+
+TEST(SimulatedImp, ResetRestoresInitialState) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  SimulatedImplementation imp(plant.system, kScale);
+  imp.offer_input("touch");
+  imp.advance(5 * kScale);
+  imp.reset();
+  EXPECT_EQ(imp.state().locs[0], plant.loc_off);
+  EXPECT_EQ(imp.state().clocks[plant.x.id], 0);
+}
+
+TEST(SpecMonitor, TracksObservedTrace) {
+  models::SmartLight spec = make_smart_light();
+  SpecMonitor mon(spec.system, kScale);
+  EXPECT_TRUE(mon.apply_delay(kScale));  // 1 unit: user may touch now
+  EXPECT_TRUE(mon.apply_input("touch"));
+  EXPECT_EQ(mon.state().locs[spec.iut], spec.l1);
+  // Window: at most 2 units.
+  EXPECT_EQ(mon.allowed_delay(), 2 * kScale);
+  EXPECT_TRUE(mon.apply_delay(kScale));
+  EXPECT_TRUE(mon.apply_output("dim"));
+  EXPECT_EQ(mon.state().locs[spec.iut], spec.loc_dim);
+}
+
+TEST(SpecMonitor, RejectsDisallowedOutput) {
+  models::SmartLight spec = make_smart_light();
+  SpecMonitor mon(spec.system, kScale);
+  // bright! is not possible from Off.
+  EXPECT_FALSE(mon.apply_output("bright"));
+  EXPECT_TRUE(mon.apply_delay(kScale));
+  EXPECT_TRUE(mon.apply_input("touch"));
+  // In L1 only dim! may occur (no bright! from L1).
+  EXPECT_FALSE(mon.apply_output("bright"));
+  EXPECT_TRUE(mon.apply_output("dim"));
+}
+
+TEST(SpecMonitor, RejectsOverlongDelay) {
+  models::SmartLight spec = make_smart_light();
+  SpecMonitor mon(spec.system, kScale);
+  EXPECT_TRUE(mon.apply_delay(kScale));
+  EXPECT_TRUE(mon.apply_input("touch"));
+  EXPECT_FALSE(mon.apply_delay(3 * kScale));  // window is 2 units
+}
+
+TEST(Mutants, CloneIsStructurallyIdentical) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  const tsystem::System copy = clone_system(plant.system);
+  EXPECT_EQ(copy.clock_count(), plant.system.clock_count());
+  EXPECT_EQ(copy.channels().size(), plant.system.channels().size());
+  EXPECT_EQ(copy.processes().size(), plant.system.processes().size());
+  EXPECT_EQ(copy.processes()[0].edges().size(),
+            plant.system.processes()[0].edges().size());
+  EXPECT_EQ(copy.max_constants(), plant.system.max_constants());
+  EXPECT_EQ(copy.to_string(), plant.system.to_string());
+}
+
+TEST(Mutants, EnumerationCoversAllOperators) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  const auto mutants = enumerate_mutants(plant.system);
+  EXPECT_GT(mutants.size(), 50u);
+  for (const MutationKind kind :
+       {MutationKind::kGuardShift, MutationKind::kGuardFlip,
+        MutationKind::kTargetSwap, MutationKind::kOutputSwap,
+        MutationKind::kEdgeDrop, MutationKind::kResetDrop,
+        MutationKind::kInvariantWiden}) {
+    const bool present =
+        std::any_of(mutants.begin(), mutants.end(),
+                    [&](const auto& m) { return m.kind == kind; });
+    EXPECT_TRUE(present) << to_string(kind);
+  }
+}
+
+TEST(Mutants, ApplyProducesValidDifferentSystem) {
+  models::SmartLight plant = make_smart_light_plant_only();
+  const auto mutants = enumerate_mutants(plant.system);
+  int different = 0;
+  for (const auto& m : mutants) {
+    const tsystem::System mutated = apply_mutant(plant.system, m);
+    EXPECT_TRUE(mutated.finalized());
+    if (mutated.to_string() != plant.system.to_string()) ++different;
+  }
+  // Every mutant must actually change the model text (drop changes the
+  // edge list, shifts change guards, ...).
+  EXPECT_EQ(different, static_cast<int>(mutants.size()));
+}
+
+}  // namespace
+}  // namespace tigat::testing

@@ -1,0 +1,164 @@
+// Tests for the test-purpose parser and StateFormula evaluation.
+#include <gtest/gtest.h>
+
+#include "tsystem/property.h"
+#include "tsystem/system.h"
+
+namespace tigat::tsystem {
+namespace {
+
+class PropertyTest : public ::testing::Test {
+ protected:
+  PropertyTest() : sys_("lep") {
+    sys_.add_clock("x");
+    better_ = sys_.data().add_scalar("betterInfo", 0, 1, 0);
+    in_use_ = sys_.data().add_array("inUse", 3, 0, 1, 0);
+    Process& iut = sys_.add_process("IUT", Controllability::kUncontrollable);
+    idle_ = iut.add_location("idle");
+    fwd_ = iut.add_location("forward");
+    Process& env = sys_.add_process("Env", Controllability::kControllable);
+    env.add_location("e0");
+    sys_.finalize();
+    state_ = sys_.data().initial_state();
+  }
+
+  [[nodiscard]] bool eval(const TestPurpose& p,
+                          std::initializer_list<LocId> locs) const {
+    const std::vector<LocId> l(locs);
+    return p.formula.eval(l, state_, sys_.data());
+  }
+
+  System sys_;
+  VarId better_, in_use_;
+  LocId idle_ = 0, fwd_ = 0;
+  DataState state_;
+};
+
+TEST_F(PropertyTest, ParseLocationAtom) {
+  const auto p = TestPurpose::parse(sys_, "control: A<> IUT.forward");
+  EXPECT_EQ(p.kind, PurposeKind::kReach);
+  EXPECT_TRUE(eval(p, {fwd_, 0}));
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, ParseSafetyKind) {
+  const auto p = TestPurpose::parse(sys_, "control: A[] IUT.idle");
+  EXPECT_EQ(p.kind, PurposeKind::kSafety);
+}
+
+TEST_F(PropertyTest, ParsePaperTP1) {
+  const auto p = TestPurpose::parse(
+      sys_, "control: A<> (IUT.betterInfo == 1) and IUT.forward");
+  EXPECT_FALSE(eval(p, {fwd_, 0}));  // betterInfo still 0
+  state_.set(0, 1);
+  EXPECT_TRUE(eval(p, {fwd_, 0}));
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, ParsePaperTP2ForallOverArray) {
+  const auto p = TestPurpose::parse(
+      sys_, "control: A<> forall (i : inUse) inUse[i] == 1");
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    state_.set(sys_.data().slot_of(in_use_, k), 1);
+  }
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, ParsePaperTP3Conjunction) {
+  const auto p = TestPurpose::parse(
+      sys_,
+      "control: A<> (forall (i : 0..2) inUse[i] == 1) && IUT.idle");
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    state_.set(sys_.data().slot_of(in_use_, k), 1);
+  }
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+  EXPECT_FALSE(eval(p, {fwd_, 0}));
+  state_.set(sys_.data().slot_of(in_use_, 1), 0);
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, ExistsAndNegation) {
+  const auto p = TestPurpose::parse(
+      sys_, "control: A<> !(exists (i : inUse) inUse[i] == 1)");
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+  state_.set(sys_.data().slot_of(in_use_, 2), 1);
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, QualifiedVariableAccess) {
+  // Paper style: IUT.betterInfo resolves to the (global) variable.
+  const auto p = TestPurpose::parse(sys_, "control: A<> IUT.betterInfo == 1");
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+  state_.set(0, 1);
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, BareExpressionMeansNonZero) {
+  const auto p = TestPurpose::parse(sys_, "control: A<> betterInfo");
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+  state_.set(0, 1);
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, OrAndPrecedence) {
+  // && binds tighter than ||.
+  const auto p = TestPurpose::parse(
+      sys_, "control: A<> IUT.forward || IUT.idle && betterInfo == 1");
+  EXPECT_TRUE(eval(p, {fwd_, 0}));                 // left disjunct
+  EXPECT_FALSE(eval(p, {idle_, 0}));               // betterInfo == 0
+  state_.set(0, 1);
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, ArithmeticInComparisons) {
+  const auto p = TestPurpose::parse(
+      sys_, "control: A<> inUse[0] + inUse[1] + inUse[2] >= 2");
+  EXPECT_FALSE(eval(p, {idle_, 0}));
+  state_.set(sys_.data().slot_of(in_use_, 0), 1);
+  state_.set(sys_.data().slot_of(in_use_, 2), 1);
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, ParenthesizedComparisonDisambiguation) {
+  const auto p = TestPurpose::parse(
+      sys_, "control: A<> (inUse[0] + 1) * 2 == 2");
+  EXPECT_TRUE(eval(p, {idle_, 0}));
+}
+
+TEST_F(PropertyTest, ParseErrors) {
+  EXPECT_THROW(TestPurpose::parse(sys_, "A<> IUT.idle"), ModelError);
+  EXPECT_THROW(TestPurpose::parse(sys_, "control: E<> IUT.idle"), ModelError);
+  EXPECT_THROW(TestPurpose::parse(sys_, "control: A<> IUT.nowhere"),
+               ModelError);
+  EXPECT_THROW(TestPurpose::parse(sys_, "control: A<> unknownVar == 1"),
+               ModelError);
+  EXPECT_THROW(TestPurpose::parse(sys_, "control: A<> IUT.idle &&"),
+               ModelError);
+  EXPECT_THROW(TestPurpose::parse(sys_, "control: A<> forall (i : nope) 1"),
+               ModelError);
+  EXPECT_THROW(TestPurpose::parse(sys_, "control: A<> IUT.idle extra"),
+               ModelError);
+}
+
+TEST_F(PropertyTest, ToStringMentionsAtoms) {
+  const auto p = TestPurpose::parse(
+      sys_, "control: A<> (IUT.betterInfo == 1) && IUT.forward");
+  const std::string s = p.formula.to_string(sys_);
+  EXPECT_NE(s.find("IUT.forward"), std::string::npos);
+  EXPECT_NE(s.find("betterInfo"), std::string::npos);
+}
+
+TEST_F(PropertyTest, ProgrammaticConstruction) {
+  const auto iut = *sys_.find_process("IUT");
+  const TestPurpose p = TestPurpose::reach(
+      StateFormula::conj(StateFormula::location(iut, fwd_),
+                         StateFormula::data(Expr::var(better_) == lit(1))),
+      "tp1");
+  EXPECT_FALSE(eval(p, {fwd_, 0}));
+  state_.set(0, 1);
+  EXPECT_TRUE(eval(p, {fwd_, 0}));
+}
+
+}  // namespace
+}  // namespace tigat::tsystem

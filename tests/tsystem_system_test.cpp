@@ -1,0 +1,168 @@
+// Tests for the System/Process builder API and model validation.
+#include <gtest/gtest.h>
+
+#include "tsystem/system.h"
+
+namespace tigat::tsystem {
+namespace {
+
+System tiny_system() {
+  System sys("tiny");
+  const Clock x = sys.add_clock("x");
+  const ChannelId go = sys.add_channel("go", Controllability::kControllable);
+  const ChannelId out = sys.add_channel("out", Controllability::kUncontrollable);
+
+  Process& plant = sys.add_process("P", Controllability::kUncontrollable);
+  const LocId a = plant.add_location("A");
+  const LocId b = plant.add_location("B");
+  plant.set_invariant(b, x <= 5);
+  plant.add_edge(a, b).receive(go).guard(x >= 2).reset(x);
+  plant.add_edge(b, a).send(out).guard(x < 5);
+
+  Process& env = sys.add_process("E", Controllability::kControllable);
+  const LocId e0 = env.add_location("E0");
+  env.add_edge(e0, e0).send(go);
+  env.add_edge(e0, e0).receive(out);
+  return sys;
+}
+
+TEST(SystemBuilder, BasicConstructionAndLookup) {
+  System sys = tiny_system();
+  sys.finalize();
+  EXPECT_EQ(sys.clock_count(), 2u);  // reference + x
+  EXPECT_TRUE(sys.find_clock("x").has_value());
+  EXPECT_FALSE(sys.find_clock("t0").has_value());  // reference not exposed
+  EXPECT_TRUE(sys.find_channel("go").has_value());
+  ASSERT_TRUE(sys.find_process("P").has_value());
+  const Process& p = sys.processes()[*sys.find_process("P")];
+  EXPECT_EQ(p.locations().size(), 2u);
+  EXPECT_EQ(p.initial(), 0u);
+  EXPECT_TRUE(p.find_location("B").has_value());
+}
+
+TEST(SystemBuilder, EdgeControllabilityFollowsChannels) {
+  System sys = tiny_system();
+  sys.finalize();
+  const Process& p = sys.processes()[*sys.find_process("P")];
+  // receive go: channel controllable → controllable.
+  EXPECT_TRUE(sys.edge_controllable(p, p.edges()[0]));
+  // send out: channel uncontrollable.
+  EXPECT_FALSE(sys.edge_controllable(p, p.edges()[1]));
+}
+
+TEST(SystemBuilder, TauEdgesUseProcessDefaultAndOverride) {
+  System sys("t");
+  sys.add_clock("x");
+  Process& plant = sys.add_process("P", Controllability::kUncontrollable);
+  const LocId a = plant.add_location("A");
+  plant.add_edge(a, a);                         // τ, defaults to plant role
+  plant.add_edge(a, a).controllable(true);      // overridden
+  sys.finalize();
+  const Process& p = sys.processes()[0];
+  EXPECT_FALSE(sys.edge_controllable(p, p.edges()[0]));
+  EXPECT_TRUE(sys.edge_controllable(p, p.edges()[1]));
+}
+
+TEST(SystemBuilder, MaxConstantsFromGuardsInvariantsResets) {
+  System sys("m");
+  const Clock x = sys.add_clock("x");
+  const Clock y = sys.add_clock("y");
+  Process& p = sys.add_process("P", Controllability::kControllable);
+  const LocId a = p.add_location("A");
+  const LocId b = p.add_location("B");
+  p.set_invariant(a, y <= 7);
+  p.add_edge(a, b).guard(x >= 20).reset(x, 3);
+  p.add_edge(b, a).guard(x - y < 4);
+  sys.finalize();
+  const auto& mc = sys.max_constants();
+  ASSERT_EQ(mc.size(), 3u);
+  EXPECT_EQ(mc[0], 0);
+  EXPECT_EQ(mc[x.id], 20);
+  EXPECT_EQ(mc[y.id], 7);
+}
+
+TEST(SystemBuilder, ConstraintSugarEncodesCorrectly) {
+  System sys("s");
+  const Clock x = sys.add_clock("x");
+  const Clock y = sys.add_clock("y");
+  const ClockConstraint c1 = x < 3;
+  EXPECT_EQ(c1.i, x.id);
+  EXPECT_EQ(c1.j, 0u);
+  EXPECT_EQ(c1.bound, dbm::make_strict(3));
+  const ClockConstraint c2 = x >= 2;
+  EXPECT_EQ(c2.i, 0u);
+  EXPECT_EQ(c2.j, x.id);
+  EXPECT_EQ(c2.bound, dbm::make_weak(-2));
+  const ClockConstraint c3 = (x - y) <= 4;
+  EXPECT_EQ(c3.i, x.id);
+  EXPECT_EQ(c3.j, y.id);
+  EXPECT_EQ(c3.bound, dbm::make_weak(4));
+  const ClockConstraint c4 = (x - y) > 1;
+  EXPECT_EQ(c4.i, y.id);
+  EXPECT_EQ(c4.j, x.id);
+  EXPECT_EQ(c4.bound, dbm::make_strict(-1));
+}
+
+TEST(SystemBuilder, ValidationErrors) {
+  {
+    System sys("v");
+    EXPECT_THROW(sys.finalize(), ModelError);  // no processes
+  }
+  {
+    System sys("v");
+    sys.add_clock("x");
+    EXPECT_THROW(sys.add_clock("x"), ModelError);  // duplicate clock
+  }
+  {
+    System sys("v");
+    sys.add_process("P", Controllability::kControllable);
+    EXPECT_THROW(sys.finalize(), ModelError);  // no locations
+  }
+  {
+    System sys("v");
+    Process& p = sys.add_process("P", Controllability::kControllable);
+    p.add_location("A");
+    EXPECT_THROW(p.add_location("A"), ModelError);  // duplicate location
+  }
+  {
+    System sys("v");
+    Process& p = sys.add_process("P", Controllability::kControllable);
+    const LocId a = p.add_location("A");
+    EXPECT_THROW(p.add_edge(a, 5), ModelError);  // bad endpoint
+  }
+}
+
+TEST(SystemBuilder, UrgentAndCommittedKinds) {
+  System sys("u");
+  Process& p = sys.add_process("P", Controllability::kControllable);
+  p.add_location("N");
+  const LocId u = p.add_location("U", LocationKind::kUrgent);
+  const LocId c = p.add_location("C", LocationKind::kCommitted);
+  sys.finalize();
+  EXPECT_EQ(p.locations()[u].kind, LocationKind::kUrgent);
+  EXPECT_EQ(p.locations()[c].kind, LocationKind::kCommitted);
+}
+
+TEST(SystemBuilder, ToStringMentionsStructure) {
+  System sys = tiny_system();
+  sys.finalize();
+  const std::string s = sys.to_string();
+  EXPECT_NE(s.find("process P"), std::string::npos);
+  EXPECT_NE(s.find("go"), std::string::npos);
+  EXPECT_NE(s.find("[u]"), std::string::npos);
+  EXPECT_NE(s.find("[c]"), std::string::npos);
+}
+
+TEST(SystemBuilder, FinalizeIsIdempotentAndFreezes) {
+  System sys = tiny_system();
+  sys.finalize();
+  sys.finalize();
+  EXPECT_THROW(sys.add_clock("y"), ModelError);
+  EXPECT_THROW(sys.add_channel("c2", Controllability::kControllable),
+               ModelError);
+  EXPECT_THROW(sys.add_process("Q", Controllability::kControllable),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace tigat::tsystem
