@@ -1,0 +1,105 @@
+// Generic model runner: the full parse → elaborate → solve pipeline
+// from a .tg file path — no C++ modelling required.
+//
+//   ./build/examples/run_model examples/models/smart_light.tg
+//   ./build/examples/run_model examples/models/lep.tg --print-model
+//   ./build/examples/run_model model.tg "control: A<> IUT.Bright"
+//
+// Every `control:` declaration in the file is solved (plus any extra
+// purposes given on the command line); for each one the winnability
+// verdict, solver statistics and strategy size are reported.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "lang/lang.h"
+#include "util/memory_meter.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/text.h"
+
+int main(int argc, char** argv) {
+  using namespace tigat;
+
+  std::string path;
+  bool print_model = false;
+  std::vector<std::string> extra_purposes;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-model") == 0) {
+      print_model = true;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      extra_purposes.emplace_back(argv[i]);
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: run_model <model.tg> [--print-model] "
+                 "[\"control: A<> ...\"]...\n");
+    return 2;
+  }
+
+  lang::LoadedModel model = [&] {
+    try {
+      return lang::load_model(path);
+    } catch (const lang::LangError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  std::printf("loaded %s: system '%s', %u clock(s), %zu channel(s), "
+              "%zu process(es), %zu purpose(s)\n",
+              path.c_str(), model.system.name().c_str(),
+              model.system.clock_count() - 1, model.system.channels().size(),
+              model.system.processes().size(), model.purposes.size());
+  if (print_model) std::printf("\n%s\n", model.system.to_string().c_str());
+
+  std::vector<tsystem::TestPurpose> purposes = std::move(model.purposes);
+  for (const std::string& text : extra_purposes) {
+    try {
+      purposes.push_back(tsystem::TestPurpose::parse(model.system, text));
+    } catch (const tsystem::ModelError& e) {
+      std::fprintf(stderr, "bad purpose '%s': %s\n", text.c_str(), e.what());
+      return 1;
+    }
+  }
+  if (purposes.empty()) {
+    std::printf("no test purposes (add 'control: A<> ...;' to the model "
+                "or pass one on the command line)\n");
+    return 0;
+  }
+
+  util::TablePrinter table({"purpose", "controllable", "states", "rounds",
+                            "strategy rows", "time (s)", "mem (MB)"});
+  bool all_winning = true;
+  for (const tsystem::TestPurpose& purpose : purposes) {
+    util::zone_memory().reset();
+    util::Stopwatch watch;
+    try {
+      game::GameSolver solver(model.system, purpose);
+      const auto solution = solver.solve();
+      game::Strategy strategy(solution);
+      all_winning &= solution->winning_from_initial();
+      table.add_row(
+          {purpose.source, solution->winning_from_initial() ? "yes" : "no",
+           util::format("%zu", solution->stats().keys),
+           util::format("%zu", solution->stats().rounds),
+           util::format("%zu", strategy.size()),
+           util::format("%.3f", watch.seconds()),
+           util::format("%.1f",
+                        util::to_mebibytes(solution->stats().peak_zone_bytes))});
+    } catch (const tsystem::ModelError& e) {
+      // E.g. `A[]` safety purposes parse but have no solver yet.
+      std::fprintf(stderr, "cannot solve '%s': %s\n", purpose.source.c_str(),
+                   e.what());
+      all_winning = false;
+    }
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  return all_winning ? 0 : 1;
+}

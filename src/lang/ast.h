@@ -1,0 +1,150 @@
+// Abstract syntax of the .tg model language.
+//
+// The AST is a faithful, name-based picture of the source — nothing is
+// resolved yet.  Identifiers stay strings, integer expressions stay
+// trees, and every node keeps the Pos of its defining token so the
+// elaborator can report resolution errors (unknown clock, duplicate
+// location, ...) at the exact source position.  Grammar reference:
+// README.md, "The .tg model language".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/diag.h"
+#include "tsystem/system.h"
+
+namespace tigat::lang {
+
+// ── expressions ───────────────────────────────────────────────────────
+
+// Expression nodes are immutable once parsed and may be shared — a
+// multi-name declaration like `int [0, 5] a, b;` reuses the bound
+// expressions for every name (which is also why there is no hand-rolled
+// deep clone to keep in sync with the field list).
+struct ExprAst;
+using ExprPtr = std::shared_ptr<const ExprAst>;
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+struct ExprAst {
+  enum class Kind : std::uint8_t {
+    kNumber,      // `number`
+    kName,        // `name` — clock, variable or bound variable
+    kIndex,       // `name [ index ]`
+    kUnary,       // `op lhs`
+    kBinary,      // `lhs op rhs`
+    kQuantifier,  // forall/exists `( name : range ) body` (body = lhs)
+  };
+
+  Kind kind = Kind::kNumber;
+  Pos pos;
+
+  std::int64_t number = 0;            // kNumber
+  std::string name;                   // kName, kIndex base, binder name
+  BinOp bin_op = BinOp::kAdd;         // kBinary
+  UnOp un_op = UnOp::kNeg;            // kUnary
+  ExprPtr lhs;                        // kUnary operand, kBinary lhs,
+                                      // kIndex index, kQuantifier body
+  ExprPtr rhs;                        // kBinary rhs
+
+  // kQuantifier: either an explicit `lo..hi` range or the name of a
+  // declared array (meaning 0 .. size-1).
+  bool is_forall = true;
+  ExprPtr range_lo, range_hi;
+  std::string range_array;
+};
+
+// ── declarations ──────────────────────────────────────────────────────
+
+struct ClockDeclAst {
+  std::string name;
+  Pos pos;
+};
+
+struct ChanDeclAst {
+  std::string name;
+  bool controllable = true;
+  Pos pos;
+};
+
+// `int [lo , hi] name ( [size] )? ( = init )? ;` — scalar when `size`
+// is null.  Omitted init defaults to 0 when the range allows it, else
+// to `lo`.
+struct VarDeclAst {
+  std::string name;
+  ExprPtr lo, hi;
+  ExprPtr size;  // null for scalars
+  ExprPtr init;  // null when omitted
+  Pos pos;
+};
+
+struct LocDeclAst {
+  std::string name;
+  tsystem::LocationKind kind = tsystem::LocationKind::kNormal;
+  std::vector<ExprPtr> invariants;  // conjuncts, clock constraints only
+  Pos pos;
+};
+
+struct SyncAst {
+  std::string channel;
+  bool send = false;  // `chan!` vs `chan?`
+  Pos pos;
+};
+
+struct UpdateAst {
+  std::string target;  // clock (reset) or variable (assignment)
+  ExprPtr index;       // null for scalars/clocks
+  ExprPtr rhs;
+  Pos pos;
+};
+
+struct EdgeDeclAst {
+  std::string src, dst;
+  Pos src_pos, dst_pos;
+  std::optional<SyncAst> sync;          // absent = τ edge
+  std::vector<ExprPtr> guards;          // `when` conjuncts
+  std::vector<UpdateAst> updates;       // `do` items
+  std::optional<bool> ctrl_override;    // trailing `ctrl` / `unctrl`
+  std::string label;                    // `label "..."` → Edge::comment
+  Pos pos;
+};
+
+struct ProcessDeclAst {
+  std::string name;
+  bool controllable_default = false;
+  std::vector<LocDeclAst> locations;
+  std::vector<EdgeDeclAst> edges;
+  std::string init_loc;
+  Pos init_pos;
+  Pos pos;
+};
+
+// `control: <raw text to ';'>` — the predicate is kept as raw source
+// and handed to tsystem::TestPurpose::parse against the elaborated
+// system, so the property sub-language has one implementation.
+struct ControlDeclAst {
+  std::string text;  // e.g. "A<> IUT.Bright"
+  Pos pos;           // position of the first predicate character
+};
+
+struct ModelAst {
+  std::string system_name;  // empty: derive from the file name
+  Pos system_pos;
+  std::vector<ClockDeclAst> clocks;
+  std::vector<ChanDeclAst> channels;
+  std::vector<VarDeclAst> variables;
+  std::vector<ProcessDeclAst> processes;
+  std::vector<ControlDeclAst> controls;
+};
+
+}  // namespace tigat::lang

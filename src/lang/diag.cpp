@@ -1,0 +1,101 @@
+#include "lang/diag.h"
+
+#include <algorithm>
+
+#include "util/text.h"
+
+namespace tigat::lang {
+
+Source::Source(std::string name, std::string text)
+    : name_(std::move(name)), text_(std::move(text)) {
+  line_starts_.push_back(0);
+  for (std::uint32_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+Source::LineCol Source::line_col(Pos pos) const {
+  const std::uint32_t offset =
+      pos.offset <= text_.size() ? pos.offset
+                                 : static_cast<std::uint32_t>(text_.size());
+  // Last line start ≤ offset.
+  std::uint32_t lo = 0, hi = static_cast<std::uint32_t>(line_starts_.size());
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    (line_starts_[mid] <= offset ? lo : hi) = mid;
+  }
+  return {lo + 1, offset - line_starts_[lo] + 1};
+}
+
+std::string_view Source::line_text(std::uint32_t line) const {
+  if (line == 0 || line > line_starts_.size()) return {};
+  const std::uint32_t begin = line_starts_[line - 1];
+  std::uint32_t end = line < line_starts_.size()
+                          ? line_starts_[line] - 1
+                          : static_cast<std::uint32_t>(text_.size());
+  if (end > begin && text_[end - 1] == '\r') --end;
+  return std::string_view(text_).substr(begin, end - begin);
+}
+
+std::string Diagnostic::render(std::string_view file) const {
+  std::string out;
+  if (line == 0) {
+    out = util::format("%.*s: error: %s", static_cast<int>(file.size()),
+                       file.data(), message.c_str());
+    return out;
+  }
+  out = util::format("%.*s:%u:%u: error: %s", static_cast<int>(file.size()),
+                     file.data(), line, column, message.c_str());
+  const std::string gutter = util::format("%5u | ", line);
+  out += "\n" + gutter + line_text;
+  out += "\n" + std::string(gutter.size() - 2, ' ') + "| ";
+  // Tabs keep their width so the caret stays under the right glyph.
+  const std::uint32_t caret =
+      column > snippet_offset ? column - snippet_offset : 1;
+  for (std::uint32_t i = 0; i + 1 < caret && i < line_text.size(); ++i) {
+    out += line_text[i] == '\t' ? '\t' : ' ';
+  }
+  out += "^";
+  return out;
+}
+
+void DiagnosticSink::error(Pos pos, std::string message) {
+  if (error_count_ >= kMaxStoredErrors) {
+    if (++error_count_ == kMaxStoredErrors + 1) {
+      Diagnostic d;
+      d.message = "too many errors; further diagnostics suppressed";
+      diagnostics_.push_back(std::move(d));
+    }
+    return;
+  }
+  ++error_count_;
+  Diagnostic d;
+  d.message = std::move(message);
+  const Source::LineCol lc = source_->line_col(pos);
+  d.line = lc.line;
+  d.column = lc.column;
+  std::string_view snippet = source_->line_text(lc.line);
+  // Window huge lines around the column so reports stay readable (and
+  // small) even when the "line" is a megabyte of minified garbage.
+  constexpr std::size_t kMaxSnippet = 160;
+  if (snippet.size() > kMaxSnippet) {
+    const std::size_t col = lc.column > 0 ? lc.column - 1 : 0;
+    std::size_t begin = col > 40 ? col - 40 : 0;
+    begin = std::min(begin, snippet.size() - kMaxSnippet);
+    d.snippet_offset = static_cast<std::uint32_t>(begin);
+    snippet = snippet.substr(begin, kMaxSnippet);
+  }
+  d.line_text = std::string(snippet);
+  diagnostics_.push_back(std::move(d));
+}
+
+std::string DiagnosticSink::render_all() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!out.empty()) out += "\n";
+    out += d.render(source_->name());
+  }
+  return out;
+}
+
+}  // namespace tigat::lang

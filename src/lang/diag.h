@@ -1,0 +1,96 @@
+// Positioned diagnostics for the .tg model language.
+//
+// Every stage of the pipeline (lexer → parser → elaborator) reports
+// problems through a DiagnosticSink instead of throwing, so one compile
+// pass can surface several independent errors.  A Diagnostic carries a
+// 1-based line/column plus the offending source line, and renders in
+// the familiar compiler style:
+//
+//   light.tg:12:9: error: unknown clock 'q'
+//      12 |   edge Off -> Dim on touch? when q >= 20;
+//         |                                  ^
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tigat::lang {
+
+// Byte offset into the source text; diagnostics resolve it to
+// line/column lazily via Source.
+struct Pos {
+  std::uint32_t offset = 0;
+};
+
+// A loaded source buffer with the line index needed to resolve Pos.
+class Source {
+ public:
+  Source(std::string name, std::string text);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  struct LineCol {
+    std::uint32_t line = 1;    // 1-based
+    std::uint32_t column = 1;  // 1-based, in bytes
+  };
+  [[nodiscard]] LineCol line_col(Pos pos) const;
+
+  // The text of a 1-based line, without the trailing newline.
+  [[nodiscard]] std::string_view line_text(std::uint32_t line) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::uint32_t> line_starts_;  // offset of each line start
+};
+
+// One reported error.
+struct Diagnostic {
+  std::string message;
+  std::uint32_t line = 0;    // 1-based; 0 = no position (I/O errors etc.)
+  std::uint32_t column = 0;  // 1-based
+  // Snippet of the offending source line.  Very long lines are
+  // windowed around the column; snippet_offset is how many leading
+  // characters were dropped (the caret renders at
+  // column - snippet_offset).
+  std::string line_text;
+  std::uint32_t snippet_offset = 0;
+
+  // "file:line:col: error: message" plus the snippet with a caret.
+  [[nodiscard]] std::string render(std::string_view file) const;
+};
+
+// Collects diagnostics for one compilation; owned by the driver and
+// shared by lexer, parser and elaborator.
+class DiagnosticSink {
+ public:
+  // Errors beyond the cap are counted but not stored (one "too many
+  // errors" marker is appended instead), so garbage input — every byte
+  // a lexical error — stays O(n) in time and O(1) in report size.
+  static constexpr std::size_t kMaxStoredErrors = 64;
+
+  explicit DiagnosticSink(const Source& source) : source_(&source) {}
+
+  void error(Pos pos, std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  // Total errors reported, including those suppressed past the cap.
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] const Source& source() const { return *source_; }
+
+  // All diagnostics rendered, one per line group, ready for a terminal.
+  [[nodiscard]] std::string render_all() const;
+
+ private:
+  const Source* source_;
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace tigat::lang

@@ -1,0 +1,672 @@
+#include "lang/elaborate.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "util/text.h"
+
+namespace tigat::lang {
+
+namespace {
+
+using tsystem::ChannelId;
+using tsystem::Clock;
+using tsystem::ClockConstraint;
+using tsystem::Controllability;
+using tsystem::Expr;
+using tsystem::LocId;
+using tsystem::ModelError;
+using tsystem::Process;
+using tsystem::System;
+using tsystem::VarId;
+
+enum class NameKind { kClock, kChannel, kVariable, kProcess };
+
+const char* to_string(NameKind k) {
+  switch (k) {
+    case NameKind::kClock: return "a clock";
+    case NameKind::kChannel: return "a channel";
+    case NameKind::kVariable: return "a variable";
+    case NameKind::kProcess: return "a process";
+  }
+  return "a name";
+}
+
+class Elaborator {
+ public:
+  Elaborator(const ModelAst& ast, const std::string& fallback_name,
+             DiagnosticSink& sink)
+      : ast_(ast), fallback_name_(fallback_name), sink_(sink) {}
+
+  std::optional<ElaboratedModel> run() {
+    sys_.emplace(ast_.system_name.empty() ? fallback_name_
+                                          : ast_.system_name);
+    declare_clocks();
+    declare_channels();
+    declare_variables();
+    for (const ProcessDeclAst& proc : ast_.processes) elaborate_process(proc);
+    if (ast_.processes.empty()) {
+      sink_.error(ast_.system_pos, "a model needs at least one process");
+    }
+    if (sink_.has_errors()) return std::nullopt;
+
+    try {
+      sys_->finalize();
+    } catch (const ModelError& e) {
+      sink_.error(ast_.system_pos,
+                  util::format("model validation failed: %s", e.what()));
+      return std::nullopt;
+    }
+
+    ElaboratedModel out{std::move(*sys_), {}};
+    for (const ControlDeclAst& control : ast_.controls) {
+      elaborate_control(out.system, control, out.purposes);
+    }
+    if (sink_.has_errors()) return std::nullopt;
+    return out;
+  }
+
+ private:
+  // ── declarations ────────────────────────────────────────────────────
+  // One global namespace: a second declaration of any name is an error.
+  bool declare_name(const std::string& name, NameKind kind, Pos pos) {
+    const auto [it, fresh] = names_.emplace(name, kind);
+    if (!fresh) {
+      sink_.error(pos, util::format("'%s' is already declared as %s",
+                                    name.c_str(), to_string(it->second)));
+      return false;
+    }
+    return true;
+  }
+
+  void declare_clocks() {
+    for (const ClockDeclAst& decl : ast_.clocks) {
+      if (!declare_name(decl.name, NameKind::kClock, decl.pos)) continue;
+      clocks_.emplace(decl.name, sys_->add_clock(decl.name));
+    }
+  }
+
+  void declare_channels() {
+    for (const ChanDeclAst& decl : ast_.channels) {
+      if (!declare_name(decl.name, NameKind::kChannel, decl.pos)) continue;
+      channels_.emplace(decl.name,
+                        sys_->add_channel(decl.name,
+                                          decl.controllable
+                                              ? Controllability::kControllable
+                                              : Controllability::kUncontrollable));
+    }
+  }
+
+  void declare_variables() {
+    for (const VarDeclAst& decl : ast_.variables) {
+      if (!declare_name(decl.name, NameKind::kVariable, decl.pos)) continue;
+      const auto lo = fold_const(decl.lo, "range bound");
+      const auto hi = fold_const(decl.hi, "range bound");
+      if (!lo || !hi) continue;
+      std::int64_t init = 0;
+      if (decl.init) {
+        const auto v = fold_const(decl.init, "initial value");
+        if (!v) continue;
+        init = *v;
+      } else if (*lo > 0 || *hi < 0) {
+        init = *lo;  // 0 is outside the range: default to the low bound
+      }
+      const auto fits_i32 = [](std::int64_t v) {
+        return v >= std::numeric_limits<std::int32_t>::min() &&
+               v <= std::numeric_limits<std::int32_t>::max();
+      };
+      if (!fits_i32(*lo) || !fits_i32(*hi) || !fits_i32(init)) {
+        sink_.error(decl.pos,
+                    util::format("'%s': range bounds and initial value must "
+                                 "fit a 32-bit integer",
+                                 decl.name.c_str()));
+        continue;
+      }
+      try {
+        if (decl.size) {
+          const auto size = fold_const(decl.size, "array size");
+          if (!size) continue;
+          if (*size < 1 || *size > (1 << 20)) {
+            sink_.error(decl.pos,
+                        util::format("array size must be in [1, 2^20], got %lld",
+                                     static_cast<long long>(*size)));
+            continue;
+          }
+          vars_.emplace(decl.name,
+                        sys_->data().add_array(
+                            decl.name, static_cast<std::uint32_t>(*size),
+                            static_cast<std::int32_t>(*lo),
+                            static_cast<std::int32_t>(*hi),
+                            static_cast<std::int32_t>(init)));
+        } else {
+          vars_.emplace(decl.name,
+                        sys_->data().add_scalar(
+                            decl.name, static_cast<std::int32_t>(*lo),
+                            static_cast<std::int32_t>(*hi),
+                            static_cast<std::int32_t>(init)));
+        }
+      } catch (const ModelError& e) {
+        sink_.error(decl.pos, e.what());
+      }
+    }
+  }
+
+  // ── processes ───────────────────────────────────────────────────────
+  void elaborate_process(const ProcessDeclAst& decl) {
+    if (!declare_name(decl.name, NameKind::kProcess, decl.pos)) return;
+    Process& proc = sys_->add_process(
+        decl.name, decl.controllable_default
+                       ? Controllability::kControllable
+                       : Controllability::kUncontrollable);
+
+    std::unordered_map<std::string, LocId> locs;
+    for (const LocDeclAst& loc : decl.locations) {
+      if (locs.contains(loc.name)) {
+        sink_.error(loc.pos,
+                    util::format("duplicate location '%s' in process '%s'",
+                                 loc.name.c_str(), decl.name.c_str()));
+        continue;
+      }
+      locs.emplace(loc.name, proc.add_location(loc.name, loc.kind));
+    }
+
+    for (const LocDeclAst& loc : decl.locations) {
+      const auto it = locs.find(loc.name);
+      if (it == locs.end()) continue;
+      for (const ExprPtr& inv : loc.invariants) {
+        for (const ExprAst* atom : split_conjuncts(inv)) {
+          std::vector<ClockConstraint> cs;
+          if (lower_clock_constraint(*atom, cs)) {
+            for (const ClockConstraint& c : cs) {
+              proc.set_invariant(it->second, c);
+            }
+          } else {
+            sink_.error(atom->pos,
+                        "invariants may only constrain clocks (e.g. 'x <= 3')");
+          }
+        }
+      }
+    }
+
+    if (decl.init_loc.empty()) {
+      sink_.error(decl.pos, util::format("process '%s' has no 'init' "
+                                         "declaration",
+                                         decl.name.c_str()));
+    } else if (const auto it = locs.find(decl.init_loc); it != locs.end()) {
+      proc.set_initial(it->second);
+    } else {
+      sink_.error(decl.init_pos,
+                  util::format("unknown initial location '%s' in process '%s'",
+                               decl.init_loc.c_str(), decl.name.c_str()));
+    }
+
+    for (const EdgeDeclAst& edge : decl.edges) {
+      elaborate_edge(proc, decl, locs, edge);
+    }
+  }
+
+  void elaborate_edge(Process& proc, const ProcessDeclAst& pdecl,
+                      const std::unordered_map<std::string, LocId>& locs,
+                      const EdgeDeclAst& edge) {
+    // Resolve everything before bailing out, so one pass also surfaces
+    // the guard/sync/update mistakes of an edge with a bad endpoint.
+    const auto src = locs.find(edge.src);
+    if (src == locs.end()) {
+      sink_.error(edge.src_pos,
+                  util::format("unknown location '%s' in process '%s'",
+                               edge.src.c_str(), pdecl.name.c_str()));
+    }
+    const auto dst = locs.find(edge.dst);
+    if (dst == locs.end()) {
+      sink_.error(edge.dst_pos,
+                  util::format("unknown location '%s' in process '%s'",
+                               edge.dst.c_str(), pdecl.name.c_str()));
+    }
+    std::optional<tsystem::EdgeBuilder> builder;
+    if (src != locs.end() && dst != locs.end()) {
+      builder.emplace(proc.add_edge(src->second, dst->second));
+    }
+
+    if (edge.sync) {
+      const auto chan = channels_.find(edge.sync->channel);
+      if (chan == channels_.end()) {
+        const auto known = names_.find(edge.sync->channel);
+        sink_.error(edge.sync->pos,
+                    known == names_.end()
+                        ? util::format("unknown channel '%s'",
+                                       edge.sync->channel.c_str())
+                        : util::format("'%s' is %s, not a channel",
+                                       edge.sync->channel.c_str(),
+                                       to_string(known->second)));
+      } else if (builder) {
+        if (edge.sync->send) {
+          builder->send(chan->second);
+        } else {
+          builder->receive(chan->second);
+        }
+      }
+    }
+
+    for (const ExprPtr& guard : edge.guards) {
+      for (const ExprAst* atom : split_conjuncts(guard)) {
+        std::vector<ClockConstraint> cs;
+        if (lower_clock_constraint(*atom, cs)) {
+          if (builder) {
+            for (const ClockConstraint& c : cs) builder->guard(c);
+          }
+        } else {
+          const Expr g = lower_expr(*atom);
+          if (builder && !g.is_null()) builder->provided(g);
+        }
+      }
+    }
+
+    for (const UpdateAst& update : edge.updates) {
+      elaborate_update(builder ? &*builder : nullptr, update);
+    }
+
+    if (builder && edge.ctrl_override) {
+      builder->controllable(*edge.ctrl_override);
+    }
+    if (builder && !edge.label.empty()) builder->comment(edge.label);
+  }
+
+  // `builder` may be null (the edge had an unresolvable endpoint); the
+  // update is still checked for its own errors.
+  void elaborate_update(tsystem::EdgeBuilder* builder,
+                        const UpdateAst& update) {
+    if (const auto clock = clocks_.find(update.target);
+        clock != clocks_.end()) {
+      if (update.index) {
+        sink_.error(update.pos, util::format("clock '%s' cannot be indexed",
+                                             update.target.c_str()));
+        return;
+      }
+      const auto value = fold_const(update.rhs, "clock reset value");
+      if (!value) return;
+      if (*value < 0 || *value >= tigat::dbm::kMaxBoundValue) {
+        sink_.error(update.pos,
+                    util::format("clock reset value must be a constant in "
+                                 "[0, 2^28), got %lld",
+                                 static_cast<long long>(*value)));
+        return;
+      }
+      if (builder) {
+        builder->reset(clock->second,
+                       static_cast<tigat::dbm::bound_t>(*value));
+      }
+      return;
+    }
+
+    const auto var = vars_.find(update.target);
+    if (var == vars_.end()) {
+      const auto known = names_.find(update.target);
+      sink_.error(update.pos,
+                  known == names_.end()
+                      ? util::format("unknown clock or variable '%s'",
+                                     update.target.c_str())
+                      : util::format("'%s' is %s and cannot be assigned",
+                                     update.target.c_str(),
+                                     to_string(known->second)));
+      return;
+    }
+    const bool is_array = sys_->data().decl(var->second).is_array();
+    if (is_array && !update.index) {
+      sink_.error(update.pos,
+                  util::format("array '%s' needs an index in assignments",
+                               update.target.c_str()));
+      return;
+    }
+    if (!is_array && update.index) {
+      sink_.error(update.pos, util::format("'%s' is not an array",
+                                           update.target.c_str()));
+      return;
+    }
+    const Expr rhs = lower_expr(*update.rhs);
+    if (rhs.is_null()) return;
+    if (update.index) {
+      const Expr index = lower_expr(*update.index);
+      if (index.is_null()) return;
+      if (builder) builder->assign_elem(var->second, index, rhs);
+    } else if (builder) {
+      builder->assign(var->second, rhs);
+    }
+  }
+
+  // ── guard classification ────────────────────────────────────────────
+  // Splits top-level `&&` into the atoms the System API wants.
+  std::vector<const ExprAst*> split_conjuncts(const ExprPtr& e) {
+    std::vector<const ExprAst*> out;
+    split_conjuncts(e.get(), out);
+    return out;
+  }
+  void split_conjuncts(const ExprAst* e, std::vector<const ExprAst*>& out) {
+    if (e == nullptr) return;
+    if (e->kind == ExprAst::Kind::kBinary && e->bin_op == BinOp::kAnd) {
+      split_conjuncts(e->lhs.get(), out);
+      split_conjuncts(e->rhs.get(), out);
+      return;
+    }
+    out.push_back(e);
+  }
+
+  // A clock operand: `x` or `x - y` with both names clocks.
+  struct ClockOperand {
+    std::uint32_t i = 0, j = 0;  // x_i − x_j (j = 0 for a plain clock)
+  };
+  [[nodiscard]] std::optional<ClockOperand> as_clock_operand(
+      const ExprAst& e) const {
+    if (e.kind == ExprAst::Kind::kName) {
+      const auto it = clocks_.find(e.name);
+      if (it != clocks_.end()) return ClockOperand{it->second.id, 0};
+      return std::nullopt;
+    }
+    if (e.kind == ExprAst::Kind::kBinary && e.bin_op == BinOp::kSub &&
+        e.lhs->kind == ExprAst::Kind::kName &&
+        e.rhs->kind == ExprAst::Kind::kName) {
+      const auto a = clocks_.find(e.lhs->name);
+      const auto b = clocks_.find(e.rhs->name);
+      if (a != clocks_.end() && b != clocks_.end()) {
+        return ClockOperand{a->second.id, b->second.id};
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Lowers `atom` into `out` when it is a clock constraint; returns
+  // false when the atom belongs to the data world instead.
+  bool lower_clock_constraint(const ExprAst& atom,
+                              std::vector<ClockConstraint>& out) {
+    if (atom.kind != ExprAst::Kind::kBinary) return false;
+    BinOp op = atom.bin_op;
+    if (op != BinOp::kEq && op != BinOp::kNe && op != BinOp::kLt &&
+        op != BinOp::kLe && op != BinOp::kGt && op != BinOp::kGe) {
+      return false;
+    }
+    std::optional<ClockOperand> clk = as_clock_operand(*atom.lhs);
+    const ExprAst* bound_side = atom.rhs.get();
+    if (!clk) {
+      clk = as_clock_operand(*atom.rhs);
+      if (!clk) return false;
+      bound_side = atom.lhs.get();
+      // Mirror: `c < x` ⇔ `x > c`.
+      switch (op) {
+        case BinOp::kLt: op = BinOp::kGt; break;
+        case BinOp::kLe: op = BinOp::kGe; break;
+        case BinOp::kGt: op = BinOp::kLt; break;
+        case BinOp::kGe: op = BinOp::kLe; break;
+        default: break;
+      }
+    }
+    if (op == BinOp::kNe) {
+      sink_.error(atom.pos, "'!=' is not a convex clock constraint");
+      out.clear();
+      return true;  // consumed (do not fall back to the data world)
+    }
+    const auto value = fold_const_expr(*bound_side);
+    if (!value) {
+      sink_.error(bound_side->pos,
+                  "clock comparisons need a constant integer bound");
+      out.clear();
+      return true;
+    }
+    if (*value <= -tigat::dbm::kMaxBoundValue ||
+        *value >= tigat::dbm::kMaxBoundValue) {
+      sink_.error(bound_side->pos, "clock bound is out of range");
+      out.clear();
+      return true;
+    }
+    const auto c = static_cast<tigat::dbm::bound_t>(*value);
+    const std::uint32_t i = clk->i, j = clk->j;
+    switch (op) {
+      case BinOp::kLt:
+        out.push_back({i, j, tigat::dbm::make_strict(c)});
+        break;
+      case BinOp::kLe:
+        out.push_back({i, j, tigat::dbm::make_weak(c)});
+        break;
+      case BinOp::kGt:
+        out.push_back({j, i, tigat::dbm::make_strict(-c)});
+        break;
+      case BinOp::kGe:
+        out.push_back({j, i, tigat::dbm::make_weak(-c)});
+        break;
+      case BinOp::kEq:
+        out.push_back({i, j, tigat::dbm::make_weak(c)});
+        out.push_back({j, i, tigat::dbm::make_weak(-c)});
+        break;
+      default:
+        break;
+    }
+    return true;
+  }
+
+  // ── data expressions ────────────────────────────────────────────────
+  // Lowers to tsystem::Expr; reports and returns a null Expr on errors.
+  Expr lower_expr(const ExprAst& e) {
+    switch (e.kind) {
+      case ExprAst::Kind::kNumber:
+        return Expr::constant(e.number);
+      case ExprAst::Kind::kName: {
+        for (std::size_t k = 0; k < binders_.size(); ++k) {
+          if (binders_[binders_.size() - 1 - k] == e.name) {
+            return Expr::bound_var(static_cast<std::uint32_t>(k));
+          }
+        }
+        if (const auto var = vars_.find(e.name); var != vars_.end()) {
+          if (sys_->data().decl(var->second).is_array()) {
+            sink_.error(e.pos,
+                        util::format("array '%s' needs an index here",
+                                     e.name.c_str()));
+            return {};
+          }
+          return Expr::var(var->second);
+        }
+        if (e.name == "true") return Expr::constant(1);
+        if (e.name == "false") return Expr::constant(0);
+        if (clocks_.contains(e.name)) {
+          sink_.error(e.pos,
+                      util::format("clock '%s' may only appear in simple "
+                                   "comparisons like '%s <= 3'",
+                                   e.name.c_str(), e.name.c_str()));
+          return {};
+        }
+        sink_.error(e.pos,
+                    util::format("unknown identifier '%s'", e.name.c_str()));
+        return {};
+      }
+      case ExprAst::Kind::kIndex: {
+        const auto var = vars_.find(e.name);
+        if (var == vars_.end()) {
+          sink_.error(e.pos,
+                      util::format("unknown variable '%s'", e.name.c_str()));
+          return {};
+        }
+        if (!sys_->data().decl(var->second).is_array()) {
+          sink_.error(e.pos,
+                      util::format("'%s' is not an array", e.name.c_str()));
+          return {};
+        }
+        const Expr index = lower_expr(*e.lhs);
+        if (index.is_null()) return {};
+        return Expr::var(var->second, index);
+      }
+      case ExprAst::Kind::kUnary: {
+        const Expr operand = lower_expr(*e.lhs);
+        if (operand.is_null()) return {};
+        return e.un_op == UnOp::kNeg ? -operand : !operand;
+      }
+      case ExprAst::Kind::kBinary: {
+        const Expr lhs = lower_expr(*e.lhs);
+        const Expr rhs = lower_expr(*e.rhs);
+        if (lhs.is_null() || rhs.is_null()) return {};
+        return Expr::binary(to_expr_kind(e.bin_op), lhs, rhs);
+      }
+      case ExprAst::Kind::kQuantifier: {
+        std::int64_t lo = 0, hi = -1;
+        if (!e.range_array.empty()) {
+          const auto var = vars_.find(e.range_array);
+          if (var == vars_.end() ||
+              !sys_->data().decl(var->second).is_array()) {
+            sink_.error(e.pos,
+                        util::format("quantifier range '%s' is not a "
+                                     "declared array",
+                                     e.range_array.c_str()));
+            return {};
+          }
+          hi = static_cast<std::int64_t>(
+                   sys_->data().decl(var->second).size) -
+               1;
+        } else {
+          const auto lo_v = fold_const(e.range_lo, "quantifier range");
+          const auto hi_v = fold_const(e.range_hi, "quantifier range");
+          if (!lo_v || !hi_v) return {};
+          lo = *lo_v;
+          hi = *hi_v;
+        }
+        binders_.push_back(e.name);
+        const Expr body = lower_expr(*e.lhs);
+        binders_.pop_back();
+        if (body.is_null()) return {};
+        return e.is_forall ? Expr::forall(lo, hi, body)
+                           : Expr::exists(lo, hi, body);
+      }
+    }
+    return {};
+  }
+
+  static Expr::Kind to_expr_kind(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd: return Expr::Kind::kAdd;
+      case BinOp::kSub: return Expr::Kind::kSub;
+      case BinOp::kMul: return Expr::Kind::kMul;
+      case BinOp::kDiv: return Expr::Kind::kDiv;
+      case BinOp::kMod: return Expr::Kind::kMod;
+      case BinOp::kEq: return Expr::Kind::kEq;
+      case BinOp::kNe: return Expr::Kind::kNe;
+      case BinOp::kLt: return Expr::Kind::kLt;
+      case BinOp::kLe: return Expr::Kind::kLe;
+      case BinOp::kGt: return Expr::Kind::kGt;
+      case BinOp::kGe: return Expr::Kind::kGe;
+      case BinOp::kAnd: return Expr::Kind::kAnd;
+      case BinOp::kOr: return Expr::Kind::kOr;
+    }
+    return Expr::Kind::kAdd;
+  }
+
+  // ── constant folding ────────────────────────────────────────────────
+  // Integer-folds an expression that may not mention clocks, variables
+  // or quantifiers (declaration bounds, reset values, clock bounds).
+  [[nodiscard]] std::optional<std::int64_t> fold_const_expr(
+      const ExprAst& e) const {
+    switch (e.kind) {
+      case ExprAst::Kind::kNumber:
+        return e.number;
+      case ExprAst::Kind::kName:
+        if (e.name == "true") return 1;
+        if (e.name == "false") return 0;
+        return std::nullopt;
+      case ExprAst::Kind::kUnary: {
+        const auto v = fold_const_expr(*e.lhs);
+        if (!v) return std::nullopt;
+        if (e.un_op == UnOp::kNot) return *v == 0 ? 1 : 0;
+        if (*v == std::numeric_limits<std::int64_t>::min()) {
+          return std::nullopt;
+        }
+        return -*v;
+      }
+      case ExprAst::Kind::kBinary: {
+        const auto a = fold_const_expr(*e.lhs);
+        const auto b = fold_const_expr(*e.rhs);
+        if (!a || !b) return std::nullopt;
+        // Overflow makes the expression non-constant rather than UB.
+        std::int64_t r = 0;
+        switch (e.bin_op) {
+          case BinOp::kAdd:
+            if (__builtin_add_overflow(*a, *b, &r)) return std::nullopt;
+            return r;
+          case BinOp::kSub:
+            if (__builtin_sub_overflow(*a, *b, &r)) return std::nullopt;
+            return r;
+          case BinOp::kMul:
+            if (__builtin_mul_overflow(*a, *b, &r)) return std::nullopt;
+            return r;
+          case BinOp::kDiv:
+            if (*b == 0 ||
+                (*a == std::numeric_limits<std::int64_t>::min() && *b == -1)) {
+              return std::nullopt;
+            }
+            return *a / *b;
+          case BinOp::kMod:
+            if (*b == 0 ||
+                (*a == std::numeric_limits<std::int64_t>::min() && *b == -1)) {
+              return std::nullopt;
+            }
+            return *a % *b;
+          case BinOp::kEq: return *a == *b ? 1 : 0;
+          case BinOp::kNe: return *a != *b ? 1 : 0;
+          case BinOp::kLt: return *a < *b ? 1 : 0;
+          case BinOp::kLe: return *a <= *b ? 1 : 0;
+          case BinOp::kGt: return *a > *b ? 1 : 0;
+          case BinOp::kGe: return *a >= *b ? 1 : 0;
+          case BinOp::kAnd: return (*a != 0 && *b != 0) ? 1 : 0;
+          case BinOp::kOr: return (*a != 0 || *b != 0) ? 1 : 0;
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // As fold_const_expr, but reports a positioned error on failure.
+  std::optional<std::int64_t> fold_const(const ExprPtr& e, const char* what) {
+    if (!e) return std::nullopt;
+    const auto v = fold_const_expr(*e);
+    if (!v) {
+      sink_.error(e->pos,
+                  util::format("%s must be a constant integer expression",
+                               what));
+    }
+    return v;
+  }
+
+  // ── control properties ──────────────────────────────────────────────
+  void elaborate_control(const System& system, const ControlDeclAst& decl,
+                         std::vector<tsystem::TestPurpose>& purposes) {
+    static constexpr std::string_view kPrefix = "control: ";
+    const std::string text = std::string(kPrefix) + decl.text;
+    try {
+      purposes.push_back(tsystem::TestPurpose::parse(system, text));
+    } catch (const tsystem::PurposeParseError& e) {
+      const std::size_t rel =
+          e.offset >= kPrefix.size() ? e.offset - kPrefix.size() : 0;
+      // `detail` has no "offset N" prefix — the diagnostic carries the
+      // file position itself.
+      sink_.error({static_cast<std::uint32_t>(decl.pos.offset + rel)},
+                  e.detail);
+    } catch (const ModelError& e) {
+      sink_.error(decl.pos, e.what());
+    }
+  }
+
+  const ModelAst& ast_;
+  const std::string& fallback_name_;
+  DiagnosticSink& sink_;
+  std::optional<System> sys_;
+  std::unordered_map<std::string, NameKind> names_;
+  std::unordered_map<std::string, Clock> clocks_;
+  std::unordered_map<std::string, ChannelId> channels_;
+  std::unordered_map<std::string, VarId> vars_;
+  std::vector<std::string> binders_;
+};
+
+}  // namespace
+
+std::optional<ElaboratedModel> elaborate(const ModelAst& ast,
+                                         const std::string& fallback_name,
+                                         DiagnosticSink& sink) {
+  return Elaborator(ast, fallback_name, sink).run();
+}
+
+}  // namespace tigat::lang

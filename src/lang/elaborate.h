@@ -1,0 +1,47 @@
+// Elaboration: name resolution + lowering of a ModelAst onto the
+// tsystem::System fluent API.
+//
+// The elaborator owns every semantic rule of the language:
+//
+//   * one global namespace for clocks, channels, variables and
+//     processes (duplicates are reported at the second declaration);
+//   * `when` conjuncts are classified syntactically — a comparison with
+//     a clock (or clock difference) on one side and a constant integer
+//     expression on the other lowers to a DBM ClockConstraint (with
+//     `==` expanding to the two weak bounds); everything else lowers to
+//     a data guard Expr;
+//   * `do` items lower to clock resets (constant right-hand sides) or
+//     data assignments, preserving source order;
+//   * `control:` declarations are handed to tsystem::TestPurpose::parse
+//     against the finalized system, and parse errors are mapped back to
+//     exact file positions via PurposeParseError::offset.
+//
+// All problems are reported through the DiagnosticSink; elaboration
+// continues past per-edge errors so one pass surfaces as many
+// independent mistakes as possible.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/diag.h"
+#include "tsystem/property.h"
+#include "tsystem/system.h"
+
+namespace tigat::lang {
+
+struct ElaboratedModel {
+  tsystem::System system;  // finalized
+  std::vector<tsystem::TestPurpose> purposes;  // one per control decl
+};
+
+// Lowers `ast`; returns nullopt when any diagnostic of error severity
+// was emitted (the sink then holds the full report).  `fallback_name`
+// names the system when the source has no `system` declaration.
+[[nodiscard]] std::optional<ElaboratedModel> elaborate(
+    const ModelAst& ast, const std::string& fallback_name,
+    DiagnosticSink& sink);
+
+}  // namespace tigat::lang

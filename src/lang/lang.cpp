@@ -1,0 +1,64 @@
+#include "lang/lang.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "lang/parser.h"
+#include "util/text.h"
+
+namespace tigat::lang {
+
+namespace {
+
+// "models/smart_light.tg" → "smart_light": the fallback system name.
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+  return stem.empty() ? "model" : stem;
+}
+
+// The one compile pipeline; both public entry points wrap it.
+std::optional<LoadedModel> compile_with_sink(DiagnosticSink& sink) {
+  const ModelAst ast = parse(sink.source(), sink);
+  if (sink.has_errors()) return std::nullopt;
+  return elaborate(ast, stem_of(sink.source().name()), sink);
+}
+
+LoadedModel compile_or_throw(std::string_view text, const std::string& name) {
+  const Source source(name, std::string(text));
+  DiagnosticSink sink(source);
+  std::optional<LoadedModel> model = compile_with_sink(sink);
+  if (!model) throw LangError(sink.render_all());
+  return std::move(*model);
+}
+
+}  // namespace
+
+std::optional<LoadedModel> compile_model(std::string_view source_text,
+                                         const std::string& name,
+                                         std::vector<Diagnostic>& diagnostics) {
+  const Source source(name, std::string(source_text));
+  DiagnosticSink sink(source);
+  std::optional<LoadedModel> model = compile_with_sink(sink);
+  diagnostics = sink.diagnostics();
+  return model;
+}
+
+LoadedModel load_model(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw LangError(util::format("%s: cannot open model file", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return compile_or_throw(buffer.str(), path);
+}
+
+LoadedModel load_model_from_string(std::string_view source,
+                                   const std::string& name) {
+  return compile_or_throw(source, name);
+}
+
+}  // namespace tigat::lang

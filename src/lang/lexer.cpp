@@ -1,0 +1,232 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+#include "util/text.h"
+
+namespace tigat::lang {
+
+const char* to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof: return "end of file";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kString: return "string";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kArrow: return "'->'";
+    case TokKind::kAssignOp: return "':='";
+    case TokKind::kEquals: return "'='";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kQuestion: return "'?'";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kDotDot: return "'..'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kEqEq: return "'=='";
+    case TokKind::kNotEq: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+  }
+  return "token";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  Lexer(const Source& source, DiagnosticSink& sink)
+      : text_(source.text()), sink_(sink) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_trivia();
+      Token tok = next();
+      const bool done = tok.kind == TokKind::kEof;
+      out.push_back(tok);
+      if (done) break;
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return at_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return at_ + ahead < text_.size() ? text_[at_ + ahead] : '\0';
+  }
+  [[nodiscard]] Pos here() const { return {static_cast<std::uint32_t>(at_)}; }
+
+  void skip_trivia() {
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++at_;
+      } else if (c == '/' && peek(1) == '/') {
+        while (!eof() && peek() != '\n') ++at_;
+      } else if (c == '/' && peek(1) == '*') {
+        const Pos open = here();
+        at_ += 2;
+        while (!eof() && !(peek() == '*' && peek(1) == '/')) ++at_;
+        if (eof()) {
+          sink_.error(open, "unterminated block comment");
+        } else {
+          at_ += 2;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token make(TokKind kind, std::size_t begin) {
+    Token t;
+    t.kind = kind;
+    t.pos = {static_cast<std::uint32_t>(begin)};
+    t.text = text_.substr(begin, at_ - begin);
+    return t;
+  }
+
+  Token next() {
+    while (true) {
+      if (eof()) return make(TokKind::kEof, at_);
+      const std::size_t begin = at_;
+      const char c = peek();
+
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::int64_t value = 0;
+        bool overflow = false;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          if (!overflow) {
+            value = value * 10 + (peek() - '0');
+            // Stop accumulating once out of range (keeps consuming the
+            // digits, but never overflows the int64).
+            if (value > (std::int64_t{1} << 40)) overflow = true;
+          }
+          ++at_;
+        }
+        Token t = make(TokKind::kNumber, begin);
+        if (overflow) {
+          sink_.error(t.pos, "integer literal is out of range");
+          value = 0;
+        }
+        t.number = value;
+        return t;
+      }
+
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (std::isalnum(static_cast<unsigned char>(peek())) ||
+               peek() == '_') {
+          ++at_;
+        }
+        return make(TokKind::kIdent, begin);
+      }
+
+      if (c == '"') {
+        ++at_;
+        std::size_t content = at_;
+        while (!eof() && peek() != '"' && peek() != '\n') ++at_;
+        if (peek() != '"') {
+          Token t = make(TokKind::kString, begin);
+          sink_.error(t.pos, "unterminated string literal");
+          t.text = text_.substr(content, at_ - content);
+          return t;
+        }
+        Token t = make(TokKind::kString, begin);
+        t.text = text_.substr(content, at_ - content);
+        ++at_;  // closing quote
+        return t;
+      }
+
+      const auto two = [&](char second) { return peek(1) == second; };
+      switch (c) {
+        case '{': ++at_; return make(TokKind::kLBrace, begin);
+        case '}': ++at_; return make(TokKind::kRBrace, begin);
+        case '[': ++at_; return make(TokKind::kLBracket, begin);
+        case ']': ++at_; return make(TokKind::kRBracket, begin);
+        case '(': ++at_; return make(TokKind::kLParen, begin);
+        case ')': ++at_; return make(TokKind::kRParen, begin);
+        case ',': ++at_; return make(TokKind::kComma, begin);
+        case ';': ++at_; return make(TokKind::kSemi, begin);
+        case '?': ++at_; return make(TokKind::kQuestion, begin);
+        case '+': ++at_; return make(TokKind::kPlus, begin);
+        case '*': ++at_; return make(TokKind::kStar, begin);
+        case '/': ++at_; return make(TokKind::kSlash, begin);
+        case '%': ++at_; return make(TokKind::kPercent, begin);
+        case '-':
+          if (two('>')) { at_ += 2; return make(TokKind::kArrow, begin); }
+          ++at_;
+          return make(TokKind::kMinus, begin);
+        case ':':
+          if (two('=')) { at_ += 2; return make(TokKind::kAssignOp, begin); }
+          ++at_;
+          return make(TokKind::kColon, begin);
+        case '=':
+          if (two('=')) { at_ += 2; return make(TokKind::kEqEq, begin); }
+          ++at_;
+          return make(TokKind::kEquals, begin);
+        case '!':
+          if (two('=')) { at_ += 2; return make(TokKind::kNotEq, begin); }
+          ++at_;
+          return make(TokKind::kBang, begin);
+        case '<':
+          if (two('=')) { at_ += 2; return make(TokKind::kLe, begin); }
+          ++at_;
+          return make(TokKind::kLt, begin);
+        case '>':
+          if (two('=')) { at_ += 2; return make(TokKind::kGe, begin); }
+          ++at_;
+          return make(TokKind::kGt, begin);
+        case '&':
+          if (two('&')) { at_ += 2; return make(TokKind::kAndAnd, begin); }
+          break;
+        case '|':
+          if (two('|')) { at_ += 2; return make(TokKind::kOrOr, begin); }
+          break;
+        case '.':
+          if (two('.')) { at_ += 2; return make(TokKind::kDotDot, begin); }
+          ++at_;
+          return make(TokKind::kDot, begin);
+        default:
+          break;
+      }
+
+      // Stray character: report once, resynchronise and loop (no
+      // recursion — garbage input must not grow the stack).
+      if (std::isprint(static_cast<unsigned char>(c))) {
+        sink_.error(here(), util::format("unexpected character '%c'", c));
+      } else {
+        sink_.error(here(), util::format("unexpected byte 0x%02x",
+                                         static_cast<unsigned char>(c)));
+      }
+      ++at_;
+      skip_trivia();
+    }
+  }
+
+  std::string_view text_;
+  DiagnosticSink& sink_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const Source& source, DiagnosticSink& sink) {
+  return Lexer(source, sink).run();
+}
+
+}  // namespace tigat::lang

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the .tg model language.
+//
+// The parser is resilient: a syntax error is reported to the sink and
+// parsing resynchronises at the next declaration boundary (`;`, `}` or
+// a declaration keyword), so a single pass surfaces every independent
+// error in the file.  The returned AST covers whatever parsed cleanly;
+// callers must check `sink.has_errors()` before elaborating.
+#pragma once
+
+#include "lang/ast.h"
+#include "lang/diag.h"
+#include "lang/lexer.h"
+
+namespace tigat::lang {
+
+[[nodiscard]] ModelAst parse(const Source& source, DiagnosticSink& sink);
+
+}  // namespace tigat::lang

@@ -15,7 +15,9 @@ std::size_t DataState::hash() const noexcept {
 
 VarId DataLayout::add_scalar(std::string name, std::int32_t lo, std::int32_t hi,
                              std::int32_t init) {
-  return add_array(std::move(name), 1, lo, hi, init);
+  const VarId id = add_array(std::move(name), 1, lo, hi, init);
+  decls_[id.index].declared_array = false;
+  return id;
 }
 
 VarId DataLayout::add_array(std::string name, std::uint32_t size,
@@ -33,6 +35,7 @@ VarId DataLayout::add_array(std::string name, std::uint32_t size,
   d.hi = hi;
   d.init = init;
   d.size = size;
+  d.declared_array = true;
   d.first_slot = next_slot_;
   next_slot_ += size;
   decls_.push_back(std::move(d));

@@ -35,7 +35,10 @@ struct VarDecl {
   std::int32_t init = 0;
   std::uint32_t size = 1;        // 1 for scalars
   std::uint32_t first_slot = 0;  // into DataState
-  [[nodiscard]] bool is_array() const { return size > 1; }
+  // Declared via add_array (true even for size-1 arrays, which index
+  // like any other array).
+  bool declared_array = false;
+  [[nodiscard]] bool is_array() const { return declared_array; }
 };
 
 // Concrete discrete state: one value per slot.

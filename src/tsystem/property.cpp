@@ -185,13 +185,18 @@ class Lexer {
   const Token& peek() const { return tok_; }
   Token take() {
     Token t = tok_;
+    prev_pos_ = tok_.pos;
     advance();
     return t;
   }
 
+  // Positioned at the lookahead token; use fail_prev when the
+  // offending token has already been taken.
   [[noreturn]] void fail(const std::string& message) const {
-    throw ModelError(util::format("test purpose, offset %zu: %s", tok_.pos,
-                                  message.c_str()));
+    throw PurposeParseError(message, tok_.pos);
+  }
+  [[noreturn]] void fail_prev(const std::string& message) const {
+    throw PurposeParseError(message, prev_pos_);
   }
 
  private:
@@ -248,6 +253,7 @@ class Lexer {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t prev_pos_ = 0;
   Token tok_;
 };
 
@@ -352,9 +358,12 @@ class FormulaParser {
       const std::string name = lex_.take().text;
       if (const auto var = sys_.data().find(name)) {
         const auto& d = sys_.data().decl(*var);
+        if (!d.is_array()) {
+          lex_.fail_prev("quantifier range '" + name + "' is not an array");
+        }
         return {0, static_cast<std::int64_t>(d.size) - 1};
       }
-      lex_.fail("unknown range '" + name + "'");
+      lex_.fail_prev("unknown range '" + name + "'");
     }
     lex_.fail("expected quantifier range");
   }
@@ -455,7 +464,7 @@ class FormulaParser {
         }
       }
       const auto var = sys_.data().find(name);
-      if (!var) lex_.fail("unknown identifier '" + name + "'");
+      if (!var) lex_.fail_prev("unknown identifier '" + name + "'");
       if (is_symbol("[")) {
         lex_.take();
         Expr index = parse_sum();
@@ -479,8 +488,15 @@ TestPurpose TestPurpose::parse(const System& system, std::string_view text) {
   TestPurpose purpose;
   purpose.source = std::string(util::trim(text));
   std::string_view rest = util::trim(text);
+  // Offset of the tail under scrutiny within `text` (trim/substr keep
+  // views into the same buffer), so every error can carry an absolute
+  // position.
+  const auto offset_of = [&text](std::string_view tail) {
+    return static_cast<std::size_t>(tail.data() - text.data());
+  };
   if (!util::starts_with(rest, "control:")) {
-    throw ModelError("test purpose must start with 'control:'");
+    throw PurposeParseError("test purpose must start with 'control:'",
+                            offset_of(rest));
   }
   rest = util::trim(rest.substr(std::string_view("control:").size()));
   if (util::starts_with(rest, "A<>")) {
@@ -490,10 +506,20 @@ TestPurpose TestPurpose::parse(const System& system, std::string_view text) {
     purpose.kind = PurposeKind::kSafety;
     rest = rest.substr(3);
   } else {
-    throw ModelError("expected 'A<>' or 'A[]' after 'control:'");
+    throw PurposeParseError("expected 'A<>' or 'A[]' after 'control:'",
+                            offset_of(rest));
   }
   FormulaParser parser(system, rest);
-  purpose.formula = parser.parse_full();
+  try {
+    purpose.formula = parser.parse_full();
+  } catch (const PurposeParseError& e) {
+    // Rebase the offset onto `text` and prefix the message with the
+    // (now absolute) position, keeping the bare message in `detail`.
+    const std::size_t offset = e.offset + offset_of(rest);
+    throw PurposeParseError(
+        util::format("test purpose, offset %zu: %s", offset, e.detail.c_str()),
+        offset, e.detail);
+  }
   return purpose;
 }
 

@@ -63,6 +63,23 @@ class StateFormula {
   std::shared_ptr<const FormulaNode> node_;
 };
 
+// Parse failure inside a test-purpose text.  Carries the byte offset
+// of the offending token relative to the text given to
+// TestPurpose::parse, so embedders (the .tg model language) can map it
+// onto a source file position.
+class PurposeParseError : public ModelError {
+ public:
+  PurposeParseError(const std::string& message, std::size_t offset)
+      : ModelError(message), offset(offset), detail(message) {}
+  PurposeParseError(const std::string& message, std::size_t offset,
+                    std::string detail_text)
+      : ModelError(message), offset(offset), detail(std::move(detail_text)) {}
+  std::size_t offset = 0;
+  // The message without any "offset N" prefix, for embedders that
+  // render the position themselves.
+  std::string detail;
+};
+
 enum class PurposeKind : std::uint8_t {
   kReach,   // control: A<> φ
   kSafety,  // control: A[] φ

@@ -59,8 +59,8 @@ TEST_F(ExprTest, BooleansShortCircuitSemantics) {
 }
 
 TEST_F(ExprTest, DivisionByZeroThrows) {
-  EXPECT_THROW((lit(1) / lit(0)).eval(state_, layout_), ModelError);
-  EXPECT_THROW((lit(1) % lit(0)).eval(state_, layout_), ModelError);
+  EXPECT_THROW((void)(lit(1) / lit(0)).eval(state_, layout_), ModelError);
+  EXPECT_THROW((void)(lit(1) % lit(0)).eval(state_, layout_), ModelError);
 }
 
 TEST_F(ExprTest, ArrayAccess) {
@@ -72,8 +72,9 @@ TEST_F(ExprTest, ArrayAccess) {
 }
 
 TEST_F(ExprTest, ArrayIndexOutOfRangeThrows) {
-  EXPECT_THROW(Expr::var(arr_, lit(4)).eval(state_, layout_), ModelError);
-  EXPECT_THROW(Expr::var(arr_, lit(-1)).eval(state_, layout_), ModelError);
+  EXPECT_THROW((void)Expr::var(arr_, lit(4)).eval(state_, layout_), ModelError);
+  EXPECT_THROW((void)Expr::var(arr_, lit(-1)).eval(state_, layout_),
+               ModelError);
 }
 
 TEST_F(ExprTest, ForallExists) {
