@@ -9,6 +9,7 @@
 // with it while the zone solver's state count stays flat.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "game/region_solver.h"
 #include "game/solver.h"
 #include "models/smart_light.h"
@@ -16,8 +17,9 @@
 #include "util/table_printer.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tigat;
+  benchio::BenchReport report("ablation_solver", argc, argv);
 
   std::printf(
       "Ablation: zone solver (UPPAAL-TIGA style) vs region-graph baseline\n"
@@ -53,6 +55,14 @@ int main() {
                            region_solver.winning_from_initial()
                        ? "yes"
                        : "NO"});
+    auto& row = report.add_row();
+    row.set("t_idle", static_cast<int>(t_idle));
+    row.set("zone_states", zone->stats().keys);
+    row.set("zone_s", zone_time);
+    row.set("region_nodes", region_solver.stats().nodes);
+    row.set("region_s", region_time);
+    row.set("agree", zone->winning_from_initial() ==
+                         region_solver.winning_from_initial());
   }
 
   std::printf("%s\n", table.to_string().c_str());
@@ -60,5 +70,6 @@ int main() {
       "expected shape: region nodes grow roughly linearly in Tidle (and\n"
       "multiplicatively per clock), zone states stay constant — the\n"
       "motivation for zone-based on-the-fly timed-game solving.\n");
+  report.flush();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_json.h"
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "models/smart_light.h"
@@ -19,9 +20,10 @@
 #include "util/table_printer.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tigat;
   constexpr std::int64_t kScale = 16;
+  benchio::BenchReport report("fault_detection", argc, argv);
 
   models::SmartLight spec = models::make_smart_light();
   models::SmartLight plant = models::make_smart_light_plant_only();
@@ -75,7 +77,13 @@ int main() {
                    util::format("%d", counts.first),
                    util::format("%.0f%%", 100.0 * counts.first /
                                               counts.second)});
+    auto& row = report.add_row();
+    row.set("operator", testing::to_string(kind));
+    row.set("mutants", counts.second);
+    row.set("killed", counts.first);
   }
+  report.root().set("total_mutants", mutants.size());
+  report.root().set("total_killed", killed_total);
   table.add_row({"TOTAL", util::format("%zu", mutants.size()),
                  util::format("%d", killed_total),
                  util::format("%.0f%%",
@@ -87,5 +95,6 @@ int main() {
       "behaviour (e.g. faults on edges the purposes never drive the\n"
       "light through) — targeted testing is purpose-complete, not\n"
       "exhaustive (Sec. 3.4).\n");
+  report.flush();
   return 0;
 }

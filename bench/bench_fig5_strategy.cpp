@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench_json.h"
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "models/smart_light.h"
@@ -17,6 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace tigat;
+  benchio::BenchReport report("fig5_strategy", argc, argv);
 
   models::SmartLight light = models::make_smart_light();
 
@@ -41,5 +43,11 @@ int main(int argc, char** argv) {
               solution->stats().keys, solution->stats().rounds,
               strategy.size());
   std::printf("%s\n", strategy.to_string().c_str());
+  report.root().set("generate_s", watch.seconds());
+  report.root().set("winning", solution->winning_from_initial());
+  report.root().set("states", solution->stats().keys);
+  report.root().set("rounds", solution->stats().rounds);
+  report.root().set("strategy_rows", strategy.size());
+  report.flush();
   return 0;
 }

@@ -1,0 +1,193 @@
+// Machine-readable benchmark output, shared by every bench_*.cpp.
+//
+// Activation (all benches):
+//   --json              write BENCH_<name>.json in the working dir
+//   --json=DIR          write DIR/BENCH_<name>.json
+//   --json=FILE.json    write exactly FILE.json
+//   TIGAT_BENCH_JSON=…  same values via the environment (CI artifacts)
+//
+// Plain benches build a BenchReport (scalar fields + a "rows" array) and
+// flush it in main; Google-Benchmark benches pass the resolved path to
+// gbench's own JSON reporter via --benchmark_out (see gbench_main).
+// Either way one run yields one BENCH_<name>.json for the perf
+// trajectory to ingest.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tigat::benchio {
+
+// Resolved output path, or "" when JSON output was not requested.
+inline std::string resolve_json_path(int argc, char** argv,
+                                     const std::string& bench_name) {
+  bool enabled = false;
+  std::string base;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      enabled = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      enabled = true;
+      base = arg.substr(7);
+    }
+  }
+  if (!enabled) {
+    if (const char* env = std::getenv("TIGAT_BENCH_JSON")) {
+      enabled = *env != '\0';
+      base = env;
+      if (base == "1") base.clear();  // TIGAT_BENCH_JSON=1 → working dir
+    }
+  }
+  if (!enabled) return {};
+  const std::string file = "BENCH_" + bench_name + ".json";
+  if (base.empty()) return file;
+  if (base.size() > 5 && base.compare(base.size() - 5, 5, ".json") == 0) {
+    return base;
+  }
+  return base + "/" + file;
+}
+
+// Strips --json flags so they can coexist with other argument parsers
+// (Google Benchmark rejects flags it does not know).
+inline void strip_json_args(int& argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) continue;
+    argv[w++] = argv[i];
+  }
+  argc = w;
+}
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+class JsonObject {
+ public:
+  void set(std::string_view key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", value);
+    raw(key, buf);
+  }
+  void set(std::string_view key, long long value) {
+    raw(key, std::to_string(value));
+  }
+  void set(std::string_view key, std::size_t value) {
+    raw(key, std::to_string(value));
+  }
+  void set(std::string_view key, int value) {
+    raw(key, std::to_string(value));
+  }
+  void set(std::string_view key, bool value) {
+    raw(key, value ? "true" : "false");
+  }
+  void set(std::string_view key, std::string_view value) {
+    raw(key, "\"" + json_escape(value) + "\"");
+  }
+  void set(std::string_view key, const char* value) {
+    set(key, std::string_view(value));
+  }
+  void raw(std::string_view key, std::string rendered) {
+    fields_.emplace_back(std::string(key), std::move(rendered));
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, int argc, char** argv)
+      : name_(std::move(bench_name)),
+        path_(resolve_json_path(argc, argv, name_)) {
+    root_.set("bench", name_);
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  JsonObject& root() { return root_; }
+  JsonObject& add_row() { return rows_.emplace_back(); }
+
+  // Writes the report; returns false (with a note on stderr) on I/O
+  // failure.  No-op when JSON output was not requested.
+  bool flush() const {
+    if (!enabled()) return true;
+    std::string out = root_.render();
+    out.pop_back();  // reopen the root object to append "rows"
+    if (out.size() > 1) out += ", ";
+    out += "\"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += rows_[i].render();
+    }
+    out += "]}\n";
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench_json: wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  JsonObject root_;
+  std::vector<JsonObject> rows_;
+};
+
+// Shared main for Google-Benchmark benches (visible only after
+// <benchmark/benchmark.h> was included): resolves --json /
+// TIGAT_BENCH_JSON into gbench's own JSON reporter and keeps
+// BENCHMARK_MAIN's unrecognized-argument check.
+#ifdef BENCHMARK
+inline int gbench_main(int argc, char** argv, const char* bench_name) {
+  const std::string json = resolve_json_path(argc, argv, bench_name);
+  strip_json_args(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!json.empty()) {
+    out_flag = "--benchmark_out=" + json;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+#endif  // BENCHMARK
+
+}  // namespace tigat::benchio

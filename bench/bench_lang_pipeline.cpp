@@ -8,12 +8,16 @@
 //
 // Environment overrides:
 //   TIGAT_LANG_BENCH_REPS  compile repetitions for the timing (default 32)
+//
+// --json / TIGAT_BENCH_JSON additionally writes the same rows to
+// BENCH_lang_pipeline.json (see bench_json.h).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "game/solver.h"
 #include "lang/lang.h"
 #include "util/memory_meter.h"
@@ -34,8 +38,10 @@ int env_int(const char* name, int fallback) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int reps = std::max(1, env_int("TIGAT_LANG_BENCH_REPS", 32));
+  benchio::BenchReport report("lang_pipeline", argc, argv);
+  report.root().set("reps", reps);
   const std::vector<std::string> models = {"smart_light", "lep"};
 
   for (const std::string& name : models) {
@@ -65,7 +71,18 @@ int main() {
           solution->stats().rounds,
           solution->winning_from_initial() ? "true" : "false",
           util::to_mebibytes(solution->stats().peak_zone_bytes));
+      auto& row = report.add_row();
+      row.set("model", name);
+      row.set("purpose", i);
+      row.set("compile_s", compile_s);
+      row.set("solve_s", solve_s);
+      row.set("states", solution->stats().keys);
+      row.set("rounds", solution->stats().rounds);
+      row.set("winning", solution->winning_from_initial());
+      row.set("mem_mb",
+              util::to_mebibytes(solution->stats().peak_zone_bytes));
     }
   }
+  report.flush();
   return 0;
 }

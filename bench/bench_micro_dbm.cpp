@@ -1,8 +1,14 @@
 // Micro-benchmarks of the symbolic substrate (ablation A2 in
 // DESIGN.md): the DBM/federation operations whose cost dominates the
-// game fixpoint — closure, delay operators, subtraction and pred_t.
+// game fixpoint — closure, delay operators, subtraction, pred_t, and
+// the federation maintenance (add/reduce with the bound-signature
+// pre-filter).  --json / TIGAT_BENCH_JSON writes the gbench JSON to
+// BENCH_micro_dbm.json.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench_json.h"
 #include "dbm/dbm.h"
 #include "dbm/federation.h"
 #include "util/rng.h"
@@ -106,6 +112,50 @@ void BM_FedSubset(benchmark::State& state) {
 }
 BENCHMARK(BM_FedSubset)->Arg(3)->Arg(6);
 
+// Fed::add at growing member counts: the quadratic-in-practice path the
+// single-pass relation() scan keeps flat.
+void BM_FedAdd(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  const auto zones = static_cast<int>(state.range(1));
+  tigat::util::Rng rng(31);
+  std::vector<Dbm> pool;
+  pool.reserve(static_cast<std::size_t>(zones));
+  for (int i = 0; i < zones; ++i) pool.push_back(random_zone(rng, dim, 50));
+  for (auto _ : state) {
+    Fed f(dim);
+    for (const Dbm& z : pool) f.add(z);
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_FedAdd)->Args({3, 8})->Args({3, 32})->Args({6, 8})->Args({6, 32});
+
+// Fed::reduce with duplicates and strict subsets mixed in — exercises
+// the bound-signature pre-filter (most pairs skip the full relation()).
+void BM_FedReduce(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  const auto zones = static_cast<int>(state.range(1));
+  tigat::util::Rng rng(37);
+  std::vector<Dbm> pool;
+  for (int i = 0; i < zones; ++i) {
+    Dbm z = random_zone(rng, dim, 50);
+    Dbm shrunk(z);
+    shrunk.constrain(1, 0, make_weak(static_cast<bound_t>(rng.range(5, 40))));
+    pool.push_back(std::move(z));
+    if (!shrunk.is_empty()) pool.push_back(std::move(shrunk));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fed f(dim);
+    for (const Dbm& z : pool) f |= z;
+    state.ResumeTiming();
+    f.reduce();
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_FedReduce)->Args({3, 16})->Args({6, 16})->Args({6, 64});
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tigat::benchio::gbench_main(argc, argv, "micro_dbm");
+}

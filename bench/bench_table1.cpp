@@ -5,23 +5,30 @@
 // plays that role here, see EXPERIMENTS.md).
 //
 // Environment overrides:
-//   TIGAT_TABLE1_MAX_N   largest n to attempt            (default 6)
-//   TIGAT_TABLE1_BUDGET  per-cell wall-clock budget, s   (default 60)
-//   TIGAT_TABLE1_MEM_MB  per-cell zone-memory budget, MB (default 1024)
+//   TIGAT_TABLE1_MAX_N    largest n to attempt            (default 6)
+//   TIGAT_TABLE1_BUDGET   per-cell wall-clock budget, s   (default 60)
+//   TIGAT_TABLE1_MEM_MB   per-cell zone-memory budget, MB (default 1024)
+//   TIGAT_TABLE1_THREADS  solver threads; 0 = hardware    (default 0)
+//   TIGAT_TABLE1_SPEEDUP  0 disables the 1-vs-N rerun     (default 1)
 //
 // Once a cell blows the budget, larger n in the same row are reported
 // "/" without being run (the growth is monotone).
+//
+// With --json (or TIGAT_BENCH_JSON, see bench_json.h) every cell and
+// the 1-thread-vs-N-thread speedup figure land in BENCH_table1.json.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "game/solver.h"
 #include "models/lep.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 #include "util/text.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -29,18 +36,20 @@ using namespace tigat;
 
 struct Cell {
   bool completed = false;
+  bool winning = false;
   double seconds = 0.0;
   double mebibytes = 0.0;
 };
 
 Cell run_cell(std::uint32_t nodes, const std::string& purpose, double budget,
-              std::size_t mem_budget_bytes) {
+              std::size_t mem_budget_bytes, unsigned threads) {
   Cell cell;
   try {
     models::Lep lep = models::make_lep({.nodes = nodes});
     game::SolverOptions options;
     options.exploration.deadline_seconds = budget;
     options.exploration.max_zone_bytes = mem_budget_bytes;
+    options.threads = threads;
     util::Stopwatch watch;
     game::GameSolver solver(
         lep.system, tsystem::TestPurpose::parse(lep.system, purpose), options);
@@ -48,7 +57,8 @@ Cell run_cell(std::uint32_t nodes, const std::string& purpose, double budget,
     cell.completed = true;
     cell.seconds = watch.seconds();
     cell.mebibytes = util::to_mebibytes(solution->stats().peak_zone_bytes);
-    if (!solution->winning_from_initial()) {
+    cell.winning = solution->winning_from_initial();
+    if (!cell.winning) {
       std::fprintf(stderr, "warning: %s not controllable at n=%u\n",
                    purpose.c_str(), nodes);
     }
@@ -65,11 +75,23 @@ int env_int(const char* name, int fallback) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int max_n = env_int("TIGAT_TABLE1_MAX_N", 6);
   const double budget = env_int("TIGAT_TABLE1_BUDGET", 60);
   const auto mem_budget =
       static_cast<std::size_t>(env_int("TIGAT_TABLE1_MEM_MB", 1024)) << 20;
+  const auto threads =
+      static_cast<unsigned>(env_int("TIGAT_TABLE1_THREADS", 0));
+  const bool with_speedup = env_int("TIGAT_TABLE1_SPEEDUP", 1) != 0;
+
+  benchio::BenchReport report("table1", argc, argv);
+  report.root().set("max_n", max_n);
+  report.root().set("budget_s", budget);
+  report.root().set("mem_budget_mb", static_cast<long long>(mem_budget >> 20));
+  report.root().set(
+      "threads",
+      static_cast<long long>(threads == 0 ? util::ThreadPool::hardware_threads()
+                                          : threads));
 
   const std::vector<std::pair<std::string, std::string>> purposes = {
       {"TP1", models::lep_tp1()},
@@ -87,6 +109,10 @@ int main() {
   util::TablePrinter time_table(header);
   util::TablePrinter mem_table(header);
 
+  // Largest cell that completed, for the speedup figure below.
+  int best_n = 0;
+  std::string best_label, best_purpose;
+
   for (const auto& [label, purpose] : purposes) {
     std::vector<std::string> time_row = {label};
     std::vector<std::string> mem_row = {label};
@@ -98,11 +124,23 @@ int main() {
         continue;
       }
       util::zone_memory().reset();
-      const Cell cell =
-          run_cell(static_cast<std::uint32_t>(n), purpose, budget, mem_budget);
+      const Cell cell = run_cell(static_cast<std::uint32_t>(n), purpose,
+                                 budget, mem_budget, threads);
+      auto& row = report.add_row();
+      row.set("purpose", label);
+      row.set("n", n);
+      row.set("completed", cell.completed);
       if (cell.completed) {
+        row.set("seconds", cell.seconds);
+        row.set("mem_mb", cell.mebibytes);
+        row.set("winning", cell.winning);
         time_row.push_back(util::format("%.2f", cell.seconds));
         mem_row.push_back(util::format("%.1f", cell.mebibytes));
+        if (n > best_n) {
+          best_n = n;
+          best_label = label;
+          best_purpose = purpose;
+        }
       } else {
         time_row.push_back("/");
         mem_row.push_back("/");
@@ -119,5 +157,40 @@ int main() {
   std::printf(
       "shape check: rows grow superlinearly in n and die within two\n"
       "steps of the last feasible instance, as in the paper.\n");
+
+  // Speedup figure: the largest completing cell, solved serially and
+  // with the full pool.  Verdicts must agree (determinism contract).
+  if (with_speedup && best_n != 0) {
+    const unsigned many =
+        threads > 1 ? threads : util::ThreadPool::hardware_threads();
+    util::zone_memory().reset();
+    const Cell serial = run_cell(static_cast<std::uint32_t>(best_n),
+                                 best_purpose, budget, mem_budget, 1);
+    util::zone_memory().reset();
+    const Cell pooled = run_cell(static_cast<std::uint32_t>(best_n),
+                                 best_purpose, budget, mem_budget, many);
+    if (serial.completed && pooled.completed) {
+      const double speedup =
+          pooled.seconds > 0.0 ? serial.seconds / pooled.seconds : 0.0;
+      std::printf(
+          "\nspeedup (%s, n=%d): 1 thread %.2fs vs %u threads %.2fs "
+          "→ %.2fx%s\n",
+          best_label.c_str(), best_n, serial.seconds, many, pooled.seconds,
+          speedup,
+          serial.winning == pooled.winning ? "" : "  VERDICT MISMATCH!");
+      auto& row = report.root();
+      row.raw("speedup",
+              "{\"purpose\": \"" + best_label +
+                  "\", \"n\": " + std::to_string(best_n) +
+                  ", \"serial_s\": " + util::format("%.4f", serial.seconds) +
+                  ", \"pooled_s\": " + util::format("%.4f", pooled.seconds) +
+                  ", \"threads\": " + std::to_string(many) +
+                  ", \"speedup\": " + util::format("%.3f", speedup) +
+                  ", \"verdicts_equal\": " +
+                  (serial.winning == pooled.winning ? "true" : "false") + "}");
+    }
+  }
+
+  report.flush();
   return 0;
 }

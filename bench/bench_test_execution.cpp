@@ -1,9 +1,13 @@
 // Ablation A3 (DESIGN.md): cost of strategy-based test execution —
 // per-decision strategy lookup and full Algorithm 3.1 runs.  Relevant
 // to the paper's future-work concern about "efficient strategy
-// representation": lookups walk the ranked zone federations.
+// representation": lookups walk the ranked zone federations (served
+// from the cumulative winning_up_to cache since the parallel-pipeline
+// change).  --json / TIGAT_BENCH_JSON writes the gbench JSON to
+// BENCH_test_execution.json.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "models/smart_light.h"
@@ -85,4 +89,6 @@ BENCHMARK(BM_StrategySynthesisSmartLight);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tigat::benchio::gbench_main(argc, argv, "test_execution");
+}

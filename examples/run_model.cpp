@@ -4,11 +4,13 @@
 //   ./build/examples/run_model examples/models/smart_light.tg
 //   ./build/examples/run_model examples/models/lep.tg --print-model
 //   ./build/examples/run_model model.tg "control: A<> IUT.Bright"
+//   ./build/examples/run_model model.tg --threads=4   # 0 = hardware
 //
 // Every `control:` declaration in the file is solved (plus any extra
 // purposes given on the command line); for each one the winnability
 // verdict, solver statistics and strategy size are reported.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -26,10 +28,13 @@ int main(int argc, char** argv) {
 
   std::string path;
   bool print_model = false;
+  unsigned threads = 0;  // 0 = hardware concurrency
   std::vector<std::string> extra_purposes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-model") == 0) {
       print_model = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -39,7 +44,7 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: run_model <model.tg> [--print-model] "
-                 "[\"control: A<> ...\"]...\n");
+                 "[--threads=N] [\"control: A<> ...\"]...\n");
     return 2;
   }
 
@@ -81,7 +86,9 @@ int main(int argc, char** argv) {
     util::zone_memory().reset();
     util::Stopwatch watch;
     try {
-      game::GameSolver solver(model.system, purpose);
+      game::SolverOptions options;
+      options.threads = threads;
+      game::GameSolver solver(model.system, purpose, options);
       const auto solution = solver.solve();
       game::Strategy strategy(solution);
       all_winning &= solution->winning_from_initial();

@@ -1,6 +1,7 @@
 #include "dbm/dbm.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 
 #include "util/memory_meter.h"
@@ -13,28 +14,39 @@ std::string bound_to_string(raw_t raw) {
   return util::format("%s%d", is_weak(raw) ? "<=" : "<", bound_value(raw));
 }
 
-Dbm::Dbm(std::uint32_t dim) : dim_(dim), m_(std::size_t{dim} * dim) {
+Dbm::Dbm(std::uint32_t dim) : dim_(dim) {
   TIGAT_ASSERT(dim >= 1, "a DBM needs at least the reference clock");
+  if (dim_ > kInlineDim) heap_ = new raw_t[cells()];
   meter_add();
 }
 
-Dbm::Dbm(const Dbm& other)
-    : dim_(other.dim_), empty_(other.empty_), m_(other.m_) {
+Dbm::Dbm(const Dbm& other) : dim_(other.dim_), empty_(other.empty_) {
+  if (dim_ > kInlineDim) heap_ = new raw_t[cells()];
+  std::memcpy(data(), other.data(), cells() * sizeof(raw_t));
   meter_add();
 }
 
-Dbm::Dbm(Dbm&& other) noexcept
-    : dim_(other.dim_), empty_(other.empty_), m_(std::move(other.m_)) {
+Dbm::Dbm(Dbm&& other) noexcept : dim_(other.dim_), empty_(other.empty_) {
+  if (dim_ > kInlineDim) {
+    heap_ = other.heap_;
+    other.heap_ = nullptr;
+  } else {
+    std::memcpy(inline_, other.inline_, cells() * sizeof(raw_t));
+  }
   other.dim_ = 0;
-  other.m_.clear();
 }
 
 Dbm& Dbm::operator=(const Dbm& other) {
   if (this == &other) return *this;
   meter_sub();
+  if ((dim_ > kInlineDim) != (other.dim_ > kInlineDim) ||
+      (dim_ > kInlineDim && cells() != other.cells())) {
+    delete[] heap_;
+    heap_ = other.dim_ > kInlineDim ? new raw_t[other.cells()] : nullptr;
+  }
   dim_ = other.dim_;
   empty_ = other.empty_;
-  m_ = other.m_;
+  std::memcpy(data(), other.data(), cells() * sizeof(raw_t));
   meter_add();
   return *this;
 }
@@ -42,15 +54,24 @@ Dbm& Dbm::operator=(const Dbm& other) {
 Dbm& Dbm::operator=(Dbm&& other) noexcept {
   if (this == &other) return *this;
   meter_sub();
+  delete[] heap_;
+  heap_ = nullptr;
   dim_ = other.dim_;
   empty_ = other.empty_;
-  m_ = std::move(other.m_);
+  if (dim_ > kInlineDim) {
+    heap_ = other.heap_;
+    other.heap_ = nullptr;
+  } else {
+    std::memcpy(inline_, other.inline_, cells() * sizeof(raw_t));
+  }
   other.dim_ = 0;
-  other.m_.clear();
   return *this;
 }
 
-Dbm::~Dbm() { meter_sub(); }
+Dbm::~Dbm() {
+  meter_sub();
+  delete[] heap_;
+}
 
 void Dbm::meter_add() const noexcept {
   if (dim_ != 0) util::zone_memory().add(memory_bytes());
@@ -62,13 +83,13 @@ void Dbm::meter_sub() const noexcept {
 
 Dbm Dbm::zero(std::uint32_t dim) {
   Dbm d(dim);
-  std::fill(d.m_.begin(), d.m_.end(), kLeZero);
+  std::fill(d.data(), d.data() + d.cells(), kLeZero);
   return d;
 }
 
 Dbm Dbm::universal(std::uint32_t dim) {
   Dbm d(dim);
-  std::fill(d.m_.begin(), d.m_.end(), kInfinity);
+  std::fill(d.data(), d.data() + d.cells(), kInfinity);
   for (std::uint32_t i = 0; i < dim; ++i) d.set_raw(i, i, kLeZero);
   for (std::uint32_t j = 0; j < dim; ++j) d.set_raw(0, j, kLeZero);
   return d;
@@ -77,22 +98,23 @@ Dbm Dbm::universal(std::uint32_t dim) {
 bool Dbm::close() {
   TIGAT_ASSERT(dim_ != 0, "close() on a moved-from DBM");
   const std::uint32_t n = dim_;
+  raw_t* m = data();
   for (std::uint32_t k = 0; k < n; ++k) {
     for (std::uint32_t i = 0; i < n; ++i) {
-      const raw_t mik = m_[i * n + k];
+      const raw_t mik = m[i * n + k];
       if (is_infinity(mik)) continue;
       for (std::uint32_t j = 0; j < n; ++j) {
-        const raw_t via = add_bounds(mik, m_[k * n + j]);
-        if (via < m_[i * n + j]) m_[i * n + j] = via;
+        const raw_t via = add_bounds(mik, m[k * n + j]);
+        if (via < m[i * n + j]) m[i * n + j] = via;
       }
     }
   }
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (m_[i * n + i] < kLeZero) {
+    if (m[i * n + i] < kLeZero) {
       empty_ = true;
       return false;
     }
-    m_[i * n + i] = kLeZero;
+    m[i * n + i] = kLeZero;
   }
   empty_ = false;
   return true;
@@ -102,20 +124,21 @@ bool Dbm::constrain(std::uint32_t i, std::uint32_t j, raw_t bound) {
   TIGAT_DEBUG_ASSERT(i < dim_ && j < dim_ && i != j, "bad constraint indices");
   TIGAT_ASSERT(!empty_, "constrain() on an empty DBM");
   const std::uint32_t n = dim_;
-  if (bound >= m_[i * n + j]) return true;  // not tighter: no-op
-  if (add_bounds(m_[j * n + i], bound) < kLeZero) {
+  raw_t* m = data();
+  if (bound >= m[i * n + j]) return true;  // not tighter: no-op
+  if (add_bounds(m[j * n + i], bound) < kLeZero) {
     empty_ = true;
     return false;
   }
-  m_[i * n + j] = bound;
+  m[i * n + j] = bound;
   // Incremental closure through the tightened edge (i → j).
   for (std::uint32_t p = 0; p < n; ++p) {
-    const raw_t pi = m_[p * n + i];
+    const raw_t pi = m[p * n + i];
     if (is_infinity(pi)) continue;
     const raw_t via_i = add_bounds(pi, bound);
     for (std::uint32_t q = 0; q < n; ++q) {
-      const raw_t cand = add_bounds(via_i, m_[j * n + q]);
-      if (cand < m_[p * n + q]) m_[p * n + q] = cand;
+      const raw_t cand = add_bounds(via_i, m[j * n + q]);
+      if (cand < m[p * n + q]) m[p * n + q] = cand;
     }
   }
   return true;
@@ -123,7 +146,8 @@ bool Dbm::constrain(std::uint32_t i, std::uint32_t j, raw_t bound) {
 
 void Dbm::up() {
   TIGAT_ASSERT(!empty_, "up() on an empty DBM");
-  for (std::uint32_t i = 1; i < dim_; ++i) m_[i * dim_] = kInfinity;
+  raw_t* m = data();
+  for (std::uint32_t i = 1; i < dim_; ++i) m[i * dim_] = kInfinity;
 }
 
 void Dbm::down() {
@@ -131,13 +155,14 @@ void Dbm::down() {
   // Row 0 entries become the loosest lower bounds compatible with the
   // difference constraints; the result is closed (Bengtsson & Yi,
   // algorithm `down`).
+  raw_t* m = data();
   for (std::uint32_t j = 1; j < dim_; ++j) {
     raw_t best = kLeZero;
     for (std::uint32_t i = 1; i < dim_; ++i) {
-      const raw_t mij = m_[i * dim_ + j];
+      const raw_t mij = m[i * dim_ + j];
       if (mij < best) best = mij;
     }
-    m_[j] = best;
+    m[j] = best;
   }
 }
 
@@ -146,20 +171,22 @@ void Dbm::reset(std::uint32_t k, bound_t value) {
   TIGAT_ASSERT(!empty_, "reset() on an empty DBM");
   const raw_t le_v = make_weak(value);
   const raw_t le_neg_v = make_weak(-value);
+  raw_t* m = data();
   for (std::uint32_t j = 0; j < dim_; ++j) {
     if (j == k) continue;
-    m_[k * dim_ + j] = add_bounds(le_v, m_[j]);          // x_k − x_j ≤ v + D(0,j)
-    m_[j * dim_ + k] = add_bounds(m_[j * dim_], le_neg_v);  // x_j − x_k ≤ D(j,0) − v
+    m[k * dim_ + j] = add_bounds(le_v, m[j]);          // x_k − x_j ≤ v + D(0,j)
+    m[j * dim_ + k] = add_bounds(m[j * dim_], le_neg_v);  // x_j − x_k ≤ D(j,0) − v
   }
 }
 
 void Dbm::free(std::uint32_t k) {
   TIGAT_DEBUG_ASSERT(k >= 1 && k < dim_, "cannot free the reference clock");
   TIGAT_ASSERT(!empty_, "free() on an empty DBM");
+  raw_t* m = data();
   for (std::uint32_t j = 0; j < dim_; ++j) {
     if (j == k) continue;
-    m_[k * dim_ + j] = kInfinity;
-    m_[j * dim_ + k] = m_[j * dim_];  // x_j − x_k ≤ x_j ≤ D(j,0)
+    m[k * dim_ + j] = kInfinity;
+    m[j * dim_ + k] = m[j * dim_];  // x_j − x_k ≤ x_j ≤ D(j,0)
   }
 }
 
@@ -167,9 +194,12 @@ bool Dbm::intersect_with(const Dbm& other) {
   TIGAT_ASSERT(dim_ == other.dim_, "dimension mismatch");
   TIGAT_ASSERT(!empty_ && !other.empty_, "intersect on empty DBM");
   bool changed = false;
-  for (std::size_t idx = 0; idx < m_.size(); ++idx) {
-    if (other.m_[idx] < m_[idx]) {
-      m_[idx] = other.m_[idx];
+  raw_t* m = data();
+  const raw_t* o = other.data();
+  const std::size_t count = cells();
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    if (o[idx] < m[idx]) {
+      m[idx] = o[idx];
       changed = true;
     }
   }
@@ -186,9 +216,12 @@ Relation Dbm::relation(const Dbm& other) const {
   TIGAT_ASSERT(dim_ == other.dim_, "dimension mismatch");
   bool sub = true;
   bool sup = true;
-  for (std::size_t idx = 0; idx < m_.size(); ++idx) {
-    if (m_[idx] > other.m_[idx]) sub = false;
-    if (m_[idx] < other.m_[idx]) sup = false;
+  const raw_t* m = data();
+  const raw_t* o = other.data();
+  const std::size_t count = cells();
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    if (m[idx] > o[idx]) sub = false;
+    if (m[idx] < o[idx]) sup = false;
     if (!sub && !sup) return Relation::kDifferent;
   }
   if (sub && sup) return Relation::kEqual;
@@ -201,7 +234,8 @@ bool Dbm::is_subset_of(const Dbm& other) const {
 }
 
 bool Dbm::operator==(const Dbm& other) const {
-  return dim_ == other.dim_ && empty_ == other.empty_ && m_ == other.m_;
+  return dim_ == other.dim_ && empty_ == other.empty_ &&
+         std::equal(data(), data() + cells(), other.data());
 }
 
 void Dbm::extrapolate_max_bounds(std::span<const bound_t> max_constants) {
@@ -209,15 +243,25 @@ void Dbm::extrapolate_max_bounds(std::span<const bound_t> max_constants) {
   TIGAT_ASSERT(!empty_, "extrapolate on empty DBM");
   // Classical Extra_M (Behrmann, Bouyer, Fleury, Larsen).  All rules
   // read the ORIGINAL matrix, so decisions are taken on `before`.
-  const std::vector<raw_t> before(m_);
+  raw_t before_inline[kInlineDim * kInlineDim];
+  std::vector<raw_t> before_heap;
+  const raw_t* before;
+  if (dim_ <= kInlineDim) {
+    std::memcpy(before_inline, data(), cells() * sizeof(raw_t));
+    before = before_inline;
+  } else {
+    before_heap.assign(data(), data() + cells());
+    before = before_heap.data();
+  }
   const auto orig = [&](std::uint32_t i, std::uint32_t j) {
     return before[i * dim_ + j];
   };
+  raw_t* m = data();
   bool changed = false;
   for (std::uint32_t i = 0; i < dim_; ++i) {
     for (std::uint32_t j = 0; j < dim_; ++j) {
       if (i == j) continue;
-      raw_t& b = m_[i * dim_ + j];
+      raw_t& b = m[i * dim_ + j];
       const bool bound_above_mi =
           i != 0 && !is_infinity(b) && b > make_weak(max_constants[i]);
       // x_i is everywhere above M(x_i): its exact value is indistinguishable.
@@ -244,10 +288,11 @@ bool Dbm::contains_point(std::span<const std::int64_t> point,
   TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
   TIGAT_DEBUG_ASSERT(point[0] == 0, "reference clock must be 0");
   if (empty_) return false;
+  const raw_t* m = data();
   for (std::uint32_t i = 0; i < dim_; ++i) {
     for (std::uint32_t j = 0; j < dim_; ++j) {
       if (i == j) continue;
-      if (!satisfies(point[i] - point[j], m_[i * dim_ + j], scale)) return false;
+      if (!satisfies(point[i] - point[j], m[i * dim_ + j], scale)) return false;
     }
   }
   return true;
@@ -257,11 +302,12 @@ std::optional<std::int64_t> Dbm::earliest_entry_delay(
     std::span<const std::int64_t> point, std::int64_t scale) const {
   TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
   if (empty_) return std::nullopt;
+  const raw_t* m = data();
   // Difference constraints between real clocks are delay-invariant.
   for (std::uint32_t i = 1; i < dim_; ++i) {
     for (std::uint32_t j = 1; j < dim_; ++j) {
       if (i == j) continue;
-      if (!satisfies(point[i] - point[j], m_[i * dim_ + j], scale)) {
+      if (!satisfies(point[i] - point[j], m[i * dim_ + j], scale)) {
         return std::nullopt;
       }
     }
@@ -270,7 +316,7 @@ std::optional<std::int64_t> Dbm::earliest_entry_delay(
   std::int64_t hi = kNoDeadline;
   for (std::uint32_t i = 1; i < dim_; ++i) {
     // Upper bound: x_i + δ ≺ c·scale.
-    const raw_t upper = m_[i * dim_];
+    const raw_t upper = m[i * dim_];
     if (!is_infinity(upper)) {
       std::int64_t limit =
           static_cast<std::int64_t>(bound_value(upper)) * scale - point[i];
@@ -278,7 +324,7 @@ std::optional<std::int64_t> Dbm::earliest_entry_delay(
       hi = std::min(hi, limit);
     }
     // Lower bound: −(x_i + δ) ≺ c·scale  ⇔  δ ⪰ −c·scale − x_i.
-    const raw_t lower = m_[i];
+    const raw_t lower = m[i];
     if (!is_infinity(lower)) {
       std::int64_t limit =
           -static_cast<std::int64_t>(bound_value(lower)) * scale - point[i];
@@ -293,9 +339,10 @@ std::optional<std::int64_t> Dbm::earliest_entry_delay(
 std::int64_t Dbm::latest_stay_delay(std::span<const std::int64_t> point,
                                     std::int64_t scale) const {
   TIGAT_ASSERT(contains_point(point, scale), "point must be inside the zone");
+  const raw_t* m = data();
   std::int64_t hi = kNoDeadline;
   for (std::uint32_t i = 1; i < dim_; ++i) {
-    const raw_t upper = m_[i * dim_];
+    const raw_t upper = m[i * dim_];
     if (is_infinity(upper)) continue;
     std::int64_t limit =
         static_cast<std::int64_t>(bound_value(upper)) * scale - point[i];
@@ -307,21 +354,34 @@ std::int64_t Dbm::latest_stay_delay(std::span<const std::int64_t> point,
 
 std::size_t Dbm::hash() const noexcept {
   std::size_t h = 0x811c9dc5u ^ dim_;
-  for (const raw_t b : m_) {
-    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(b));
+  const raw_t* m = data();
+  const std::size_t count = cells();
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(m[idx]));
     h *= 0x01000193u;
   }
   return h;
 }
 
+std::int64_t Dbm::bound_signature() const noexcept {
+  // Entries are bounded by kInfinity (≈2³⁰) and there are dim² ≤ 2¹⁶ of
+  // them in any sane model, so a plain int64 sum cannot overflow.
+  const raw_t* m = data();
+  const std::size_t count = cells();
+  std::int64_t sum = 0;
+  for (std::size_t idx = 0; idx < count; ++idx) sum += m[idx];
+  return sum;
+}
+
 std::string Dbm::to_string(std::span<const std::string> names) const {
   TIGAT_ASSERT(names.size() >= dim_, "need a name per clock");
   if (empty_) return "false";
+  const raw_t* m = data();
   std::vector<std::string> parts;
   for (std::uint32_t i = 0; i < dim_; ++i) {
     for (std::uint32_t j = 0; j < dim_; ++j) {
       if (i == j) continue;
-      const raw_t b = m_[i * dim_ + j];
+      const raw_t b = m[i * dim_ + j];
       if (is_infinity(b)) continue;
       // Suppress the implicit x ≥ 0 facts to keep output readable.
       if (i == 0 && b == kLeZero) continue;

@@ -14,6 +14,13 @@
 //
 // Zones carry no location/data information; that pairing happens in
 // `semantics::SymbolicState`.
+//
+// Storage: matrices of dimension ≤ kInlineDim (8 clocks incl. the
+// reference) live inline in the object — no heap allocation at all.
+// Every case-study model of the paper fits (Smart Light: 4, LEP n=7:
+// 8), which removes the malloc/free pair per temporary zone that would
+// otherwise serialize the parallel solver on the allocator.  Larger
+// dimensions fall back to a heap block.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +43,9 @@ enum class Relation : std::uint8_t {
 
 class Dbm {
  public:
+  // Largest dimension stored inline (no heap); see the file comment.
+  static constexpr std::uint32_t kInlineDim = 8;
+
   // An empty-dimension Dbm is only useful as a moved-from shell.
   Dbm() = default;
 
@@ -55,7 +65,7 @@ class Dbm {
 
   [[nodiscard]] raw_t at(std::uint32_t i, std::uint32_t j) const {
     TIGAT_DEBUG_ASSERT(i < dim_ && j < dim_, "clock index out of range");
-    return m_[i * dim_ + j];
+    return data()[i * dim_ + j];
   }
 
   // Raw write; leaves the matrix possibly non-canonical.  Callers must
@@ -63,7 +73,7 @@ class Dbm {
   // construction of ad-hoc zones in tests and for extrapolation.
   void set_raw(std::uint32_t i, std::uint32_t j, raw_t b) {
     TIGAT_DEBUG_ASSERT(i < dim_ && j < dim_, "clock index out of range");
-    m_[i * dim_ + j] = b;
+    data()[i * dim_ + j] = b;
   }
 
   // Full Floyd–Warshall canonicalisation.  Returns false (and marks the
@@ -130,24 +140,42 @@ class Dbm {
 
   [[nodiscard]] std::size_t hash() const noexcept;
 
+  // Sum of all encoded bounds.  For canonical DBMs of equal dimension,
+  // `a ⊆ b` implies pointwise `a ≤ b` and therefore
+  // `a.bound_signature() <= b.bound_signature()`; equal signatures plus
+  // inclusion force identical matrices.  Used as a cheap inclusion
+  // pre-filter by Fed::reduce() (covered in bench_micro_dbm).
+  [[nodiscard]] std::int64_t bound_signature() const noexcept;
+
   // Human-readable constraint list, e.g. "x<=2 && y-x<1".  `names[i]`
   // labels clock i; names[0] is ignored.
   [[nodiscard]] std::string to_string(std::span<const std::string> names) const;
   [[nodiscard]] std::string to_string() const;
 
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return m_.capacity() * sizeof(raw_t);
+    return cells() * sizeof(raw_t);
   }
 
  private:
   explicit Dbm(std::uint32_t dim);
+
+  [[nodiscard]] std::size_t cells() const noexcept {
+    return std::size_t{dim_} * dim_;
+  }
+  [[nodiscard]] raw_t* data() noexcept {
+    return dim_ <= kInlineDim ? inline_ : heap_;
+  }
+  [[nodiscard]] const raw_t* data() const noexcept {
+    return dim_ <= kInlineDim ? inline_ : heap_;
+  }
 
   void meter_add() const noexcept;
   void meter_sub() const noexcept;
 
   std::uint32_t dim_ = 0;
   bool empty_ = false;
-  std::vector<raw_t> m_;
+  raw_t* heap_ = nullptr;  // owned iff dim_ > kInlineDim
+  raw_t inline_[kInlineDim * kInlineDim];
 };
 
 // Z1 \ Z2 as a list of pairwise-disjoint, closed, non-empty zones.

@@ -13,15 +13,54 @@ Fed::Fed(Dbm zone) : dim_(zone.dimension()) {
 void Fed::add(Dbm zone) {
   if (zone.is_empty()) return;
   TIGAT_ASSERT(zone.dimension() == dim_, "dimension mismatch");
-  for (const Dbm& z : zones_) {
-    if (zone.is_subset_of(z)) return;  // already covered
+  // One relation() per member decides both directions (the old
+  // subset-then-erase needed two full scans); members that the new
+  // zone covers are only dropped once it is certain the zone stays
+  // (a later member may still cover the zone when the pairwise
+  // non-inclusion invariant was weakened by in-place intersection).
+  constexpr std::size_t kStackDrops = 16;
+  std::size_t drop_stack[kStackDrops];
+  std::size_t drops = 0;
+  std::vector<std::size_t> drop_spill;  // allocates only past kStackDrops
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    switch (zones_[i].relation(zone)) {
+      case Relation::kEqual:
+      case Relation::kSuperset:
+        return;  // already covered; nothing was mutated yet
+      case Relation::kSubset:
+        if (drops < kStackDrops) {
+          drop_stack[drops] = i;
+        } else {
+          drop_spill.push_back(i);
+        }
+        ++drops;
+        break;
+      case Relation::kDifferent:
+        break;
+    }
   }
-  std::erase_if(zones_, [&zone](const Dbm& z) { return z.is_subset_of(zone); });
+  if (drops != 0) {
+    const auto dropped = [&](std::size_t pos, std::size_t i) {
+      return pos < kStackDrops ? drop_stack[pos] == i
+                               : drop_spill[pos - kStackDrops] == i;
+    };
+    std::size_t w = drop_stack[0];  // drop indices are increasing
+    std::size_t next = 0;
+    for (std::size_t i = w; i < zones_.size(); ++i) {
+      if (next < drops && dropped(next, i)) {
+        ++next;
+        continue;
+      }
+      zones_[w++] = std::move(zones_[i]);
+    }
+    zones_.resize(w);
+  }
   zones_.push_back(std::move(zone));
 }
 
 Fed& Fed::operator|=(const Fed& other) {
   TIGAT_ASSERT(other.dim_ == dim_, "dimension mismatch");
+  zones_.reserve(zones_.size() + other.zones_.size());
   for (const Dbm& z : other.zones_) add(z);
   return *this;
 }
@@ -74,10 +113,19 @@ Fed Fed::minus(const Dbm& zone) const {
 
 Fed Fed::minus(const Fed& other) const {
   TIGAT_ASSERT(other.dim_ == dim_, "dimension mismatch");
+  // Same zone-by-zone carving as repeated minus(Dbm), but ping-ponging
+  // between two vectors so each bad zone reuses the capacity the
+  // previous iteration left behind instead of allocating a fresh Fed.
   Fed out = *this;
-  for (const Dbm& z : other.zones_) {
-    if (out.is_empty()) break;
-    out = out.minus(z);
+  std::vector<Dbm> scratch;
+  for (const Dbm& g : other.zones_) {
+    if (out.zones_.empty()) break;
+    if (g.is_empty()) continue;
+    scratch.clear();
+    std::swap(out.zones_, scratch);
+    for (const Dbm& z : scratch) {
+      for (Dbm& piece : subtract(z, g)) out.add(std::move(piece));
+    }
   }
   return out;
 }
@@ -174,13 +222,24 @@ void Fed::extrapolate_max_bounds(std::span<const bound_t> max_constants) {
 void Fed::reduce() {
   // Two passes: decide first (comparisons need intact zones), move after.
   const std::size_t n = zones_.size();
+  if (n <= 1) return;
+  // Bound-signature pre-filter: zone_i ⊆ zone_j forces sig_i ≤ sig_j
+  // (canonical DBMs compare pointwise), so most of the quadratic
+  // relation() scans collapse to one integer comparison.
+  std::vector<std::int64_t> sig(n);
+  for (std::size_t i = 0; i < n; ++i) sig[i] = zones_[i].bound_signature();
   std::vector<bool> covered(n, false);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n && !covered[i]; ++j) {
       if (i == j) continue;
-      const Relation r = zones_[i].relation(zones_[j]);
       // Drop strict subsets; for equal zones keep only the first copy.
-      covered[i] = r == Relation::kSubset || (r == Relation::kEqual && j < i);
+      if (sig[i] > sig[j]) continue;  // cannot be ⊆
+      if (sig[i] == sig[j]) {
+        // Equal signatures + inclusion force equal matrices.
+        covered[i] = j < i && zones_[i] == zones_[j];
+      } else {
+        covered[i] = zones_[i].relation(zones_[j]) == Relation::kSubset;
+      }
     }
   }
   std::vector<Dbm> kept;

@@ -5,6 +5,7 @@
 #include "util/assert.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace tigat::game {
 
@@ -14,14 +15,22 @@ using semantics::SymbolicGraph;
 
 GameSolution::GameSolution(std::unique_ptr<SymbolicGraph> graph,
                            tsystem::TestPurpose purpose)
-    : graph_(std::move(graph)), purpose_(std::move(purpose)) {}
+    : graph_(std::move(graph)),
+      purpose_(std::move(purpose)),
+      empty_fed_(graph_->system().clock_count()) {}
 
-Fed GameSolution::winning_up_to(std::uint32_t k, std::uint32_t round) const {
-  Fed out(graph_->system().clock_count());
-  for (const Delta& d : deltas_[k]) {
-    if (d.round <= round) out |= d.gained;
-  }
-  return out;
+const Fed& GameSolution::winning_up_to(std::uint32_t k,
+                                       std::uint32_t round) const {
+  // deltas are in round order; find how many apply.
+  const std::vector<Delta>& ds = deltas_[k];
+  std::size_t idx = ds.size();
+  while (idx > 0 && ds[idx - 1].round > round) --idx;
+  if (idx == 0) return empty_fed_;
+  // The full prefix is the complete winning set; intermediate prefixes
+  // come from the cumulative cache (which omits the last level to
+  // avoid duplicating win_all_).
+  if (idx == ds.size()) return win_all_[k];
+  return win_up_to_[k][idx - 1];
 }
 
 std::optional<std::uint32_t> GameSolution::rank(
@@ -50,12 +59,20 @@ GameSolver::GameSolver(const tsystem::System& system,
   }
 }
 
+// Parallelisation scheme (the Jacobi structure makes this sound): a
+// round-r computation reads only round-r−1 state, so every per-key
+// computation of a round is independent.  Work is fanned out over the
+// pool into per-item result slots and merged SERIALLY IN KEY ORDER
+// afterwards; since each slot's value is a deterministic function of
+// the previous round, the merged state — and hence every subsequent
+// round, rank and strategy — is bit-identical at any thread count.
 std::shared_ptr<const GameSolution> GameSolver::solve() {
   util::Stopwatch watch;
   util::zone_memory().reset_peak();
+  util::ThreadPool pool(options_.threads);
 
   auto graph = std::make_unique<SymbolicGraph>(*sys_, options_.exploration);
-  graph->explore();
+  graph->explore(&pool);
   const std::uint32_t n = graph->key_count();
   const std::uint32_t dim = sys_->clock_count();
 
@@ -64,74 +81,86 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
 
   // Round 0: goal keys win everywhere they are reachable (goals are
   // formulas over the discrete part; Sec. 2.4's purposes are
-  // location/data predicates).
-  solution->goal_key_.assign(n, false);
+  // location/data predicates).  The scan is per-key independent.
   solution->win_all_.assign(n, Fed(dim));
+  std::vector<Fed> loss(n, Fed(dim));  // Reach \ Win cache
+  std::vector<char> is_goal(n, 0);
+  pool.parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto k = static_cast<std::uint32_t>(i);
+      const auto& key = g.key(k);
+      if (purpose_.formula.eval(key.locs, key.data, sys_->data())) {
+        is_goal[k] = 1;
+        solution->win_all_[k] = g.reach(k);
+      } else {
+        loss[k] = g.reach(k);
+      }
+    }
+  });
+  solution->goal_key_.assign(n, false);
   solution->deltas_.assign(n, {});
   std::vector<bool> dirty(n, false);   // winning changed in last round
   std::vector<bool> saturated(n, false);  // win == reach, nothing to gain
-  std::vector<Fed> loss;  // Reach \ Win cache, updated on change
-  loss.reserve(n);
   for (std::uint32_t k = 0; k < n; ++k) {
-    const auto& key = g.key(k);
-    const bool is_goal =
-        purpose_.formula.eval(key.locs, key.data, sys_->data());
-    solution->goal_key_[k] = is_goal;
-    if (is_goal) {
-      solution->win_all_[k] = g.reach(k);
-      solution->deltas_[k].push_back({0, g.reach(k)});
-      dirty[k] = true;
-      saturated[k] = true;
-      loss.emplace_back(dim);
-    } else {
-      loss.push_back(g.reach(k));
-    }
+    if (!is_goal[k]) continue;
+    solution->goal_key_[k] = true;
+    solution->deltas_[k].push_back({0, solution->win_all_[k]});
+    dirty[k] = true;
+    saturated[k] = true;
   }
 
   // Forced candidates (round-independent): invariant-deadline states
   // with an enabled uncontrollable edge.  The SUT must move there; the
   // per-round G-avoidance decides whether every move is winning.
+  // Per-key independent: fanned out over the pool.
   std::vector<Fed> forced(n, Fed(dim));
-  for (std::uint32_t k = 0; k < n; ++k) {
-    // Upper invariant boundary: some weak bound x_i ≤ b holds with
-    // equality.  Strict bounds have no attained deadline.
-    Fed boundary(dim);
-    const auto& key = g.key(k);
-    const auto& procs = sys_->processes();
-    for (std::uint32_t p = 0; p < procs.size(); ++p) {
-      for (const tsystem::ClockConstraint& c :
-           procs[p].locations()[key.locs[p]].invariant) {
-        if (c.j != 0 || dbm::is_infinity(c.bound) || !dbm::is_weak(c.bound)) {
-          continue;  // only weak upper bounds block delay attainably
-        }
-        dbm::Dbm at_deadline = g.invariant(k);
-        if (at_deadline.constrain(0, c.i,
-                                  dbm::make_weak(-dbm::bound_value(c.bound)))) {
-          boundary.add(std::move(at_deadline));
+  pool.parallel_for(n, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto k = static_cast<std::uint32_t>(i);
+      // Upper invariant boundary: some weak bound x_i ≤ b holds with
+      // equality.  Strict bounds have no attained deadline.
+      Fed boundary(dim);
+      const auto& key = g.key(k);
+      const auto& procs = sys_->processes();
+      for (std::uint32_t p = 0; p < procs.size(); ++p) {
+        for (const tsystem::ClockConstraint& c :
+             procs[p].locations()[key.locs[p]].invariant) {
+          if (c.j != 0 || dbm::is_infinity(c.bound) || !dbm::is_weak(c.bound)) {
+            continue;  // only weak upper bounds block delay attainably
+          }
+          dbm::Dbm at_deadline = g.invariant(k);
+          if (at_deadline.constrain(
+                  0, c.i, dbm::make_weak(-dbm::bound_value(c.bound)))) {
+            boundary.add(std::move(at_deadline));
+          }
         }
       }
+      if (boundary.is_empty() && !semantics::time_frozen(*sys_, key.locs)) {
+        continue;
+      }
+      Fed unc_enabled(dim);
+      for (const std::uint32_t ei : g.edges_out(k)) {
+        const SymbolicEdge& e = g.edges()[ei];
+        if (e.inst.controllable) continue;
+        unc_enabled |= g.pred_through(e, g.reach(e.dst));
+      }
+      if (unc_enabled.is_empty()) continue;
+      if (semantics::time_frozen(*sys_, key.locs)) {
+        // Urgent/committed: every state is a deadline.
+        forced[k] = unc_enabled.intersection(g.reach(k));
+      } else {
+        forced[k] =
+            boundary.intersection(unc_enabled).intersection(g.reach(k));
+      }
     }
-    if (boundary.is_empty() && !semantics::time_frozen(*sys_, key.locs)) {
-      continue;
-    }
-    Fed unc_enabled(dim);
-    for (const std::uint32_t ei : g.edges_out(k)) {
-      const SymbolicEdge& e = g.edges()[ei];
-      if (e.inst.controllable) continue;
-      unc_enabled |= g.pred_through(e, g.reach(e.dst));
-    }
-    if (unc_enabled.is_empty()) continue;
-    if (semantics::time_frozen(*sys_, key.locs)) {
-      // Urgent/committed: every state is a deadline.
-      forced[k] = unc_enabled.intersection(g.reach(k));
-    } else {
-      forced[k] = boundary.intersection(unc_enabled).intersection(g.reach(k));
-    }
-  }
+  });
 
   // Synchronous rounds with dirtiness filtering: a key can only gain
   // in round r if itself or a successor gained in round r−1.
   std::size_t rounds = 0;
+  std::vector<std::uint32_t> work;    // keys to recompute this round
+  std::vector<Fed> gains;             // per-work-item staged gain
+  std::vector<std::uint32_t> changed; // keys that actually gained
   for (std::uint32_t r = 1;; ++r) {
     if (r > options_.max_rounds) {
       throw semantics::ExplorationLimit("fixpoint round limit exceeded");
@@ -153,55 +182,78 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
       }
     }
     if (!any) break;
+    work.clear();
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (recompute[k]) work.push_back(k);
+    }
 
     // Jacobi iteration: every round-r computation reads only round-r−1
     // winning sets, so the round index is a sound progress measure for
     // strategy extraction (an action prescribed at rank r provably
-    // lands at rank < r).  Gains are staged and applied afterwards.
-    std::vector<std::pair<std::uint32_t, Fed>> staged;
-    for (std::uint32_t k = 0; k < n; ++k) {
-      if (!recompute[k]) continue;
+    // lands at rank < r) — and the per-key computations of a round are
+    // independent, the source of all parallelism here.  Gains are
+    // staged per work item and applied after the round.
+    gains.assign(work.size(), Fed(dim));
+    pool.parallel_for(work.size(), 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t k = work[i];
 
-      // B: already-winning here, a controllable edge into winning, or
-      // a deadline where the SUT is forced to move (G filters out
-      // forced states with a non-winning escape).
-      Fed b = solution->win_all_[k];
-      if (!forced[k].is_empty()) b |= forced[k];
-      // G: an uncontrollable edge can escape to a non-winning state.
-      Fed gbad(dim);
-      for (const std::uint32_t ei : g.edges_out(k)) {
-        const SymbolicEdge& e = g.edges()[ei];
-        if (e.inst.controllable) {
-          if (!solution->win_all_[e.dst].is_empty()) {
-            b |= g.pred_through(e, solution->win_all_[e.dst]);
-          }
-        } else {
-          if (!loss[e.dst].is_empty()) {
-            gbad |= g.pred_through(e, loss[e.dst]);
+        // B: already-winning here, a controllable edge into winning, or
+        // a deadline where the SUT is forced to move (G filters out
+        // forced states with a non-winning escape).
+        Fed b = solution->win_all_[k];
+        if (!forced[k].is_empty()) b |= forced[k];
+        // G: an uncontrollable edge can escape to a non-winning state.
+        Fed gbad(dim);
+        for (const std::uint32_t ei : g.edges_out(k)) {
+          const SymbolicEdge& e = g.edges()[ei];
+          if (e.inst.controllable) {
+            if (!solution->win_all_[e.dst].is_empty()) {
+              b |= g.pred_through(e, solution->win_all_[e.dst]);
+            }
+          } else {
+            if (!loss[e.dst].is_empty()) {
+              gbad |= g.pred_through(e, loss[e.dst]);
+            }
           }
         }
+        b &= g.reach(k);
+        gbad &= g.reach(k);
+
+        Fed new_win = semantics::time_frozen(*sys_, g.key(k).locs)
+                          ? b.minus(gbad)
+                          : b.pred_t(gbad);
+        new_win &= g.reach(k);
+
+        Fed gained = new_win.minus(solution->win_all_[k]);
+        if (gained.is_empty()) continue;
+        gained.reduce();
+        gains[i] = std::move(gained);
       }
-      b &= g.reach(k);
-      gbad &= g.reach(k);
+    });
 
-      Fed new_win = semantics::time_frozen(*sys_, g.key(k).locs)
-                        ? b.minus(gbad)
-                        : b.pred_t(gbad);
-      new_win &= g.reach(k);
-
-      Fed gained = new_win.minus(solution->win_all_[k]);
-      if (gained.is_empty()) continue;
-      gained.reduce();
-      staged.emplace_back(k, std::move(gained));
-    }
-
+    // Serial merge in key index order: bit-identical to the serial
+    // staged application whatever the thread count.
     std::vector<bool> new_dirty(n, false);
-    for (auto& [k, gained] : staged) {
-      solution->deltas_[k].push_back({r, gained});
-      solution->win_all_[k] |= gained;
-      loss[k] = g.reach(k).minus(solution->win_all_[k]);
-      if (loss[k].is_empty()) saturated[k] = true;
+    changed.clear();
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (gains[i].is_empty()) continue;
+      const std::uint32_t k = work[i];
+      solution->deltas_[k].push_back({r, gains[i]});
+      solution->win_all_[k] |= gains[i];
       new_dirty[k] = true;
+      changed.push_back(k);
+    }
+    // Loss refresh (Reach \ Win) per changed key, again independent.
+    pool.parallel_for(changed.size(), 4,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          const std::uint32_t k = changed[i];
+                          loss[k] = g.reach(k).minus(solution->win_all_[k]);
+                        }
+                      });
+    for (const std::uint32_t k : changed) {
+      if (loss[k].is_empty()) saturated[k] = true;
     }
     dirty = std::move(new_dirty);
     rounds = r;
@@ -209,6 +261,31 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
       break;
     }
   }
+
+  // Solve-time peak, sampled BEFORE building the executor-facing
+  // cache below so the Table 1 memory column keeps the paper's
+  // semantics (memory consumed by strategy generation).
+  const std::size_t solve_peak_bytes = util::zone_memory().peak();
+
+  // Cumulative winning_up_to cache: per key, the union of the delta
+  // prefix at every round but the last (the full prefix is win_all_).
+  // It's what the executor's per-decision lookups read.
+  solution->win_up_to_.assign(n, {});
+  pool.parallel_for(n, 16, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto k = static_cast<std::uint32_t>(i);
+      const auto& ds = solution->deltas_[k];
+      if (ds.size() < 2) continue;
+      auto& cum = solution->win_up_to_[k];
+      cum.reserve(ds.size() - 1);
+      Fed acc = ds.front().gained;
+      cum.push_back(acc);
+      for (std::size_t d = 1; d + 1 < ds.size(); ++d) {
+        acc |= ds[d].gained;
+        cum.push_back(acc);
+      }
+    }
+  });
 
   // Stats.
   const auto gstats = g.stats();
@@ -218,7 +295,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   st.edges = gstats.edges;
   st.rounds = rounds;
   for (const Fed& w : solution->win_all_) st.winning_zones += w.size();
-  st.peak_zone_bytes = util::zone_memory().peak();
+  st.peak_zone_bytes = solve_peak_bytes;
   st.solve_seconds = watch.seconds();
   return solution;
 }

@@ -57,6 +57,12 @@ namespace tigat::game {
 struct SolverOptions {
   semantics::ExplorationOptions exploration;
   std::size_t max_rounds = 1u << 20;
+  // Worker threads for exploration and the fixpoint (the calling
+  // thread included): 0 = hardware concurrency, 1 = serial.  Winning
+  // federations, ranks, key numbering and strategies are bit-identical
+  // at every value — work is distributed, results are merged in key
+  // order (see solve()).
+  unsigned threads = 0;
 };
 
 struct SolverStats {
@@ -92,9 +98,12 @@ class GameSolution {
   [[nodiscard]] const dbm::Fed& winning(std::uint32_t k) const {
     return win_all_[k];
   }
-  // Winning states of rank ≤ round.
-  [[nodiscard]] dbm::Fed winning_up_to(std::uint32_t k,
-                                       std::uint32_t round) const;
+  // Winning states of rank ≤ round.  Served from the cumulative
+  // per-round cache built at solve time (the executor asks on every
+  // decision; rebuilding the union federation per call dominated the
+  // per-decision hot path).
+  [[nodiscard]] const dbm::Fed& winning_up_to(std::uint32_t k,
+                                              std::uint32_t round) const;
   [[nodiscard]] const std::vector<Delta>& deltas(std::uint32_t k) const {
     return deltas_[k];
   }
@@ -115,6 +124,10 @@ class GameSolution {
   std::vector<bool> goal_key_;
   std::vector<dbm::Fed> win_all_;
   std::vector<std::vector<Delta>> deltas_;
+  // win_up_to_[k][i] = union of deltas_[k][0..i].gained, so
+  // winning_up_to is a lookup instead of a federation rebuild.
+  std::vector<std::vector<dbm::Fed>> win_up_to_;
+  dbm::Fed empty_fed_;  // returned for rounds before the first delta
   SolverStats stats_;
 };
 

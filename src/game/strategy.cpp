@@ -68,7 +68,7 @@ Move Strategy::decide(const semantics::ConcreteState& state,
       next = std::min(next, *d);
     }
   }
-  const Fed lower = solution_->winning_up_to(*k, *rank - 1);
+  const Fed& lower = solution_->winning_up_to(*k, *rank - 1);
   if (const auto d = lower.earliest_entry_delay(state.clocks, scale)) {
     next = std::min(next, *d);
   }

@@ -1,11 +1,11 @@
 #include "semantics/symbolic.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "util/assert.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace tigat::semantics {
 
@@ -167,7 +167,7 @@ std::optional<std::pair<DiscreteKey, Dbm>> SymbolicGraph::apply(
   return std::make_pair(std::move(key), std::move(z));
 }
 
-void SymbolicGraph::explore() {
+void SymbolicGraph::explore(util::ThreadPool* pool) {
   if (explored_) return;
 
   // Initial symbolic state.
@@ -191,69 +191,115 @@ void SymbolicGraph::explore() {
     reach_[k0].add(z);
   }
 
-  std::deque<std::pair<std::uint32_t, Dbm>> waiting;
-  waiting.emplace_back(k0, reach_[k0].zones().front());
+  // A FIFO queue drains in waves (everything currently queued is one
+  // wave; its successors form the next).  Successor EXPANSION — the
+  // expensive Dbm work — only reads state fixed before the wave
+  // (keys_, invariants_, the wave's own zones), so it fans out over
+  // the pool into per-item slots; interning, edge recording and
+  // subsumption then run serially in item order, which is exactly the
+  // order the serial FIFO would have produced.
+  struct Successor {
+    DiscreteKey key;
+    Dbm zone;
+    TransitionInstance inst;
+  };
+  std::vector<std::pair<std::uint32_t, Dbm>> wave;
+  std::vector<std::pair<std::uint32_t, Dbm>> next_wave;
+  std::vector<std::vector<Successor>> expanded;
+  wave.emplace_back(k0, reach_[k0].zones().front());
 
   const util::Stopwatch watch;
   std::size_t zone_count = 1;
-  std::size_t pops = 0;
-  while (!waiting.empty()) {
-    auto [k, z] = std::move(waiting.front());
-    waiting.pop_front();
-    if (options_.deadline_seconds > 0.0 && (++pops & 1023u) == 0 &&
-        watch.seconds() > options_.deadline_seconds) {
-      throw ExplorationLimit("exploration deadline exceeded");
-    }
+  std::size_t merged = 0;
+  while (!wave.empty()) {
+    expanded.assign(wave.size(), {});
+    const auto expand = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        // Budget checks live here too, not only in the merge: a wide
+        // wave must not overshoot the deadline or the zone-byte cap by
+        // a whole wave's worth of expansion work.  (Throws propagate
+        // through ThreadPool::parallel_for.)
+        if (options_.deadline_seconds > 0.0 &&
+            watch.seconds() > options_.deadline_seconds) {
+          throw ExplorationLimit("exploration deadline exceeded");
+        }
+        if (util::zone_memory().current() > options_.max_zone_bytes) {
+          throw ExplorationLimit("zone memory budget exceeded");
+        }
+        const std::uint32_t k = wave[i].first;
+        const Dbm& z = wave[i].second;
+        std::vector<Successor>& out = expanded[i];
+        for (const TransitionInstance& inst :
+             instances_from(*sys_, keys_[k].locs)) {
+          // Data guards: evaluated once per (key, instance).
+          const auto data_ok = [&](const EdgeRef& ref) {
+            const Edge& e = sys_->processes()[ref.process].edges()[ref.edge];
+            return e.data_guard.eval_bool(keys_[k].data, sys_->data());
+          };
+          if (!data_ok(inst.primary)) continue;
+          if (inst.receiver && !data_ok(*inst.receiver)) continue;
 
-    for (const TransitionInstance& inst : instances_from(*sys_, keys_[k].locs)) {
-      // Data guards: evaluated once per (key, instance).
-      const auto data_ok = [&](const EdgeRef& ref) {
-        const Edge& e = sys_->processes()[ref.process].edges()[ref.edge];
-        return e.data_guard.eval_bool(keys_[k].data, sys_->data());
-      };
-      if (!data_ok(inst.primary)) continue;
-      if (inst.receiver && !data_ok(*inst.receiver)) continue;
-
-      auto next = apply(k, z, inst);
-      if (!next) continue;
-      auto& [key, zone] = *next;
-      if (options_.extrapolate) zone.extrapolate_max_bounds(max_constants_);
-
-      const std::uint32_t kd = intern_key(std::move(key));
-      // Record the symbolic edge once per (src, instance, dst); the
-      // out-index doubles as the exact dedup structure.
-      if (out_index_.size() < keys_.size()) out_index_.resize(keys_.size());
-      bool duplicate = false;
-      for (const std::uint32_t ei : out_index_[k]) {
-        if (edges_[ei].dst == kd && edges_[ei].inst == inst) {
-          duplicate = true;
-          break;
+          auto next = apply(k, z, inst);
+          if (!next) continue;
+          if (options_.extrapolate) {
+            next->second.extrapolate_max_bounds(max_constants_);
+          }
+          out.push_back(
+              {std::move(next->first), std::move(next->second), inst});
         }
       }
-      if (!duplicate) {
-        out_index_[k].push_back(static_cast<std::uint32_t>(edges_.size()));
-        edges_.push_back({k, kd, inst});
-      }
-
-      // Subsumption: skip zones already covered by a single member.
-      bool covered = false;
-      for (const Dbm& existing : reach_[kd].zones()) {
-        if (zone.is_subset_of(existing)) {
-          covered = true;
-          break;
-        }
-      }
-      if (covered) continue;
-      reach_[kd].add(zone);
-      ++zone_count;
-      if (zone_count > options_.max_zones) {
-        throw ExplorationLimit("zone limit exceeded");
-      }
-      if (util::zone_memory().current() > options_.max_zone_bytes) {
-        throw ExplorationLimit("zone memory budget exceeded");
-      }
-      waiting.emplace_back(kd, std::move(zone));
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(wave.size(), 1, expand);
+    } else {
+      expand(0, wave.size());
     }
+
+    next_wave.clear();
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const std::uint32_t k = wave[i].first;
+      if (options_.deadline_seconds > 0.0 && (++merged & 1023u) == 0 &&
+          watch.seconds() > options_.deadline_seconds) {
+        throw ExplorationLimit("exploration deadline exceeded");
+      }
+      for (Successor& s : expanded[i]) {
+        const std::uint32_t kd = intern_key(std::move(s.key));
+        // Record the symbolic edge once per (src, instance, dst); the
+        // out-index doubles as the exact dedup structure.
+        if (out_index_.size() < keys_.size()) out_index_.resize(keys_.size());
+        bool duplicate = false;
+        for (const std::uint32_t ei : out_index_[k]) {
+          if (edges_[ei].dst == kd && edges_[ei].inst == s.inst) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          out_index_[k].push_back(static_cast<std::uint32_t>(edges_.size()));
+          edges_.push_back({k, kd, s.inst});
+        }
+
+        // Subsumption: skip zones already covered by a single member.
+        bool covered = false;
+        for (const Dbm& existing : reach_[kd].zones()) {
+          if (s.zone.is_subset_of(existing)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        reach_[kd].add(s.zone);
+        ++zone_count;
+        if (zone_count > options_.max_zones) {
+          throw ExplorationLimit("zone limit exceeded");
+        }
+        if (util::zone_memory().current() > options_.max_zone_bytes) {
+          throw ExplorationLimit("zone memory budget exceeded");
+        }
+        next_wave.emplace_back(kd, std::move(s.zone));
+      }
+    }
+    wave.swap(next_wave);
   }
 
   build_edge_index();

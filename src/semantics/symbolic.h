@@ -27,6 +27,10 @@
 #include "semantics/transition.h"
 #include "tsystem/system.h"
 
+namespace tigat::util {
+class ThreadPool;
+}
+
 namespace tigat::semantics {
 
 struct DiscreteKey {
@@ -70,7 +74,16 @@ class SymbolicGraph {
 
   // Runs forward exploration to the fixpoint (or throws
   // ExplorationLimit).  Idempotent.
-  void explore();
+  //
+  // With a pool, the frontier is processed in WAVES: every state of the
+  // current wave expands its successors on a worker (the expensive part
+  // — guard collection, resets, closure, extrapolation), then a serial
+  // merge interns keys, records edges and applies subsumption in wave
+  // order.  Because the serial algorithm's FIFO also drains the queue
+  // wave by wave, the merge visits successors in exactly the serial
+  // order — key numbering, edge order and reach federations are
+  // bit-identical at any thread count.
+  void explore(util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] const tsystem::System& system() const { return *sys_; }
   [[nodiscard]] std::uint32_t key_count() const {

@@ -6,8 +6,19 @@
 // zones, federations and symbolic-state tables.  Each counted structure
 // calls `add`/`sub` from its constructor/destructor; `peak()` gives the
 // high-water mark that the benchmark harness prints.
+//
+// The counters are relaxed atomics: the parallel solving pipeline
+// (util::ThreadPool) constructs and destroys zones on every worker, so
+// the meter must be race-free.  Relaxed ordering is enough — the
+// counts are statistics, not synchronisation — and keeps the cost to
+// one uncontended RMW per zone, which is noise next to the O(dim²)
+// work every zone represents.  `peak` is maintained with a CAS loop
+// and is exact up to the usual concurrent-high-water caveat (two
+// simultaneous `add`s may each observe the pre-update peak; the final
+// value still bounds every individually observed `current`).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -16,32 +27,46 @@ namespace tigat::util {
 class MemoryMeter {
  public:
   void add(std::size_t bytes) noexcept {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    const std::size_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
   }
   void sub(std::size_t bytes) noexcept {
-    current_ = bytes > current_ ? 0 : current_ - bytes;
+    // Clamped at zero (a reset() may race live zones); CAS keeps the
+    // clamp exact under concurrency.
+    std::size_t cur = current_.load(std::memory_order_relaxed);
+    while (!current_.compare_exchange_weak(cur, bytes > cur ? 0 : cur - bytes,
+                                           std::memory_order_relaxed)) {
+    }
   }
 
-  [[nodiscard]] std::size_t current() const noexcept { return current_; }
-  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::size_t current() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
 
   // Forgets the history; used between benchmark cells.
   void reset() noexcept {
-    current_ = 0;
-    peak_ = 0;
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
   }
   // Keeps the live bytes but restarts the high-water mark from them.
-  void reset_peak() noexcept { peak_ = current_; }
+  void reset_peak() noexcept {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
 
  private:
-  std::size_t current_ = 0;
-  std::size_t peak_ = 0;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
 };
 
-// Process-wide meter used by the zone layer.  Single-threaded by design
-// (the solver itself is single-threaded, as was UPPAAL-TIGA in 2008);
-// keeping the counter plain avoids atomic traffic on the hottest path.
+// Process-wide meter used by the zone layer.
 MemoryMeter& zone_memory() noexcept;
 
 double to_mebibytes(std::size_t bytes) noexcept;
