@@ -11,9 +11,12 @@
 #include <cstring>
 
 #include "bench_json.h"
+#include "decision/compiler.h"
+#include "decision/serialize.h"
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "models/smart_light.h"
+#include "semantics/concrete.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
@@ -48,6 +51,45 @@ int main(int argc, char** argv) {
   report.root().set("states", solution->stats().keys);
   report.root().set("rounds", solution->stats().rounds);
   report.root().set("strategy_rows", strategy.size());
+
+  // The compiled representation of the same strategy: shape, .tgs
+  // size, and walk-vs-compiled per-decision latency one model-unit in
+  // (the state where Fig. 5 prescribes the first touch).
+  decision::CompileStats cstats;
+  const decision::DecisionTable table = decision::compile(*solution, &cstats);
+  const std::size_t tgs_bytes = decision::to_bytes(table).size();
+  constexpr std::int64_t kScale = 16;
+  semantics::ConcreteSemantics sem(light.system, kScale);
+  auto state = sem.initial();
+  sem.delay(state, kScale);
+  constexpr int kReps = 200000;
+  std::int64_t sink = 0;  // defeats dead-code elimination of the loops
+  util::Stopwatch walk_watch;
+  for (int r = 0; r < kReps; ++r) {
+    sink += static_cast<std::int64_t>(strategy.decide(state, kScale).kind);
+  }
+  const double walk_ns = walk_watch.seconds() * 1e9 / kReps;
+  util::Stopwatch table_watch;
+  for (int r = 0; r < kReps; ++r) {
+    sink -= static_cast<std::int64_t>(table.decide(state, kScale).kind);
+  }
+  const double table_ns = table_watch.seconds() * 1e9 / kReps;
+  if (sink != 0) std::printf("backends disagreed at the probe state!\n");
+  std::printf("compiled: %zu nodes, %zu arcs, %zu leaves, %zu zones "
+              "(%.3f s compile, %zu bytes .tgs)\n",
+              table.node_count(), table.arc_count(), table.leaf_count(),
+              table.zone_count(), cstats.compile_seconds, tgs_bytes);
+  std::printf("per-decision: walk %.0f ns, compiled %.0f ns (%.1fx)\n",
+              walk_ns, table_ns, walk_ns / table_ns);
+  report.root().set("compile_s", cstats.compile_seconds);
+  report.root().set("table_nodes", table.node_count());
+  report.root().set("table_arcs", table.arc_count());
+  report.root().set("table_leaves", table.leaf_count());
+  report.root().set("table_zones", table.zone_count());
+  report.root().set("tgs_bytes", tgs_bytes);
+  report.root().set("walk_ns_per_decide", walk_ns);
+  report.root().set("table_ns_per_decide", table_ns);
+  report.root().set("speedup_vs_walk", walk_ns / table_ns);
   report.flush();
   return 0;
 }

@@ -9,19 +9,82 @@
 // Every `control:` declaration in the file is solved (plus any extra
 // purposes given on the command line); for each one the winnability
 // verdict, solver statistics and strategy size are reported.
+//
+// Compiled strategies (the offline/online split):
+//
+//   # solve once, compile the first purpose's strategy, save it
+//   run_model model.tg --strategy-out=model.tgs
+//   # serving path: load the compiled strategy — no solving at all
+//   run_model model.tg --strategy-in=model.tgs
+//
+// --strategy-in validates the .tgs fingerprint against the model,
+// reports the table shape and times the compiled decide() at the
+// initial state, which is the whole per-step cost a test-execution
+// service pays once the game is solved offline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "decision/compiler.h"
+#include "decision/serialize.h"
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "lang/lang.h"
+#include "semantics/concrete.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 #include "util/text.h"
+
+namespace {
+
+int serve_strategy(const tigat::lang::LoadedModel& model,
+                   const std::string& path) {
+  using namespace tigat;
+  const decision::DecisionTable table = [&] {
+    try {
+      return decision::load(path);
+    } catch (const decision::SerializeError& e) {
+      std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(), e.what());
+      std::exit(1);
+    }
+  }();
+  if (!table.matches(model.system)) {
+    std::fprintf(stderr,
+                 "'%s' was compiled for a different model (fingerprint "
+                 "mismatch)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("loaded compiled strategy %s: %zu keys, %zu nodes, %zu arcs, "
+              "%zu leaves, %zu zones (%.1f KiB resident)\n",
+              path.c_str(), table.key_count(), table.node_count(),
+              table.arc_count(), table.leaf_count(), table.zone_count(),
+              static_cast<double>(table.memory_bytes()) / 1024.0);
+
+  constexpr std::int64_t kScale = 16;
+  semantics::ConcreteSemantics sem(model.system, kScale);
+  const auto initial = sem.initial();
+  const game::Move move = table.decide(initial, kScale);
+  const char* kinds[] = {"goal reached", "action", "delay", "unwinnable"};
+  std::printf("decision at the initial state: %s\n",
+              kinds[static_cast<int>(move.kind)]);
+
+  constexpr int kReps = 200000;
+  util::Stopwatch watch;
+  std::int64_t sink = 0;
+  for (int r = 0; r < kReps; ++r) {
+    sink += static_cast<std::int64_t>(table.decide(initial, kScale).kind);
+  }
+  const double ns = watch.seconds() * 1e9 / kReps;
+  std::printf("compiled decide(): %.0f ns/decision (%d reps, checksum %lld)\n",
+              ns, kReps, static_cast<long long>(sink));
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tigat;
@@ -29,12 +92,18 @@ int main(int argc, char** argv) {
   std::string path;
   bool print_model = false;
   unsigned threads = 0;  // 0 = hardware concurrency
+  std::string strategy_out;
+  std::string strategy_in;
   std::vector<std::string> extra_purposes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-model") == 0) {
       print_model = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--strategy-out=", 15) == 0) {
+      strategy_out = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--strategy-in=", 14) == 0) {
+      strategy_in = argv[i] + 14;
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -44,7 +113,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: run_model <model.tg> [--print-model] "
-                 "[--threads=N] [\"control: A<> ...\"]...\n");
+                 "[--threads=N] [--strategy-out=FILE.tgs] "
+                 "[--strategy-in=FILE.tgs] [\"control: A<> ...\"]...\n");
     return 2;
   }
 
@@ -64,6 +134,9 @@ int main(int argc, char** argv) {
               model.system.processes().size(), model.purposes.size());
   if (print_model) std::printf("\n%s\n", model.system.to_string().c_str());
 
+  // Serving path: a compiled strategy replaces solving entirely.
+  if (!strategy_in.empty()) return serve_strategy(model, strategy_in);
+
   std::vector<tsystem::TestPurpose> purposes = std::move(model.purposes);
   for (const std::string& text : extra_purposes) {
     try {
@@ -76,6 +149,13 @@ int main(int argc, char** argv) {
   if (purposes.empty()) {
     std::printf("no test purposes (add 'control: A<> ...;' to the model "
                 "or pass one on the command line)\n");
+    if (!strategy_out.empty()) {
+      std::fprintf(stderr,
+                   "--strategy-out: nothing to compile, '%s' was not "
+                   "written\n",
+                   strategy_out.c_str());
+      return 1;
+    }
     return 0;
   }
 
@@ -100,6 +180,21 @@ int main(int argc, char** argv) {
            util::format("%.3f", watch.seconds()),
            util::format("%.1f",
                         util::to_mebibytes(solution->stats().peak_zone_bytes))});
+
+      // Offline compile of the first purpose's strategy.
+      if (!strategy_out.empty()) {
+        decision::CompileStats stats;
+        const decision::DecisionTable compiled =
+            decision::compile(*solution, &stats);
+        decision::save(compiled, strategy_out);
+        std::printf("compiled '%s' in %.3f s: %zu keys, %zu nodes, %zu arcs, "
+                    "%zu leaves, %zu zones -> %s\n",
+                    purpose.source.c_str(), stats.compile_seconds,
+                    compiled.key_count(), compiled.node_count(),
+                    compiled.arc_count(), compiled.leaf_count(),
+                    compiled.zone_count(), strategy_out.c_str());
+        strategy_out.clear();  // first purpose only
+      }
     } catch (const tsystem::ModelError& e) {
       // E.g. `A[]` safety purposes parse but have no solver yet.
       std::fprintf(stderr, "cannot solve '%s': %s\n", purpose.source.c_str(),
@@ -108,5 +203,14 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n%s\n", table.to_string().c_str());
+  if (!strategy_out.empty()) {
+    // Never silently skip the artifact the caller asked for: a later
+    // --strategy-in would fail far from the actual cause.
+    std::fprintf(stderr,
+                 "--strategy-out: no purpose was solved, '%s' was not "
+                 "written\n",
+                 strategy_out.c_str());
+    return 1;
+  }
   return all_winning ? 0 : 1;
 }

@@ -1,0 +1,366 @@
+#include "decision/compiler.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/stopwatch.h"
+
+namespace tigat::decision {
+
+namespace {
+
+using dbm::Dbm;
+using dbm::Fed;
+using game::GameSolution;
+using game::MoveKind;
+using semantics::SymbolicEdge;
+using semantics::SymbolicGraph;
+
+// One row of a key's decision cascade: "if the point is in `fed` (and
+// in no earlier row), the prescription is `leaf`".
+struct Entry {
+  const Fed* fed = nullptr;
+  target_t leaf = 0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const GameSolution& solution)
+      : sol_(solution), g_(solution.graph()) {
+    out_.fingerprint = model_fingerprint(g_.system());
+    out_.clock_dim = g_.system().clock_count();
+  }
+
+  TableData run(CompileStats* stats) {
+    util::Stopwatch watch;
+    for (std::uint32_t k = 0; k < g_.key_count(); ++k) compile_key(k);
+    compact();
+    if (stats != nullptr) {
+      stats->cascade_entries = cascade_entries_;
+      stats->nodes_built = nodes_built_;
+      stats->compile_seconds = watch.seconds();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // ── interning ───────────────────────────────────────────────────────
+  std::uint32_t intern_zone(const Dbm& zone) {
+    auto& ids = zone_index_[zone.hash()];
+    for (const std::uint32_t id : ids) {
+      if (out_.zones[id] == zone) return id;
+    }
+    const auto id = static_cast<std::uint32_t>(out_.zones.size());
+    out_.zones.push_back(zone);
+    ids.push_back(id);
+    return id;
+  }
+
+  std::pair<std::uint32_t, std::uint32_t> intern_slice(
+      const std::vector<std::uint32_t>& refs) {
+    const auto it = slice_index_.find(refs);
+    if (it != slice_index_.end()) return it->second;
+    const auto first = static_cast<std::uint32_t>(out_.zone_refs.size());
+    out_.zone_refs.insert(out_.zone_refs.end(), refs.begin(), refs.end());
+    const auto slice =
+        std::make_pair(first, static_cast<std::uint32_t>(refs.size()));
+    slice_index_.emplace(refs, slice);
+    return slice;
+  }
+
+  target_t intern_leaf(const TableData::Leaf& leaf) {
+    const auto key = std::make_tuple(leaf.kind, leaf.rank, leaf.edge_slot,
+                                     leaf.zones_first, leaf.zones_count);
+    const auto it = leaf_index_.find(key);
+    if (it != leaf_index_.end()) return leaf_target(it->second);
+    const auto id = static_cast<std::uint32_t>(out_.leaves.size());
+    out_.leaves.push_back(leaf);
+    leaf_index_.emplace(key, id);
+    return leaf_target(id);
+  }
+
+  target_t intern_node(std::uint16_t i, std::uint16_t j,
+                       std::vector<TableData::Arc> arcs) {
+    ++nodes_built_;
+    std::vector<std::pair<dbm::raw_t, target_t>> sig;
+    sig.reserve(arcs.size());
+    for (const TableData::Arc& a : arcs) sig.emplace_back(a.bound, a.target);
+    const auto key = std::make_tuple(i, j, std::move(sig));
+    const auto it = node_index_.find(key);
+    if (it != node_index_.end()) return node_target(it->second);
+    const auto id = static_cast<std::uint32_t>(out_.nodes.size());
+    TableData::Node node;
+    node.i = i;
+    node.j = j;
+    node.first_arc = static_cast<std::uint32_t>(out_.arcs.size());
+    node.arc_count = static_cast<std::uint32_t>(arcs.size());
+    out_.arcs.insert(out_.arcs.end(), arcs.begin(), arcs.end());
+    out_.nodes.push_back(node);
+    node_index_.emplace(key, id);
+    return node_target(id);
+  }
+
+  std::uint32_t edge_slot(std::uint32_t ei) {
+    const auto it = edge_slots_.find(ei);
+    if (it != edge_slots_.end()) return it->second;
+    const auto slot = static_cast<std::uint32_t>(out_.edges.size());
+    out_.edges.push_back({ei, g_.edges()[ei].inst});
+    edge_slots_.emplace(ei, slot);
+    return slot;
+  }
+
+  // ── the per-key cascade ─────────────────────────────────────────────
+  // Action regions come from GameSolution::action_region — the single
+  // cached implementation Strategy::decide also walks, including the
+  // member-zone layout (delay leaves take the earliest-entry minimum
+  // over these zones, so the zone list itself must match, not just the
+  // denoted set).
+  target_t delay_leaf(std::uint32_t k, std::uint32_t round) {
+    std::vector<std::uint32_t> refs;
+    for (const std::uint32_t ei : g_.edges_out(k)) {
+      if (!g_.edges()[ei].inst.controllable) continue;
+      for (const Dbm& z : sol_.action_region(ei, round - 1).zones()) {
+        refs.push_back(intern_zone(z));
+      }
+    }
+    for (const Dbm& z : sol_.winning_up_to(k, round - 1).zones()) {
+      refs.push_back(intern_zone(z));
+    }
+    TableData::Leaf leaf;
+    leaf.kind = MoveKind::kDelay;
+    leaf.rank = round;
+    std::tie(leaf.zones_first, leaf.zones_count) = intern_slice(refs);
+    return intern_leaf(leaf);
+  }
+
+  void compile_key(std::uint32_t k) {
+    std::deque<Fed> owned;
+    std::vector<Entry> entries;
+    for (const GameSolution::Delta& d : sol_.deltas(k)) {
+      if (d.round == 0) {
+        TableData::Leaf goal;
+        goal.kind = MoveKind::kGoalReached;
+        goal.rank = 0;
+        entries.push_back({&d.gained, intern_leaf(goal)});
+        continue;
+      }
+      for (const std::uint32_t ei : g_.edges_out(k)) {
+        if (!g_.edges()[ei].inst.controllable) continue;
+        Fed region =
+            sol_.action_region(ei, d.round - 1).intersection(d.gained);
+        if (region.is_empty()) continue;
+        TableData::Leaf act;
+        act.kind = MoveKind::kAction;
+        act.rank = d.round;
+        act.edge_slot = edge_slot(ei);
+        owned.push_back(std::move(region));
+        entries.push_back({&owned.back(), intern_leaf(act)});
+      }
+      entries.push_back({&d.gained, delay_leaf(k, d.round)});
+    }
+    cascade_entries_ += entries.size();
+
+    TableData::Key key;
+    key.locs = g_.key(k).locs;
+    key.data = g_.key(k).data;
+    key.root = entries.empty() ? unwinnable_leaf()
+                               : build(Dbm::universal(out_.clock_dim), entries);
+    out_.keys.push_back(std::move(key));
+  }
+
+  target_t unwinnable_leaf() { return intern_leaf(TableData::Leaf{}); }
+
+  // ── cascade → DAG lowering ──────────────────────────────────────────
+  // `P` is the convex path zone implied by the tests taken so far (the
+  // DAG's "cell"); entries whose federations miss P are dead here.
+  target_t build(const Dbm& P, const std::vector<Entry>& entries) {
+    for (const Entry& entry : entries) {
+      const Dbm* live_zone = nullptr;
+      for (const Dbm& z : entry.fed->zones()) {
+        if (z.intersects(P)) {
+          live_zone = &z;
+          break;
+        }
+      }
+      if (live_zone == nullptr) continue;  // dead row: cannot fire in P
+
+      // First live row.  If it covers P the whole cell is decided (no
+      // earlier row can fire anywhere in P).
+      if (Fed(P).is_subset_of(*entry.fed)) return entry.leaf;
+
+      // Otherwise split P on a bound of a live member zone.  Some zone
+      // must have one: a live zone without a P-tightening bound would
+      // contain P, contradicting the failed cover test.
+      for (const Dbm& z : entry.fed->zones()) {
+        if (!z.intersects(P)) continue;
+        for (std::uint32_t i = 0; i < P.dimension(); ++i) {
+          for (std::uint32_t j = 0; j < P.dimension(); ++j) {
+            if (i == j || z.at(i, j) >= P.at(i, j)) continue;
+            return split(P, entries, static_cast<std::uint16_t>(i),
+                         static_cast<std::uint16_t>(j), z.at(i, j));
+          }
+        }
+      }
+      util::assert_fail(__FILE__, __LINE__,
+                        "uncovered cell without a splitting bound");
+    }
+    return unwinnable_leaf();  // no row can fire anywhere in P
+  }
+
+  target_t split(const Dbm& P, const std::vector<Entry>& entries,
+                 std::uint16_t i, std::uint16_t j, dbm::raw_t bound) {
+    Dbm yes = P;
+    bool ok = yes.constrain(i, j, bound);
+    TIGAT_ASSERT(ok, "splitter produced an empty yes-side");
+    Dbm no = P;
+    ok = no.constrain(j, i, dbm::negate_bound(bound));
+    TIGAT_ASSERT(ok, "splitter produced an empty no-side");
+
+    const target_t on_yes = build(yes, entries);
+    const target_t on_no = build(no, entries);
+    if (on_yes == on_no) return on_yes;  // the test does not discriminate
+
+    std::vector<TableData::Arc> arcs;
+    arcs.push_back({bound, on_yes});
+    // Fuse a same-difference chain into one multi-arc node.  On the
+    // no-side every later cut on (i, j) is strictly looser (a tighter
+    // one could not intersect the no-side cell), so sortedness holds;
+    // the guard keeps it an invariant even for hash-consed reuse.
+    if (!is_leaf(on_no)) {
+      const TableData::Node& chain = out_.nodes[target_index(on_no)];
+      if (chain.i == i && chain.j == j &&
+          out_.arcs[chain.first_arc].bound > bound) {
+        for (std::uint32_t a = 0; a < chain.arc_count; ++a) {
+          arcs.push_back(out_.arcs[chain.first_arc + a]);
+        }
+        return intern_node(i, j, std::move(arcs));
+      }
+    }
+    arcs.push_back({dbm::kInfinity, on_no});
+    return intern_node(i, j, std::move(arcs));
+  }
+
+  // ── mark & compact ──────────────────────────────────────────────────
+  // Chain fusion and leaf sharing strand intermediate nodes and (after
+  // dedup) unreferenced pool entries; rebuild every array with only
+  // what the key roots reach, renumbering in deterministic DFS order.
+  void compact() {
+    TableData packed;
+    packed.fingerprint = out_.fingerprint;
+    packed.clock_dim = out_.clock_dim;
+
+    constexpr std::uint32_t kUnset = 0xffff'ffffu;
+    std::vector<std::uint32_t> node_map(out_.nodes.size(), kUnset);
+    std::vector<std::uint32_t> leaf_map(out_.leaves.size(), kUnset);
+    std::vector<std::uint32_t> zone_map(out_.zones.size(), kUnset);
+    std::vector<std::uint32_t> edge_map(out_.edges.size(), kUnset);
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::pair<std::uint32_t, std::uint32_t>>
+        slice_map;
+
+    const auto map_zone = [&](std::uint32_t z) {
+      if (zone_map[z] == kUnset) {
+        zone_map[z] = static_cast<std::uint32_t>(packed.zones.size());
+        packed.zones.push_back(out_.zones[z]);
+      }
+      return zone_map[z];
+    };
+    const auto map_leaf = [&](std::uint32_t l) {
+      if (leaf_map[l] != kUnset) return leaf_map[l];
+      TableData::Leaf leaf = out_.leaves[l];
+      if (leaf.kind == MoveKind::kAction) {
+        if (edge_map[leaf.edge_slot] == kUnset) {
+          edge_map[leaf.edge_slot] =
+              static_cast<std::uint32_t>(packed.edges.size());
+          packed.edges.push_back(out_.edges[leaf.edge_slot]);
+        }
+        leaf.edge_slot = edge_map[leaf.edge_slot];
+      }
+      if (leaf.kind == MoveKind::kDelay) {
+        const auto old = std::make_pair(leaf.zones_first, leaf.zones_count);
+        const auto it = slice_map.find(old);
+        if (it != slice_map.end()) {
+          std::tie(leaf.zones_first, leaf.zones_count) = it->second;
+        } else {
+          const auto first =
+              static_cast<std::uint32_t>(packed.zone_refs.size());
+          for (std::uint32_t r = 0; r < old.second; ++r) {
+            packed.zone_refs.push_back(
+                map_zone(out_.zone_refs[old.first + r]));
+          }
+          slice_map.emplace(old, std::make_pair(first, old.second));
+          leaf.zones_first = first;
+        }
+      }
+      leaf_map[l] = static_cast<std::uint32_t>(packed.leaves.size());
+      packed.leaves.push_back(leaf);
+      return leaf_map[l];
+    };
+
+    // Post-order DFS: a node's targets are numbered before the node
+    // itself, and its rebuilt arcs land contiguously in `packed.arcs`.
+    const std::function<target_t(target_t)> map_target =
+        [&](target_t t) -> target_t {
+      if (is_leaf(t)) return leaf_target(map_leaf(target_index(t)));
+      const std::uint32_t n = target_index(t);
+      if (node_map[n] != kUnset) return node_target(node_map[n]);
+      const TableData::Node& node = out_.nodes[n];
+      std::vector<TableData::Arc> arcs;
+      arcs.reserve(node.arc_count);
+      for (std::uint32_t a = 0; a < node.arc_count; ++a) {
+        const TableData::Arc& arc = out_.arcs[node.first_arc + a];
+        arcs.push_back({arc.bound, map_target(arc.target)});
+      }
+      TableData::Node fresh;
+      fresh.i = node.i;
+      fresh.j = node.j;
+      fresh.first_arc = static_cast<std::uint32_t>(packed.arcs.size());
+      fresh.arc_count = static_cast<std::uint32_t>(arcs.size());
+      packed.arcs.insert(packed.arcs.end(), arcs.begin(), arcs.end());
+      node_map[n] = static_cast<std::uint32_t>(packed.nodes.size());
+      packed.nodes.push_back(fresh);
+      return node_target(node_map[n]);
+    };
+
+    packed.keys.reserve(out_.keys.size());
+    for (TableData::Key& key : out_.keys) {
+      key.root = map_target(key.root);
+      packed.keys.push_back(std::move(key));
+    }
+    out_ = std::move(packed);
+  }
+
+  const GameSolution& sol_;
+  const SymbolicGraph& g_;
+  TableData out_;
+
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> zone_index_;
+  std::map<std::vector<std::uint32_t>, std::pair<std::uint32_t, std::uint32_t>>
+      slice_index_;
+  std::map<std::tuple<MoveKind, std::uint32_t, std::uint32_t, std::uint32_t,
+                      std::uint32_t>,
+           std::uint32_t>
+      leaf_index_;
+  std::map<std::tuple<std::uint16_t, std::uint16_t,
+                      std::vector<std::pair<dbm::raw_t, target_t>>>,
+           std::uint32_t>
+      node_index_;
+  std::unordered_map<std::uint32_t, std::uint32_t> edge_slots_;
+
+  std::size_t cascade_entries_ = 0;
+  std::size_t nodes_built_ = 0;
+};
+
+}  // namespace
+
+DecisionTable compile(const GameSolution& solution, CompileStats* stats) {
+  return DecisionTable(Compiler(solution).run(stats));
+}
+
+}  // namespace tigat::decision

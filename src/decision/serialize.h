@@ -1,0 +1,50 @@
+// Binary serialization of compiled decision tables — the `.tgs` file
+// format ("tigat strategy").
+//
+// A .tgs file makes the solved game a deployable artifact: solve and
+// compile once (run_model --strategy-out), then any number of serving
+// processes load the table (--strategy-in) and execute test campaigns
+// without ever running the solver.
+//
+// Layout (all integers little-endian; see serialize.cpp for the field
+// tables):
+//
+//   magic "TGSD" | u32 version | u64 payload FNV-1a | u64 payload size
+//   payload: fingerprint, clock dim, keys (locs/data/root), edges
+//   (original index + transition instance), nodes, arcs, leaves, zone
+//   refs, zone pool (raw DBM matrices)
+//
+// Integrity: the header checksum covers every payload byte and is
+// verified before parsing; the parser bounds-checks every read and the
+// DecisionTable constructor re-validates the structural invariants, so
+// a truncated, corrupted or mismatched file raises SerializeError
+// instead of producing a quietly wrong strategy.  Model identity is
+// the fingerprint (DecisionTable::matches), checked by callers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decision/table.h"
+
+namespace tigat::decision {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+class SerializeError : public tsystem::ModelError {
+ public:
+  using tsystem::ModelError::ModelError;
+};
+
+// In-memory encoding/decoding (the file functions are thin wrappers;
+// tests and network services use these directly).
+[[nodiscard]] std::vector<std::uint8_t> to_bytes(const DecisionTable& table);
+[[nodiscard]] DecisionTable from_bytes(const std::vector<std::uint8_t>& bytes);
+
+// Throws SerializeError on I/O failure, bad magic/version, checksum
+// mismatch or structurally invalid content.
+void save(const DecisionTable& table, const std::string& path);
+[[nodiscard]] DecisionTable load(const std::string& path);
+
+}  // namespace tigat::decision

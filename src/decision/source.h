@@ -1,0 +1,56 @@
+// DecisionSource — the executor-facing seam between "who answers
+// decide()" and Algorithm 3.1.
+//
+// Test execution needs exactly two things from a strategy backend: a
+// Move for the current concrete state, and the TransitionInstance
+// behind a prescribed edge index.  Both the federation-walking
+// game::Strategy (via StrategySource) and the compiled decision::
+// DecisionTable satisfy this, so executors can serve a freshly solved
+// game and a strategy loaded from a .tgs file through the same code
+// path.  Implementations must be const-thread-safe: one source is
+// shared by every parallel test run of a campaign.
+#pragma once
+
+#include <cstdint>
+
+#include "game/strategy.h"
+#include "semantics/transition.h"
+
+namespace tigat::decision {
+
+class DecisionSource {
+ public:
+  virtual ~DecisionSource() = default;
+
+  // Decides at a concrete state (clock values in ticks at `scale`).
+  [[nodiscard]] virtual game::Move decide(const semantics::ConcreteState& state,
+                                          std::int64_t scale) const = 0;
+
+  // The transition behind a Move::edge value returned by decide().
+  [[nodiscard]] virtual const semantics::TransitionInstance& edge_instance(
+      std::uint32_t edge) const = 0;
+};
+
+// The federation-walking backend: forwards to game::Strategy.
+class StrategySource final : public DecisionSource {
+ public:
+  explicit StrategySource(const game::Strategy& strategy)
+      : strategy_(&strategy) {}
+
+  [[nodiscard]] game::Move decide(const semantics::ConcreteState& state,
+                                  std::int64_t scale) const override {
+    return strategy_->decide(state, scale);
+  }
+
+  [[nodiscard]] const semantics::TransitionInstance& edge_instance(
+      std::uint32_t edge) const override {
+    return strategy_->solution().graph().edges()[edge].inst;
+  }
+
+  [[nodiscard]] const game::Strategy& strategy() const { return *strategy_; }
+
+ private:
+  const game::Strategy* strategy_;
+};
+
+}  // namespace tigat::decision

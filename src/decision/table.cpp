@@ -1,0 +1,311 @@
+#include "decision/table.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/text.h"
+
+namespace tigat::decision {
+
+using game::Move;
+using game::MoveKind;
+using semantics::ConcreteState;
+using tsystem::ModelError;
+
+namespace {
+
+// FNV-1a 64, fed field by field.
+struct Fnv64 {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t k = 0; k < n; ++k) {
+      h ^= b[k];
+      h *= 0x100000001b3ull;
+    }
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+// Same mixing as semantics::DiscreteKey::hash / DataState::hash, but
+// over the raw vectors so decide() never materialises a DiscreteKey.
+std::size_t hash_discrete(const std::vector<tsystem::LocId>& locs,
+                          const tsystem::DataState& data) {
+  std::size_t h = 0x9e3779b9u;
+  for (const std::int32_t v : data.values()) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(v)) + 0x9e3779b9u +
+         (h << 6) + (h >> 2);
+  }
+  for (const tsystem::LocId l : locs) {
+    h ^= l + 0x9e3779b9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+[[noreturn]] void invalid(const char* what) {
+  throw ModelError(util::format("invalid decision table: %s", what));
+}
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const tsystem::System& system) {
+  Fnv64 f;
+  f.str(system.name());
+  f.u32(system.clock_count());
+  f.u64(system.data().decl_count());
+  for (std::uint32_t v = 0; v < system.data().decl_count(); ++v) {
+    const tsystem::VarDecl& decl = system.data().decl({v});
+    f.str(decl.name);
+    f.u32(static_cast<std::uint32_t>(decl.lo));
+    f.u32(static_cast<std::uint32_t>(decl.hi));
+    f.u32(static_cast<std::uint32_t>(decl.init));
+    f.u32(decl.size);
+  }
+  f.u64(system.channels().size());
+  for (const auto& chan : system.channels()) {
+    f.str(chan.name);
+    f.u32(static_cast<std::uint32_t>(chan.control));
+  }
+  const auto constraints = [&f](const std::vector<tsystem::ClockConstraint>& cs) {
+    f.u64(cs.size());
+    for (const tsystem::ClockConstraint& c : cs) {
+      f.u32(c.i);
+      f.u32(c.j);
+      f.u32(static_cast<std::uint32_t>(c.bound));
+    }
+  };
+  f.u64(system.processes().size());
+  for (const auto& proc : system.processes()) {
+    f.str(proc.name());
+    f.u32(static_cast<std::uint32_t>(proc.default_control()));
+    f.u32(proc.initial());
+    f.u64(proc.locations().size());
+    for (const tsystem::Location& loc : proc.locations()) {
+      f.str(loc.name);
+      f.u32(static_cast<std::uint32_t>(loc.kind));
+      constraints(loc.invariant);
+    }
+    f.u64(proc.edges().size());
+    for (const tsystem::Edge& edge : proc.edges()) {
+      f.u32(edge.src);
+      f.u32(edge.dst);
+      f.u32(static_cast<std::uint32_t>(edge.sync));
+      f.u32(edge.channel.id);
+      constraints(edge.guard);
+      f.str(edge.data_guard.is_null()
+                ? std::string()
+                : edge.data_guard.to_string(system.data()));
+      f.u64(edge.resets.size());
+      for (const tsystem::ClockReset& reset : edge.resets) {
+        f.u32(reset.clock);
+        f.u32(static_cast<std::uint32_t>(reset.value));
+      }
+      f.u64(edge.assignments.size());
+      for (const tsystem::Assignment& assign : edge.assignments) {
+        f.u32(assign.var.index);
+        f.str(assign.index.is_null() ? std::string()
+                                     : assign.index.to_string(system.data()));
+        f.str(assign.rhs.to_string(system.data()));
+      }
+      f.u32(system.edge_controllable(proc, edge) ? 1u : 0u);
+    }
+  }
+  return f.h;
+}
+
+DecisionTable::DecisionTable(TableData data) : data_(std::move(data)) {
+  validate();
+  build_key_index();
+  build_edge_index();
+}
+
+void DecisionTable::validate() const {
+  if (data_.clock_dim == 0) invalid("clock dimension is zero");
+  const auto check_target = [&](target_t t) {
+    if (is_leaf(t)) {
+      if (target_index(t) >= data_.leaves.size()) invalid("leaf out of range");
+    } else if (target_index(t) >= data_.nodes.size()) {
+      invalid("node out of range");
+    }
+  };
+  for (const TableData::Key& key : data_.keys) {
+    if (key.locs.empty() && key.data.slot_count() == 0) {
+      invalid("key with no discrete part");
+    }
+    if (key.locs.size() != data_.keys.front().locs.size() ||
+        key.data.slot_count() != data_.keys.front().data.slot_count()) {
+      invalid("inconsistent key shapes");
+    }
+    check_target(key.root);
+  }
+  for (const TableData::Node& n : data_.nodes) {
+    if (n.i >= data_.clock_dim || n.j >= data_.clock_dim || n.i == n.j) {
+      invalid("node tests a bad clock pair");
+    }
+    if (n.arc_count < 2 ||
+        std::size_t{n.first_arc} + n.arc_count > data_.arcs.size()) {
+      invalid("node arc range out of bounds");
+    }
+    // Arcs must be strictly sorted by encoded bound and end in `< ∞`,
+    // so the first-satisfied-arc scan below is total and deterministic.
+    for (std::uint32_t a = 0; a < n.arc_count; ++a) {
+      const TableData::Arc& arc = data_.arcs[n.first_arc + a];
+      check_target(arc.target);
+      if (a + 1 == n.arc_count) {
+        if (!dbm::is_infinity(arc.bound)) invalid("node lacks an ∞ arc");
+      } else if (arc.bound >= data_.arcs[n.first_arc + a + 1].bound) {
+        invalid("node arcs are not sorted");
+      }
+    }
+  }
+  for (const TableData::Leaf& leaf : data_.leaves) {
+    switch (leaf.kind) {
+      case MoveKind::kGoalReached:
+      case MoveKind::kUnwinnable:
+        break;
+      case MoveKind::kAction:
+        if (leaf.edge_slot >= data_.edges.size()) {
+          invalid("action leaf edge slot out of range");
+        }
+        break;
+      case MoveKind::kDelay:
+        if (std::size_t{leaf.zones_first} + leaf.zones_count >
+            data_.zone_refs.size()) {
+          invalid("delay leaf zone slice out of bounds");
+        }
+        break;
+      default:
+        invalid("unknown leaf kind");
+    }
+  }
+  for (const std::uint32_t ref : data_.zone_refs) {
+    if (ref >= data_.zones.size()) invalid("zone reference out of range");
+  }
+  for (const dbm::Dbm& z : data_.zones) {
+    if (z.dimension() != data_.clock_dim) invalid("zone dimension mismatch");
+    if (z.is_empty()) invalid("empty zone in the pool");
+  }
+}
+
+void DecisionTable::build_key_index() {
+  std::size_t cap = 8;
+  while (cap < data_.keys.size() * 2) cap *= 2;
+  buckets_.assign(cap, 0);
+  bucket_mask_ = cap - 1;
+  for (std::uint32_t k = 0; k < data_.keys.size(); ++k) {
+    std::size_t at =
+        hash_discrete(data_.keys[k].locs, data_.keys[k].data) & bucket_mask_;
+    while (buckets_[at] != 0) {
+      const TableData::Key& other = data_.keys[buckets_[at] - 1];
+      if (other.locs == data_.keys[k].locs &&
+          other.data == data_.keys[k].data) {
+        invalid("duplicate discrete key");
+      }
+      at = (at + 1) & bucket_mask_;
+    }
+    buckets_[at] = k + 1;
+  }
+}
+
+void DecisionTable::build_edge_index() {
+  edge_lookup_.reserve(data_.edges.size());
+  for (std::uint32_t slot = 0; slot < data_.edges.size(); ++slot) {
+    edge_lookup_.emplace_back(data_.edges[slot].original, slot);
+  }
+  std::sort(edge_lookup_.begin(), edge_lookup_.end());
+  for (std::size_t k = 1; k < edge_lookup_.size(); ++k) {
+    if (edge_lookup_[k].first == edge_lookup_[k - 1].first) {
+      invalid("duplicate edge slot");
+    }
+  }
+}
+
+std::optional<std::uint32_t> DecisionTable::find_key(
+    const ConcreteState& state) const {
+  std::size_t at = hash_discrete(state.locs, state.data) & bucket_mask_;
+  while (buckets_[at] != 0) {
+    const TableData::Key& key = data_.keys[buckets_[at] - 1];
+    if (key.locs == state.locs && key.data == state.data) {
+      return buckets_[at] - 1;
+    }
+    at = (at + 1) & bucket_mask_;
+  }
+  return std::nullopt;
+}
+
+Move DecisionTable::decide(const ConcreteState& state,
+                           std::int64_t scale) const {
+  TIGAT_ASSERT(state.clocks.size() == data_.clock_dim,
+               "state dimension mismatch");
+  Move move;
+  const auto k = find_key(state);
+  if (!k) return move;  // not even discretely reachable
+
+  target_t t = data_.keys[*k].root;
+  while (!is_leaf(t)) {
+    const TableData::Node& n = data_.nodes[target_index(t)];
+    const std::int64_t diff = state.clocks[n.i] - state.clocks[n.j];
+    const TableData::Arc* arc = &data_.arcs[n.first_arc];
+    while (!dbm::satisfies(diff, arc->bound, scale)) ++arc;
+    t = arc->target;
+  }
+  const TableData::Leaf& leaf = data_.leaves[target_index(t)];
+  switch (leaf.kind) {
+    case MoveKind::kUnwinnable:
+      return move;
+    case MoveKind::kGoalReached:
+      move.kind = MoveKind::kGoalReached;
+      move.rank = leaf.rank;
+      return move;
+    case MoveKind::kAction:
+      move.kind = MoveKind::kAction;
+      move.rank = leaf.rank;
+      move.edge = data_.edges[leaf.edge_slot].original;
+      return move;
+    case MoveKind::kDelay: {
+      move.kind = MoveKind::kDelay;
+      move.rank = leaf.rank;
+      // Min over the exact zones Strategy::decide consults (action
+      // regions at rank−1, then the lower winning set of this key).
+      std::int64_t next = Move::kNoDecision;
+      const std::uint32_t* ref = data_.zone_refs.data() + leaf.zones_first;
+      for (std::uint32_t z = 0; z < leaf.zones_count; ++z) {
+        if (const auto d =
+                data_.zones[ref[z]].earliest_entry_delay(state.clocks, scale)) {
+          next = std::min(next, *d);
+        }
+      }
+      move.next_decision_ticks = next;
+      return move;
+    }
+  }
+  return move;
+}
+
+const semantics::TransitionInstance& DecisionTable::edge_instance(
+    std::uint32_t edge) const {
+  const auto it = std::lower_bound(
+      edge_lookup_.begin(), edge_lookup_.end(), edge,
+      [](const auto& entry, std::uint32_t e) { return entry.first < e; });
+  TIGAT_ASSERT(it != edge_lookup_.end() && it->first == edge,
+               "edge not referenced by this table");
+  return data_.edges[it->second].inst;
+}
+
+std::size_t DecisionTable::memory_bytes() const {
+  const std::size_t zones = data_.zones.size() * sizeof(dbm::Dbm);
+  return data_.keys.size() * sizeof(TableData::Key) +
+         data_.nodes.size() * sizeof(TableData::Node) +
+         data_.arcs.size() * sizeof(TableData::Arc) +
+         data_.leaves.size() * sizeof(TableData::Leaf) +
+         data_.zone_refs.size() * sizeof(std::uint32_t) + zones +
+         data_.edges.size() * sizeof(TableData::EdgeSlot) +
+         buckets_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace tigat::decision

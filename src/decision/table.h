@@ -1,0 +1,165 @@
+// DecisionTable — a compiled strategy as a flat, immutable decision
+// structure (the ROADMAP "compiled decision structure (BDD/CDD)" item).
+//
+// A Strategy::decide walks ranked zone federations: find the key, find
+// the rank (first delta containing the point), test each controllable
+// edge's action region, and — for waits — scan federations again for
+// the earliest entry delay.  Fine for one run; too much pointer
+// chasing for a service executing millions of runs against one solved
+// game.  The compiler (decision/compiler.h) lowers that cascade, per
+// discrete key, into a CDD-style DAG of interval tests over clock
+// differences:
+//
+//   * an inner NODE tests one difference x_i − x_j against a sorted
+//     run of encoded bounds (its arcs); the first satisfied arc is
+//     taken, the last arc is always `< ∞` so evaluation cannot fall
+//     off the node;
+//   * a LEAF is a Move prescription: goal / action(edge) / delay /
+//     unwinnable, plus the rank.  Delay leaves reference a slice of
+//     the shared zone pool — the exact member zones Strategy consults
+//     for its next-decision point — because the wait duration depends
+//     on the concrete clock values, not just on the region the point
+//     is in (clock differences are delay-invariant, absolute values
+//     are not).
+//
+// Identical subgraphs are hash-consed at compile time and shared
+// across keys, so the table is a DAG, not a forest of trees.
+//
+// decide() is allocation-free, lock-free and const-thread-safe: a key
+// lookup in an open-addressed index, a root-to-leaf walk (one integer
+// subtraction + a short sorted-arc scan per node), and for delay
+// leaves a scan over inline-stored DBMs.  It returns Moves
+// bit-identical to game::Strategy::decide on every state with
+// non-negative integer clock ticks (tests/decision_equivalence_test).
+//
+// The table is self-contained — discrete keys, edge transitions and
+// zones are stored by value — so a table loaded from a .tgs file
+// (decision/serialize.h) serves decisions without any GameSolution in
+// memory, i.e. without ever running the solver on the serving path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dbm/dbm.h"
+#include "decision/source.h"
+#include "semantics/concrete.h"
+#include "semantics/transition.h"
+#include "tsystem/system.h"
+
+namespace tigat::decision {
+
+// A DAG target: either an inner node or a leaf, tagged in the top bit.
+using target_t = std::uint32_t;
+inline constexpr target_t kLeafBit = 0x8000'0000u;
+[[nodiscard]] constexpr bool is_leaf(target_t t) { return (t & kLeafBit) != 0; }
+[[nodiscard]] constexpr std::uint32_t target_index(target_t t) {
+  return t & ~kLeafBit;
+}
+[[nodiscard]] constexpr target_t leaf_target(std::uint32_t index) {
+  return index | kLeafBit;
+}
+[[nodiscard]] constexpr target_t node_target(std::uint32_t index) {
+  return index;
+}
+
+inline constexpr std::uint32_t kNoEdgeSlot = 0xffff'ffffu;
+
+// The flat representation; filled by the compiler or the deserializer
+// and validated/indexed by the DecisionTable constructor.
+struct TableData {
+  struct Arc {
+    dbm::raw_t bound = 0;  // encoded `≺ c`; kInfinity on the last arc
+    target_t target = 0;
+  };
+  struct Node {
+    std::uint16_t i = 0, j = 0;  // tests x_i − x_j
+    std::uint32_t first_arc = 0;
+    std::uint32_t arc_count = 0;
+  };
+  struct Leaf {
+    game::MoveKind kind = game::MoveKind::kUnwinnable;
+    std::uint32_t rank = 0;                 // valid unless kUnwinnable
+    std::uint32_t edge_slot = kNoEdgeSlot;  // kAction: into `edges`
+    std::uint32_t zones_first = 0;          // kDelay: into `zone_refs`
+    std::uint32_t zones_count = 0;
+  };
+  struct Key {
+    std::vector<tsystem::LocId> locs;
+    tsystem::DataState data;
+    target_t root = 0;
+  };
+  struct EdgeSlot {
+    std::uint32_t original = 0;  // index into SymbolicGraph::edges()
+    semantics::TransitionInstance inst;
+  };
+
+  std::uint64_t fingerprint = 0;  // model_fingerprint of the source system
+  std::uint32_t clock_dim = 0;    // clocks incl. the reference clock
+  std::vector<Key> keys;
+  std::vector<Node> nodes;
+  std::vector<Arc> arcs;
+  std::vector<Leaf> leaves;
+  std::vector<std::uint32_t> zone_refs;  // delay-leaf slices → zone pool
+  std::vector<dbm::Dbm> zones;           // shared zone pool
+  std::vector<EdgeSlot> edges;
+};
+
+// Semantic fingerprint of a system: names, clocks, variable ranges,
+// channels with their game partition, and per edge the full guard /
+// sync / reset / assignment / controllability content (data
+// expressions via their rendered form).  Stored in every table and
+// .tgs file so a strategy cannot silently be served against a model it
+// was not solved for — editing even one timing constant changes the
+// fingerprint.  Note a cooperative table fingerprints the
+// all-controllable relaxation it was solved on, not the original SPEC.
+[[nodiscard]] std::uint64_t model_fingerprint(const tsystem::System& system);
+
+class DecisionTable final : public DecisionSource {
+ public:
+  // Validates the data (target/arc/zone/edge ranges, sorted arcs with
+  // an infinity terminator, per-key shapes) and builds the key index.
+  // Throws tsystem::ModelError on structurally invalid data.
+  explicit DecisionTable(TableData data);
+
+  // Allocation-free compiled decide; bit-identical to
+  // game::Strategy::decide for clocks[0] == 0 and clocks[i] >= 0.
+  [[nodiscard]] game::Move decide(const semantics::ConcreteState& state,
+                                  std::int64_t scale) const override;
+
+  [[nodiscard]] const semantics::TransitionInstance& edge_instance(
+      std::uint32_t edge) const override;
+
+  // True when the table was compiled against (a system structurally
+  // identical to) `system`; callers should check before serving.
+  [[nodiscard]] bool matches(const tsystem::System& system) const {
+    return data_.fingerprint == model_fingerprint(system);
+  }
+
+  [[nodiscard]] const TableData& data() const { return data_; }
+  [[nodiscard]] std::uint64_t fingerprint() const { return data_.fingerprint; }
+  [[nodiscard]] std::uint32_t clock_dim() const { return data_.clock_dim; }
+  [[nodiscard]] std::size_t key_count() const { return data_.keys.size(); }
+  [[nodiscard]] std::size_t node_count() const { return data_.nodes.size(); }
+  [[nodiscard]] std::size_t arc_count() const { return data_.arcs.size(); }
+  [[nodiscard]] std::size_t leaf_count() const { return data_.leaves.size(); }
+  [[nodiscard]] std::size_t zone_count() const { return data_.zones.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  [[nodiscard]] std::optional<std::uint32_t> find_key(
+      const semantics::ConcreteState& state) const;
+  void validate() const;
+  void build_key_index();
+  void build_edge_index();
+
+  TableData data_;
+  // Open-addressed key index: key_index + 1, 0 = empty slot.
+  std::vector<std::uint32_t> buckets_;
+  std::size_t bucket_mask_ = 0;
+  // original edge index → slot in data_.edges (sorted for lookup).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_lookup_;
+};
+
+}  // namespace tigat::decision

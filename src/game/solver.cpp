@@ -1,6 +1,7 @@
 #include "game/solver.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/assert.h"
 #include "util/memory_meter.h"
@@ -17,7 +18,26 @@ GameSolution::GameSolution(std::unique_ptr<SymbolicGraph> graph,
                            tsystem::TestPurpose purpose)
     : graph_(std::move(graph)),
       purpose_(std::move(purpose)),
-      empty_fed_(graph_->system().clock_count()) {}
+      empty_fed_(graph_->system().clock_count()),
+      action_mutex_(std::make_unique<std::shared_mutex>()) {}
+
+const Fed& GameSolution::action_region(std::uint32_t ei,
+                                       std::uint32_t round) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(ei) << 32) | round;
+  {
+    std::shared_lock lock(*action_mutex_);
+    const auto it = action_cache_.find(key);
+    if (it != action_cache_.end()) return it->second;
+  }
+  // Compute outside any lock (reads only immutable state); a racing
+  // caller may duplicate the work, but emplace keeps the first
+  // insertion and the loser's copy is discarded.
+  const SymbolicEdge& e = graph_->edges()[ei];
+  Fed region = graph_->pred_through(e, winning_up_to(e.dst, round));
+  region &= graph_->reach(e.src);
+  std::unique_lock lock(*action_mutex_);
+  return action_cache_.emplace(key, std::move(region)).first->second;
+}
 
 const Fed& GameSolution::winning_up_to(std::uint32_t k,
                                        std::uint32_t round) const {

@@ -46,6 +46,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "dbm/federation.h"
@@ -113,6 +115,14 @@ class GameSolution {
       std::uint32_t k, std::span<const std::int64_t> clocks,
       std::int64_t scale) const;
 
+  // pred_e(Win_{≤ round}[dst]) ∩ Reach[src] for edge index `ei` — the
+  // region where the strategy prescribes taking `ei` from rank
+  // round+1.  Lazily computed, cached, safe for concurrent callers;
+  // the single home of this computation, shared by Strategy::decide
+  // and decision::compile so their results stay bit-identical.
+  [[nodiscard]] const dbm::Fed& action_region(std::uint32_t ei,
+                                              std::uint32_t round) const;
+
   [[nodiscard]] bool winning_from_initial() const;
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
@@ -128,6 +138,12 @@ class GameSolution {
   // winning_up_to is a lookup instead of a federation rebuild.
   std::vector<std::vector<dbm::Fed>> win_up_to_;
   dbm::Fed empty_fed_;  // returned for rounds before the first delta
+  // Action-region cache keyed by (edge index << 32 | round), guarded
+  // by *action_mutex_ (behind a pointer to keep the class movable).
+  // Node-based, so returned references survive rehashes; entries are
+  // immutable once inserted.
+  std::unique_ptr<std::shared_mutex> action_mutex_;
+  mutable std::unordered_map<std::uint64_t, dbm::Fed> action_cache_;
   SolverStats stats_;
 };
 

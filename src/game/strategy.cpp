@@ -15,18 +15,6 @@ Strategy::Strategy(std::shared_ptr<const GameSolution> solution)
   TIGAT_ASSERT(solution_ != nullptr, "strategy needs a solution");
 }
 
-const Fed& Strategy::action_region(std::uint32_t ei,
-                                   std::uint32_t round) const {
-  const std::uint64_t key = (static_cast<std::uint64_t>(ei) << 32) | round;
-  const auto it = action_cache_.find(key);
-  if (it != action_cache_.end()) return it->second;
-  const auto& g = solution_->graph();
-  const SymbolicEdge& e = g.edges()[ei];
-  Fed region = g.pred_through(e, solution_->winning_up_to(e.dst, round));
-  region &= g.reach(e.src);
-  return action_cache_.emplace(key, std::move(region)).first->second;
-}
-
 Move Strategy::decide(const semantics::ConcreteState& state,
                       std::int64_t scale) const {
   const auto& g = solution_->graph();
@@ -48,7 +36,7 @@ Move Strategy::decide(const semantics::ConcreteState& state,
   for (const std::uint32_t ei : g.edges_out(*k)) {
     const SymbolicEdge& e = g.edges()[ei];
     if (!e.inst.controllable) continue;
-    const Fed& region = action_region(ei, *rank - 1);
+    const Fed& region = solution_->action_region(ei, *rank - 1);
     if (region.contains_point(state.clocks, scale)) {
       move.kind = MoveKind::kAction;
       move.edge = ei;
@@ -63,7 +51,7 @@ Move Strategy::decide(const semantics::ConcreteState& state,
   for (const std::uint32_t ei : g.edges_out(*k)) {
     const SymbolicEdge& e = g.edges()[ei];
     if (!e.inst.controllable) continue;
-    const Fed& region = action_region(ei, *rank - 1);
+    const Fed& region = solution_->action_region(ei, *rank - 1);
     if (const auto d = region.earliest_entry_delay(state.clocks, scale)) {
       next = std::min(next, *d);
     }

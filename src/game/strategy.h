@@ -20,7 +20,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "game/solver.h"
 #include "semantics/concrete.h"
@@ -45,6 +44,8 @@ struct Move {
   std::int64_t next_decision_ticks = kNoDecision;
   // Rank of the current state, when winning.
   std::optional<std::uint32_t> rank;
+
+  [[nodiscard]] bool operator==(const Move&) const = default;
 };
 
 class Strategy {
@@ -54,6 +55,10 @@ class Strategy {
   [[nodiscard]] const GameSolution& solution() const { return *solution_; }
 
   // Decides at a concrete state (clock values in ticks at `scale`).
+  // Safe for concurrent callers: the lazily-built action-region cache
+  // (GameSolution::action_region) is guarded internally, so one
+  // Strategy can serve parallel test executions (see also
+  // decision::DecisionTable for the lock-free compiled backend).
   [[nodiscard]] Move decide(const semantics::ConcreteState& state,
                             std::int64_t scale) const;
 
@@ -65,13 +70,7 @@ class Strategy {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  // pred_e(Win_{≤ round}[dst]) for edge index `ei`, cached.
-  [[nodiscard]] const dbm::Fed& action_region(std::uint32_t ei,
-                                              std::uint32_t round) const;
-
   std::shared_ptr<const GameSolution> solution_;
-  // Cache keyed by (edge index, round).
-  mutable std::unordered_map<std::uint64_t, dbm::Fed> action_cache_;
 };
 
 }  // namespace tigat::game

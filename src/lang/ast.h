@@ -77,6 +77,17 @@ struct ChanDeclAst {
   Pos pos;
 };
 
+// `const name = expr ;` — a named compile-time integer.  The value
+// expression may reference previously declared constants; the
+// elaborator folds the whole chain, so constants parameterise range
+// bounds, array sizes, guards, invariants and resets without ever
+// existing at run time.
+struct ConstDeclAst {
+  std::string name;
+  ExprPtr value;
+  Pos pos;
+};
+
 // `int [lo , hi] name ( [size] )? ( = init )? ;` — scalar when `size`
 // is null.  Omitted init defaults to 0 when the range allows it, else
 // to `lo`.
@@ -142,6 +153,7 @@ struct ModelAst {
   Pos system_pos;
   std::vector<ClockDeclAst> clocks;
   std::vector<ChanDeclAst> channels;
+  std::vector<ConstDeclAst> constants;
   std::vector<VarDeclAst> variables;
   std::vector<ProcessDeclAst> processes;
   std::vector<ControlDeclAst> controls;

@@ -20,12 +20,13 @@ using tsystem::Process;
 using tsystem::System;
 using tsystem::VarId;
 
-enum class NameKind { kClock, kChannel, kVariable, kProcess };
+enum class NameKind { kClock, kChannel, kConstant, kVariable, kProcess };
 
 const char* to_string(NameKind k) {
   switch (k) {
     case NameKind::kClock: return "a clock";
     case NameKind::kChannel: return "a channel";
+    case NameKind::kConstant: return "a constant";
     case NameKind::kVariable: return "a variable";
     case NameKind::kProcess: return "a process";
   }
@@ -43,6 +44,7 @@ class Elaborator {
                                           : ast_.system_name);
     declare_clocks();
     declare_channels();
+    declare_constants();
     declare_variables();
     for (const ProcessDeclAst& proc : ast_.processes) elaborate_process(proc);
     if (ast_.processes.empty()) {
@@ -94,6 +96,19 @@ class Elaborator {
                                           decl.controllable
                                               ? Controllability::kControllable
                                               : Controllability::kUncontrollable));
+    }
+  }
+
+  // Constants fold in declaration order, so a value may reference any
+  // earlier constant (`const N = 3; const MaxAddr = N - 1;`); a
+  // forward or unknown reference surfaces through fold_const's
+  // "must be a constant integer expression" with the exact position.
+  void declare_constants() {
+    for (const ConstDeclAst& decl : ast_.constants) {
+      if (!declare_name(decl.name, NameKind::kConstant, decl.pos)) continue;
+      const auto value = fold_const(decl.value, "constant value");
+      if (!value) continue;
+      consts_.emplace(decl.name, *value);
     }
   }
 
@@ -453,6 +468,9 @@ class Elaborator {
             return Expr::bound_var(static_cast<std::uint32_t>(k));
           }
         }
+        if (const auto c = consts_.find(e.name); c != consts_.end()) {
+          return Expr::constant(c->second);
+        }
         if (const auto var = vars_.find(e.name); var != vars_.end()) {
           if (sys_->data().decl(var->second).is_array()) {
             sink_.error(e.pos,
@@ -562,10 +580,13 @@ class Elaborator {
     switch (e.kind) {
       case ExprAst::Kind::kNumber:
         return e.number;
-      case ExprAst::Kind::kName:
+      case ExprAst::Kind::kName: {
         if (e.name == "true") return 1;
         if (e.name == "false") return 0;
+        const auto it = consts_.find(e.name);
+        if (it != consts_.end()) return it->second;
         return std::nullopt;
+      }
       case ExprAst::Kind::kUnary: {
         const auto v = fold_const_expr(*e.lhs);
         if (!v) return std::nullopt;
@@ -657,6 +678,7 @@ class Elaborator {
   std::unordered_map<std::string, NameKind> names_;
   std::unordered_map<std::string, Clock> clocks_;
   std::unordered_map<std::string, ChannelId> channels_;
+  std::unordered_map<std::string, std::int64_t> consts_;
   std::unordered_map<std::string, VarId> vars_;
   std::vector<std::string> binders_;
 };

@@ -12,8 +12,9 @@ namespace {
 // a resynchronisation anchor after syntax errors.
 bool is_top_keyword(const Token& t) {
   return t.is_keyword("system") || t.is_keyword("clock") ||
-         t.is_keyword("chan") || t.is_keyword("int") ||
-         t.is_keyword("process") || t.is_keyword("control");
+         t.is_keyword("chan") || t.is_keyword("const") ||
+         t.is_keyword("int") || t.is_keyword("process") ||
+         t.is_keyword("control");
 }
 
 bool is_body_keyword(const Token& t) {
@@ -35,6 +36,8 @@ class Parser {
         parse_clocks(model);
       } else if (peek().is_keyword("chan")) {
         parse_channels(model);
+      } else if (peek().is_keyword("const")) {
+        parse_constants(model);
       } else if (peek().is_keyword("int")) {
         parse_variable(model);
       } else if (peek().is_keyword("process")) {
@@ -43,8 +46,8 @@ class Parser {
         parse_control(model);
       } else {
         error(peek().pos,
-              util::format("expected a declaration (system, clock, chan, int, "
-                           "process or control), got %s",
+              util::format("expected a declaration (system, clock, chan, "
+                           "const, int, process or control), got %s",
                            describe(peek()).c_str()));
         // The offending token is by definition not a declaration start,
         // and sync() stops *at* '}' — consume it first so the loop
@@ -166,6 +169,24 @@ class Parser {
       do {
         const Pos pos = peek().pos;
         model.channels.push_back({expect_ident("channel name"), controllable, pos});
+      } while (accept(TokKind::kComma));
+      expect(TokKind::kSemi, "';'");
+    } catch (SyntaxError&) {
+      sync_top();
+    }
+  }
+
+  // const name = expr {, name = expr} ;
+  void parse_constants(ModelAst& model) {
+    try {
+      next();  // const
+      do {
+        ConstDeclAst decl;
+        decl.pos = peek().pos;
+        decl.name = expect_ident("constant name");
+        expect(TokKind::kEquals, "'=' after the constant name");
+        decl.value = parse_expr();
+        model.constants.push_back(std::move(decl));
       } while (accept(TokKind::kComma));
       expect(TokKind::kSemi, "';'");
     } catch (SyntaxError&) {

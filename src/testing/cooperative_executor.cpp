@@ -13,7 +13,20 @@ CooperativeExecutor::CooperativeExecutor(const tsystem::System& original,
                                          std::int64_t scale,
                                          ExecutorOptions options)
     : original_(&original),
-      strategy_(&strategy),
+      owned_source_(strategy),
+      source_(&*owned_source_),
+      imp_(&imp),
+      monitor_(original, scale),
+      scale_(scale),
+      options_(options) {}
+
+CooperativeExecutor::CooperativeExecutor(const tsystem::System& original,
+                                         const decision::DecisionSource& source,
+                                         Implementation& imp,
+                                         std::int64_t scale,
+                                         ExecutorOptions options)
+    : original_(&original),
+      source_(&source),
       imp_(&imp),
       monitor_(original, scale),
       scale_(scale),
@@ -44,7 +57,7 @@ TestReport CooperativeExecutor::run() {
   };
 
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
-    const game::Move move = strategy_->decide(monitor_.state(), scale_);
+    const game::Move move = source_->decide(monitor_.state(), scale_);
     switch (move.kind) {
       case game::MoveKind::kGoalReached:
         return finish(Verdict::kPass, "test purpose reached (cooperatively)");
@@ -54,19 +67,18 @@ TestReport CooperativeExecutor::run() {
                       "the SUT drifted off the cooperative plan");
 
       case game::MoveKind::kAction: {
-        const auto& edge = strategy_->solution().graph().edges()[*move.edge];
+        const auto& inst = source_->edge_instance(*move.edge);
         // The relaxation marked everything controllable; recover the
         // edge's true owner from the original partition.
-        const auto& proc =
-            original_->processes()[edge.inst.primary.process];
-        const auto& orig_edge = proc.edges()[edge.inst.primary.edge];
+        const auto& proc = original_->processes()[inst.primary.process];
+        const auto& orig_edge = proc.edges()[inst.primary.edge];
         const bool truly_controllable =
             original_->edge_controllable(proc, orig_edge);
-        const auto chan = edge.inst.channel_name(*original_);
+        const auto chan = inst.channel_name(*original_);
 
         if (truly_controllable) {
           if (!chan) {  // tester-internal bookkeeping
-            const bool ok = monitor_.apply_instance(edge.inst);
+            const bool ok = monitor_.apply_instance(inst);
             TIGAT_ASSERT(ok, "SPEC rejected a planned tau move");
             break;
           }

@@ -14,6 +14,9 @@
 // as in the winning-strategy executor.
 #pragma once
 
+#include <optional>
+
+#include "decision/source.h"
 #include "game/cooperative.h"
 #include "game/strategy.h"
 #include "testing/executor.h"
@@ -28,11 +31,23 @@ class CooperativeExecutor {
                       const game::Strategy& strategy, Implementation& imp,
                       std::int64_t scale, ExecutorOptions options = {});
 
+  // Compiled (or any) backend built from the cooperative solution —
+  // i.e. on the all-controllable relaxation of `original`.
+  CooperativeExecutor(const tsystem::System& original,
+                      const decision::DecisionSource& source,
+                      Implementation& imp, std::int64_t scale,
+                      ExecutorOptions options = {});
+
+  // Not copyable/movable: source_ may point into owned_source_.
+  CooperativeExecutor(const CooperativeExecutor&) = delete;
+  CooperativeExecutor& operator=(const CooperativeExecutor&) = delete;
+
   [[nodiscard]] TestReport run();
 
  private:
   const tsystem::System* original_;
-  const game::Strategy* strategy_;
+  std::optional<decision::StrategySource> owned_source_;
+  const decision::DecisionSource* source_;
   Implementation* imp_;
   SpecMonitor monitor_;
   std::int64_t scale_;

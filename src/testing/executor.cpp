@@ -33,9 +33,19 @@ std::string TestReport::trace_string() const {
 
 TestExecutor::TestExecutor(const game::Strategy& strategy, Implementation& imp,
                            std::int64_t scale, ExecutorOptions options)
-    : strategy_(&strategy),
+    : owned_source_(strategy),
+      source_(&*owned_source_),
       imp_(&imp),
       monitor_(strategy.solution().graph().system(), scale),
+      scale_(scale),
+      options_(options) {}
+
+TestExecutor::TestExecutor(const decision::DecisionSource& source,
+                           const tsystem::System& spec, Implementation& imp,
+                           std::int64_t scale, ExecutorOptions options)
+    : source_(&source),
+      imp_(&imp),
+      monitor_(spec, scale),
       scale_(scale),
       options_(options) {}
 
@@ -56,7 +66,7 @@ TestReport TestExecutor::run() {
   };
 
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
-    const game::Move move = strategy_->decide(monitor_.state(), scale_);
+    const game::Move move = source_->decide(monitor_.state(), scale_);
     switch (move.kind) {
       case game::MoveKind::kGoalReached:
         report.verdict = Verdict::kPass;
@@ -70,15 +80,13 @@ TestReport TestExecutor::run() {
         return inconclusive("state outside the winning region");
 
       case game::MoveKind::kAction: {
-        const auto& edge =
-            strategy_->solution().graph().edges()[*move.edge];
-        const auto chan =
-            edge.inst.channel_name(monitor_.semantics().system());
+        const auto& inst = source_->edge_instance(*move.edge);
+        const auto chan = inst.channel_name(monitor_.semantics().system());
         if (!chan) {
           // Environment-internal controllable move (tester bookkeeping,
           // e.g. the LEP environment creating a buffered message):
           // nothing crosses the tester/IMP boundary.
-          const bool ok = monitor_.apply_instance(edge.inst);
+          const bool ok = monitor_.apply_instance(inst);
           TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed tau move");
           break;
         }

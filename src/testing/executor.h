@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "decision/source.h"
 #include "game/strategy.h"
 #include "testing/implementation.h"
 #include "testing/monitor.h"
@@ -67,11 +69,25 @@ class TestExecutor {
   TestExecutor(const game::Strategy& strategy, Implementation& imp,
                std::int64_t scale, ExecutorOptions options = {});
 
+  // Any decision backend — e.g. a compiled decision::DecisionTable
+  // loaded from a .tgs file.  `spec` is the SPEC the monitor tracks;
+  // it must be the system the backend was built for (for tables, check
+  // DecisionTable::matches first).
+  TestExecutor(const decision::DecisionSource& source,
+               const tsystem::System& spec, Implementation& imp,
+               std::int64_t scale, ExecutorOptions options = {});
+
+  // Not copyable/movable: source_ may point into owned_source_.
+  TestExecutor(const TestExecutor&) = delete;
+  TestExecutor& operator=(const TestExecutor&) = delete;
+
   // One full test run (resets the IMP first).
   [[nodiscard]] TestReport run();
 
  private:
-  const game::Strategy* strategy_;
+  // Set by the Strategy convenience constructor; source_ points at it.
+  std::optional<decision::StrategySource> owned_source_;
+  const decision::DecisionSource* source_;
   Implementation* imp_;
   SpecMonitor monitor_;
   std::int64_t scale_;

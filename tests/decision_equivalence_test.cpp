@@ -1,0 +1,251 @@
+// The compiled-strategy contract: decision::DecisionTable::decide is
+// bit-identical to game::Strategy::decide — same kind, same edge, same
+// next-decision tick, same rank — on every concrete state, winnable or
+// not.  Checked grid-oracle style with seeded util::Rng state sampling
+// (strategy-guided walks + uniform fuzz over the discrete keys) on the
+// Smart Light and LEP n=3/4, plus the serialization contract: a
+// save→load round trip decides identically and corrupted files are
+// rejected, never half-loaded.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "decision/compiler.h"
+#include "decision/serialize.h"
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "models/lep.h"
+#include "models/smart_light.h"
+#include "semantics/concrete.h"
+#include "testing/executor.h"
+#include "testing/simulated_imp.h"
+#include "util/rng.h"
+
+namespace tigat::decision {
+namespace {
+
+constexpr std::int64_t kScale = 16;
+constexpr std::uint64_t kSeed = 0x7161a5eedULL;
+
+using semantics::ConcreteState;
+
+std::shared_ptr<const game::GameSolution> solve(const tsystem::System& sys,
+                                                const std::string& purpose) {
+  game::GameSolver solver(sys, tsystem::TestPurpose::parse(sys, purpose));
+  return solver.solve();
+}
+
+// Uniform fuzz over the reachable discrete keys: random clock grids up
+// to a little beyond the maximal constants, so zone boundaries (weak
+// vs strict at exact multiples of the scale) and unwinnable corners
+// both get sampled.
+std::vector<ConcreteState> fuzz_states(const game::GameSolution& solution,
+                                       util::Rng& rng, std::size_t count) {
+  const auto& g = solution.graph();
+  dbm::bound_t max_const = 1;
+  for (const dbm::bound_t c : g.max_constants()) max_const = std::max(max_const, c);
+  const std::int64_t hi = (static_cast<std::int64_t>(max_const) + 2) * kScale;
+
+  std::vector<ConcreteState> out;
+  out.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    const auto k = static_cast<std::uint32_t>(
+        rng.range(0, static_cast<std::int64_t>(g.key_count()) - 1));
+    ConcreteState s;
+    s.locs = g.key(k).locs;
+    s.data = g.key(k).data;
+    s.clocks.assign(g.system().clock_count(), 0);
+    for (std::size_t c = 1; c < s.clocks.size(); ++c) {
+      // Half the draws snap to the model-unit grid ± 1 tick, where the
+      // strict/weak distinctions live.
+      if (rng.chance(1, 2)) {
+        s.clocks[c] = rng.range(0, hi / kScale) * kScale +
+                      rng.range(-1, 1) * (rng.chance(1, 2) ? 1 : 0);
+        s.clocks[c] = std::max<std::int64_t>(0, s.clocks[c]);
+      } else {
+        s.clocks[c] = rng.range(0, hi);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// Strategy-guided walks with adversarial noise: follow the strategy,
+// but sometimes delay a random admissible amount or fire a random
+// enabled transition instead, so off-path (yet reachable) states are
+// covered too.
+std::vector<ConcreteState> walk_states(const tsystem::System& sys,
+                                       const game::Strategy& strategy,
+                                       util::Rng& rng, std::size_t walks,
+                                       std::size_t steps) {
+  semantics::ConcreteSemantics sem(sys, kScale);
+  std::vector<ConcreteState> out;
+  for (std::size_t w = 0; w < walks; ++w) {
+    auto s = sem.initial();
+    out.push_back(s);
+    for (std::size_t step = 0; step < steps; ++step) {
+      const game::Move move = strategy.decide(s, kScale);
+      const std::int64_t max_delay =
+          std::min(sem.max_delay(s), std::int64_t{4} * kScale);
+      if (move.kind == game::MoveKind::kAction && rng.chance(2, 3)) {
+        const auto& e = strategy.solution().graph().edges()[*move.edge];
+        if (sem.enabled(s, e.inst)) {
+          sem.fire(s, e.inst);
+          out.push_back(s);
+          continue;
+        }
+      }
+      const auto insts = sem.enabled_instances(s);
+      if (!insts.empty() && rng.chance(1, 3)) {
+        sem.fire(s, insts[static_cast<std::size_t>(rng.range(
+                     0, static_cast<std::int64_t>(insts.size()) - 1))]);
+      } else if (max_delay > 0) {
+        sem.delay(s, rng.range(1, max_delay));
+      } else if (!insts.empty()) {
+        sem.fire(s, insts.front());
+      } else {
+        break;
+      }
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void expect_identical(const game::Strategy& strategy,
+                      const DecisionTable& table,
+                      const std::vector<ConcreteState>& states) {
+  for (const ConcreteState& s : states) {
+    const game::Move walk = strategy.decide(s, kScale);
+    const game::Move compiled = table.decide(s, kScale);
+    ASSERT_EQ(walk, compiled)
+        << "kind " << static_cast<int>(walk.kind) << " vs "
+        << static_cast<int>(compiled.kind) << ", edge "
+        << (walk.edge ? static_cast<int>(*walk.edge) : -1) << " vs "
+        << (compiled.edge ? static_cast<int>(*compiled.edge) : -1)
+        << ", next " << walk.next_decision_ticks << " vs "
+        << compiled.next_decision_ticks << ", rank "
+        << (walk.rank ? static_cast<int>(*walk.rank) : -1) << " vs "
+        << (compiled.rank ? static_cast<int>(*compiled.rank) : -1);
+  }
+}
+
+void check_model(const tsystem::System& sys, const std::string& purpose,
+                 std::size_t fuzz_count) {
+  const auto solution = solve(sys, purpose);
+  game::Strategy strategy(solution);
+  const DecisionTable table = compile(*solution);
+  EXPECT_TRUE(table.matches(sys));
+  EXPECT_EQ(table.key_count(), solution->graph().key_count());
+
+  util::Rng rng(kSeed);
+  expect_identical(strategy, table,
+                   walk_states(sys, strategy, rng, 16, 40));
+  expect_identical(strategy, table, fuzz_states(*solution, rng, fuzz_count));
+}
+
+TEST(DecisionEquivalence, SmartLight) {
+  const auto light = models::make_smart_light();
+  check_model(light.system, "control: A<> IUT.Bright", 4000);
+}
+
+TEST(DecisionEquivalence, LepN3) {
+  const auto lep = models::make_lep({.nodes = 3});
+  check_model(lep.system, models::lep_tp1(), 2000);
+}
+
+TEST(DecisionEquivalence, LepN4) {
+  const auto lep = models::make_lep({.nodes = 4});
+  check_model(lep.system, models::lep_tp1(), 1000);
+}
+
+TEST(DecisionEquivalence, ExecutorVerdictsAndTracesMatch) {
+  const auto light = models::make_smart_light();
+  const auto plant = models::make_smart_light_plant_only();
+  const auto solution = solve(light.system, "control: A<> IUT.Bright");
+  game::Strategy strategy(solution);
+  const DecisionTable table = compile(*solution);
+
+  for (const std::int64_t latency : {std::int64_t{0}, kScale, 2 * kScale}) {
+    testing::SimulatedImplementation imp_a(plant.system, kScale,
+                                           {latency, {}});
+    testing::SimulatedImplementation imp_b(plant.system, kScale,
+                                           {latency, {}});
+    testing::TestExecutor walk_exec(strategy, imp_a, kScale);
+    testing::TestExecutor table_exec(table, light.system, imp_b, kScale);
+    const auto a = walk_exec.run();
+    const auto b = table_exec.run();
+    EXPECT_EQ(a.verdict, b.verdict) << "latency " << latency;
+    EXPECT_EQ(a.trace_string(), b.trace_string()) << "latency " << latency;
+    EXPECT_EQ(a.total_ticks, b.total_ticks) << "latency " << latency;
+  }
+}
+
+TEST(DecisionEquivalence, SerializeRoundTrip) {
+  const auto light = models::make_smart_light();
+  const auto solution = solve(light.system, "control: A<> IUT.Bright");
+  game::Strategy strategy(solution);
+  const DecisionTable table = compile(*solution);
+
+  // In-memory round trip: identical bytes and identical decisions.
+  const auto bytes = to_bytes(table);
+  const DecisionTable reloaded = from_bytes(bytes);
+  EXPECT_EQ(to_bytes(reloaded), bytes);
+  EXPECT_EQ(reloaded.fingerprint(), table.fingerprint());
+  EXPECT_TRUE(reloaded.matches(light.system));
+
+  util::Rng rng(kSeed);
+  expect_identical(strategy, reloaded, fuzz_states(*solution, rng, 2000));
+
+  // File round trip.
+  const std::string path =
+      ::testing::TempDir() + "/decision_roundtrip_test.tgs";
+  save(table, path);
+  const DecisionTable loaded = load(path);
+  EXPECT_EQ(to_bytes(loaded), bytes);
+  std::remove(path.c_str());
+}
+
+TEST(DecisionEquivalence, CorruptedFilesAreRejected) {
+  const auto light = models::make_smart_light();
+  const auto solution = solve(light.system, "control: A<> IUT.Bright");
+  const auto bytes = to_bytes(compile(*solution));
+
+  {
+    auto bad = bytes;  // wrong magic
+    bad[0] = 'X';
+    EXPECT_THROW((void)from_bytes(bad), SerializeError);
+  }
+  {
+    auto bad = bytes;  // unsupported version
+    bad[4] ^= 0x40;
+    EXPECT_THROW((void)from_bytes(bad), SerializeError);
+  }
+  {
+    auto bad = bytes;  // payload bit rot → checksum mismatch
+    bad.back() ^= 0x01;
+    EXPECT_THROW((void)from_bytes(bad), SerializeError);
+  }
+  {
+    auto bad = bytes;  // truncation
+    bad.resize(bad.size() - 9);
+    EXPECT_THROW((void)from_bytes(bad), SerializeError);
+  }
+  {
+    auto bad = bytes;  // trailing garbage
+    bad.push_back(0xab);
+    EXPECT_THROW((void)from_bytes(bad), SerializeError);
+  }
+  {
+    std::vector<std::uint8_t> empty;  // not even a header
+    EXPECT_THROW((void)from_bytes(empty), SerializeError);
+  }
+  EXPECT_THROW((void)load(::testing::TempDir() + "/no_such_file.tgs"),
+               SerializeError);
+}
+
+}  // namespace
+}  // namespace tigat::decision

@@ -3,6 +3,9 @@
 // strategy-execution progress argument (ranks strictly decrease).
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "models/smart_light.h"
@@ -137,6 +140,53 @@ TEST_F(StrategyTest, StrategyPrintingIsStable) {
   const std::string b = strategy_.to_string();
   EXPECT_EQ(a, b);
   EXPECT_GT(strategy_.size(), 0u);
+}
+
+TEST_F(StrategyTest, DecideIsSafeForConcurrentCallers) {
+  // One strategy, many parallel executions (the campaign-service
+  // shape): every thread starts on a COLD action-region cache and
+  // decides the same states; all must agree with a serial baseline.
+  // Run under TSan in CI (game_ filter) to catch cache races.
+  std::vector<semantics::ConcreteState> states;
+  auto s = sem_.initial();
+  states.push_back(s);
+  for (int step = 0; step < 6; ++step) {
+    sem_.delay(s, kScale / 2);
+    states.push_back(s);
+  }
+  std::vector<Move> baseline;
+  for (const auto& state : states) {
+    baseline.push_back(strategy_.decide(state, kScale));
+  }
+
+  // A freshly solved game: cold action-region cache for the race
+  // window (the cache lives on the GameSolution and solution_ is
+  // already warm from the baseline above).
+  Strategy fresh(GameSolver(light_.system,
+                            TestPurpose::parse(light_.system,
+                                               "control: A<> IUT.Bright"))
+                     .solve());
+  constexpr int kThreads = 8;
+  std::vector<std::vector<Move>> results(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int rep = 0; rep < 50; ++rep) {
+        for (const auto& state : states) {
+          const Move m = fresh.decide(state, kScale);
+          if (rep == 0) results[t].push_back(m);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(results[t][i], baseline[i]) << "thread " << t << " state " << i;
+    }
+  }
 }
 
 TEST_F(StrategyTest, SolverStatsPopulated) {

@@ -609,6 +609,81 @@ TEST(LangDiagnostics, DuplicateAcrossCategories) {
             std::string::npos);
 }
 
+// ── const declarations ────────────────────────────────────────────────
+
+TEST(LangParser, ConstDeclarationsFoldAcrossDeclarations) {
+  const auto model = compile(
+      "clock x;\n"
+      "const N = 3;\n"
+      "const MaxAddr = N - 1, Window = 2 * MaxAddr;\n"
+      "int[0, MaxAddr] best = MaxAddr;\n"
+      "int[0, 1] inUse[N];\n"
+      "process P controlled {\n"
+      "  loc A { inv x <= Window; }\n"
+      "  init A;\n"
+      "  edge A -> A when x >= Window - 3, best == MaxAddr do x := 0;\n"
+      "}\n");
+  ASSERT_TRUE(model.has_value());
+  const tsystem::DataLayout& data = model->system.data();
+  EXPECT_EQ(data.decl(*data.find("best")).hi, 2);
+  EXPECT_EQ(data.decl(*data.find("best")).init, 2);
+  EXPECT_EQ(data.decl(*data.find("inUse")).size, 3u);
+  // Window = 4 landed in the invariant: the max constant of x is 4.
+  EXPECT_EQ(model->system.max_constants()[1], 4);
+  // Constants never become data slots.
+  EXPECT_FALSE(data.find("N").has_value());
+  EXPECT_FALSE(data.find("Window").has_value());
+}
+
+TEST(LangDiagnostics, ConstForwardReferenceIsAnError) {
+  std::vector<Diagnostic> diags;
+  const auto model = compile(
+      "const A = B + 1;\nconst B = 2;\n"
+      "process P controlled { loc A0; init A0; }\n",
+      diags);
+  EXPECT_FALSE(model.has_value());
+  EXPECT_EQ(first_error(diags).line, 1u);
+  EXPECT_NE(first_error(diags).message.find("constant integer expression"),
+            std::string::npos);
+}
+
+TEST(LangDiagnostics, ConstClashesWithOtherNamespaces) {
+  std::vector<Diagnostic> diags;
+  const auto model = compile(
+      "clock x;\nconst x = 1;\n"
+      "process P controlled { loc A; init A; }\n",
+      diags);
+  EXPECT_FALSE(model.has_value());
+  EXPECT_NE(first_error(diags).message.find("'x' is already declared as a "
+                                            "clock"),
+            std::string::npos);
+}
+
+TEST(LangDiagnostics, ConstCannotBeAssigned) {
+  std::vector<Diagnostic> diags;
+  const auto model = compile(
+      "const K = 1;\n"
+      "process P controlled { loc A; init A;\n"
+      "  edge A -> A do K := 2;\n}\n",
+      diags);
+  EXPECT_FALSE(model.has_value());
+  EXPECT_NE(first_error(diags).message.find("'K' is a constant and cannot be "
+                                            "assigned"),
+            std::string::npos);
+}
+
+TEST(LangDiagnostics, ConstSyntaxErrorsRecover) {
+  std::vector<Diagnostic> diags;
+  compile(
+      "const = 3;\nconst K = 4;\nclock x;\n"
+      "process P controlled { loc A { inv x <= K; } init A; }\n",
+      diags);
+  // The first declaration is reported; the rest of the file still
+  // parses and K resolves (no cascade).
+  EXPECT_EQ(error_count(diags), 1u);
+  EXPECT_EQ(first_error(diags).line, 1u);
+}
+
 TEST(LangLoad, MissingFileThrowsLangError) {
   EXPECT_THROW(load_model("/nonexistent/model.tg"), LangError);
 }
