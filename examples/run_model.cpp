@@ -6,6 +6,13 @@
 //   ./build/examples/run_model model.tg "control: A<> IUT.Bright"
 //   ./build/examples/run_model model.tg --threads=4   # 0 = hardware
 //
+// Templated models rescale from the command line: --param NAME=VALUE
+// overrides a `const` declaration before elaboration, so one file
+// serves every instance size (the whole of Table 1 is
+// `run_model examples/models/lep.tg --param N=3..8`):
+//
+//   run_model examples/models/lep.tg --param N=5
+//
 // Every `control:` declaration in the file is solved (plus any extra
 // purposes given on the command line); for each one the winnability
 // verdict, solver statistics and strategy size are reported.
@@ -21,6 +28,7 @@
 // reports the table shape and times the compiled decide() at the
 // initial state, which is the whole per-step cost a test-execution
 // service pays once the game is solved offline.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -94,7 +102,22 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware concurrency
   std::string strategy_out;
   std::string strategy_in;
+  lang::CompileOptions compile_options;
   std::vector<std::string> extra_purposes;
+  const auto add_param = [&](const char* spec) {
+    const char* eq = spec ? std::strchr(spec, '=') : nullptr;
+    char* end = nullptr;
+    errno = 0;
+    const long long value = eq ? std::strtoll(eq + 1, &end, 10) : 0;
+    if (!eq || eq == spec || end == eq + 1 || (end && *end != '\0') ||
+        errno == ERANGE) {
+      std::fprintf(stderr, "--param expects NAME=VALUE, got '%s'\n",
+                   spec ? spec : "");
+      std::exit(2);
+    }
+    compile_options.params.emplace_back(std::string(spec, eq),
+                                        static_cast<std::int64_t>(value));
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-model") == 0) {
       print_model = true;
@@ -104,6 +127,10 @@ int main(int argc, char** argv) {
       strategy_out = argv[i] + 15;
     } else if (std::strncmp(argv[i], "--strategy-in=", 14) == 0) {
       strategy_in = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--param=", 8) == 0) {
+      add_param(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--param") == 0) {
+      add_param(i + 1 < argc ? argv[++i] : nullptr);
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -113,14 +140,15 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: run_model <model.tg> [--print-model] "
-                 "[--threads=N] [--strategy-out=FILE.tgs] "
+                 "[--threads=N] [--param NAME=VALUE]... "
+                 "[--strategy-out=FILE.tgs] "
                  "[--strategy-in=FILE.tgs] [\"control: A<> ...\"]...\n");
     return 2;
   }
 
   lang::LoadedModel model = [&] {
     try {
-      return lang::load_model(path);
+      return lang::load_model(path, compile_options);
     } catch (const lang::LangError& e) {
       std::fprintf(stderr, "%s\n", e.what());
       std::exit(1);

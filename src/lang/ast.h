@@ -71,9 +71,13 @@ struct ClockDeclAst {
   Pos pos;
 };
 
+// `chan ctrl name ;` — or `chan ctrl name [size] ;`, a channel array:
+// the elaborator stamps out channels `name[0] .. name[size-1]`, which
+// edges address as `name[i]!` / `name[i]?` with a constant index.
 struct ChanDeclAst {
   std::string name;
   bool controllable = true;
+  ExprPtr size;  // null for a plain channel
   Pos pos;
 };
 
@@ -108,6 +112,7 @@ struct LocDeclAst {
 
 struct SyncAst {
   std::string channel;
+  ExprPtr index;      // `chan[i]!` — addresses one member of a channel array
   bool send = false;  // `chan!` vs `chan?`
   Pos pos;
 };
@@ -115,6 +120,7 @@ struct SyncAst {
 struct UpdateAst {
   std::string target;  // clock (reset) or variable (assignment)
   ExprPtr index;       // null for scalars/clocks
+  bool whole_array = false;  // `A[] := e` — every cell, in index order
   ExprPtr rhs;
   Pos pos;
 };
@@ -130,14 +136,68 @@ struct EdgeDeclAst {
   Pos pos;
 };
 
+// `for (i : lo..hi) { <edges / nested for blocks> }` inside a process
+// or template body — the elaborator stamps the items once per value of
+// `i`, which acts as a constant inside them.  An empty range (lo > hi)
+// stamps nothing.
+struct ProcessItemAst;
+
+struct ForBlockAst {
+  std::string var;
+  Pos var_pos;
+  ExprPtr lo, hi;
+  std::vector<ProcessItemAst> items;
+  Pos pos;
+};
+
+// Exactly one member is engaged; declaration order is preserved so
+// stamped edges land in the same order the source states them.
+struct ProcessItemAst {
+  std::optional<EdgeDeclAst> edge;
+  std::optional<ForBlockAst> loop;
+};
+
 struct ProcessDeclAst {
   std::string name;
   bool controllable_default = false;
   std::vector<LocDeclAst> locations;
-  std::vector<EdgeDeclAst> edges;
+  std::vector<ProcessItemAst> items;  // edges and for-blocks, in order
   std::string init_loc;
   Pos init_pos;
   Pos pos;
+};
+
+// `template P(i : lo..hi) controlled { ... }` — a process family over
+// one integer parameter.  The body reuses ProcessDeclAst (body.name is
+// the template name); nothing is resolved until an instantiation
+// stamps it out with a concrete parameter value.
+struct TemplateDeclAst {
+  std::string param;
+  Pos param_pos;
+  ExprPtr range_lo, range_hi;  // the legal parameter range
+  ProcessDeclAst body;
+  Pos pos;
+};
+
+// One item of a `system` instantiation list:
+//   system P(0), P(2) as Two;          — explicit arguments
+//   system P(i) for i in 0..N-1;       — comprehension over a range
+// Stamped instances are named `<template><value>` (`P0`, `P1`, ...)
+// unless `as` names them explicitly.
+struct InstItemAst {
+  std::string template_name;
+  Pos pos;  // the template-name token
+  ExprPtr arg;
+  std::string as_name;  // optional `as` instance name (explicit form)
+  Pos as_pos;
+  std::string loop_var;  // non-empty: the comprehension form
+  Pos loop_var_pos;
+  ExprPtr loop_lo, loop_hi;
+};
+
+struct InstantiationAst {
+  std::vector<InstItemAst> items;
+  Pos pos;  // the `system` keyword
 };
 
 // `control: <raw text to ';'>` — the predicate is kept as raw source
@@ -155,8 +215,20 @@ struct ModelAst {
   std::vector<ChanDeclAst> channels;
   std::vector<ConstDeclAst> constants;
   std::vector<VarDeclAst> variables;
+  std::vector<TemplateDeclAst> templates;
   std::vector<ProcessDeclAst> processes;
+  std::vector<InstantiationAst> instantiations;
   std::vector<ControlDeclAst> controls;
+
+  // File order over `process` declarations and `system P(...)`
+  // instantiation statements, so stamped and plain processes land in
+  // the elaborated system exactly in declaration order.
+  enum class UnitKind : std::uint8_t { kProcess, kInstantiation };
+  struct UnitRef {
+    UnitKind kind = UnitKind::kProcess;
+    std::size_t index = 0;  // into `processes` or `instantiations`
+  };
+  std::vector<UnitRef> unit_order;
 };
 
 }  // namespace tigat::lang

@@ -56,10 +56,31 @@ std::string Diagnostic::render(std::string_view file) const {
     out += line_text[i] == '\t' ? '\t' : ' ';
   }
   out += "^";
+  for (const RenderedNote& note : notes) {
+    out += util::format("\n  note: %s at %.*s:%u:%u", note.message.c_str(),
+                        static_cast<int>(file.size()), file.data(), note.line,
+                        note.column);
+  }
   return out;
 }
 
 void DiagnosticSink::error(Pos pos, std::string message) {
+  error(pos, std::move(message), {});
+}
+
+void DiagnosticSink::error(std::string message) {
+  if (error_count_ >= kMaxStoredErrors) {
+    error({0}, std::move(message));  // reuse the suppression path
+    return;
+  }
+  ++error_count_;
+  Diagnostic d;
+  d.message = std::move(message);  // line 0: renders without a position
+  diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticSink::error(Pos pos, std::string message,
+                           const std::vector<Note>& notes) {
   if (error_count_ >= kMaxStoredErrors) {
     if (++error_count_ == kMaxStoredErrors + 1) {
       Diagnostic d;
@@ -86,6 +107,11 @@ void DiagnosticSink::error(Pos pos, std::string message) {
     snippet = snippet.substr(begin, kMaxSnippet);
   }
   d.line_text = std::string(snippet);
+  // Innermost context first, backtrace style.
+  for (auto it = notes.rbegin(); it != notes.rend(); ++it) {
+    const Source::LineCol nc = source_->line_col(it->pos);
+    d.notes.push_back({it->message, nc.line, nc.column});
+  }
   diagnostics_.push_back(std::move(d));
 }
 

@@ -47,6 +47,15 @@ class Source {
   std::vector<std::uint32_t> line_starts_;  // offset of each line start
 };
 
+// Extra context attached to a diagnostic — e.g. the instantiation
+// trace of an error inside a template body ("in P(2), instantiated at
+// line 40").  The message carries the verb; render appends the
+// position.
+struct Note {
+  std::string message;
+  Pos pos;
+};
+
 // One reported error.
 struct Diagnostic {
   std::string message;
@@ -59,7 +68,16 @@ struct Diagnostic {
   std::string line_text;
   std::uint32_t snippet_offset = 0;
 
-  // "file:line:col: error: message" plus the snippet with a caret.
+  // Notes, innermost context first, already resolved to line/column.
+  struct RenderedNote {
+    std::string message;
+    std::uint32_t line = 0;
+    std::uint32_t column = 0;
+  };
+  std::vector<RenderedNote> notes;
+
+  // "file:line:col: error: message" plus the snippet with a caret and
+  // one "  note: <message> at file:line:col" line per note.
   [[nodiscard]] std::string render(std::string_view file) const;
 };
 
@@ -75,6 +93,11 @@ class DiagnosticSink {
   explicit DiagnosticSink(const Source& source) : source_(&source) {}
 
   void error(Pos pos, std::string message);
+  // As above with a context trace, outermost context LAST (the renderer
+  // emits innermost first, like a backtrace).
+  void error(Pos pos, std::string message, const std::vector<Note>& notes);
+  // A positionless error (I/O problems, bad command-line overrides).
+  void error(std::string message);
 
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
   // Total errors reported, including those suppressed past the cap.

@@ -20,12 +20,15 @@ using tsystem::Process;
 using tsystem::System;
 using tsystem::VarId;
 
-enum class NameKind { kClock, kChannel, kConstant, kVariable, kProcess };
+enum class NameKind {
+  kClock, kChannel, kChannelArray, kConstant, kVariable, kProcess,
+};
 
 const char* to_string(NameKind k) {
   switch (k) {
     case NameKind::kClock: return "a clock";
     case NameKind::kChannel: return "a channel";
+    case NameKind::kChannelArray: return "a channel array";
     case NameKind::kConstant: return "a constant";
     case NameKind::kVariable: return "a variable";
     case NameKind::kProcess: return "a process";
@@ -36,27 +39,38 @@ const char* to_string(NameKind k) {
 class Elaborator {
  public:
   Elaborator(const ModelAst& ast, const std::string& fallback_name,
-             DiagnosticSink& sink)
-      : ast_(ast), fallback_name_(fallback_name), sink_(sink) {}
+             DiagnosticSink& sink, const CompileOptions& options)
+      : ast_(ast),
+        fallback_name_(fallback_name),
+        sink_(sink),
+        options_(options) {}
 
   std::optional<ElaboratedModel> run() {
     sys_.emplace(ast_.system_name.empty() ? fallback_name_
                                           : ast_.system_name);
+    check_param_overrides();
     declare_clocks();
+    declare_constants();  // before channels/variables: sizes fold constants
     declare_channels();
-    declare_constants();
     declare_variables();
-    for (const ProcessDeclAst& proc : ast_.processes) elaborate_process(proc);
-    if (ast_.processes.empty()) {
-      sink_.error(ast_.system_pos, "a model needs at least one process");
+    register_templates();
+    for (const ModelAst::UnitRef& unit : ast_.unit_order) {
+      if (unit.kind == ModelAst::UnitKind::kProcess) {
+        elaborate_process(ast_.processes[unit.index]);
+      } else {
+        elaborate_instantiation(ast_.instantiations[unit.index]);
+      }
+    }
+    if (sys_->processes().empty()) {
+      error(ast_.system_pos, "a model needs at least one process");
     }
     if (sink_.has_errors()) return std::nullopt;
 
     try {
       sys_->finalize();
     } catch (const ModelError& e) {
-      sink_.error(ast_.system_pos,
-                  util::format("model validation failed: %s", e.what()));
+      error(ast_.system_pos,
+            util::format("model validation failed: %s", e.what()));
       return std::nullopt;
     }
 
@@ -69,16 +83,61 @@ class Elaborator {
   }
 
  private:
+  // Every elaboration error goes through here so the current
+  // instantiation/iteration trace rides along as notes.
+  void error(Pos pos, std::string message) {
+    sink_.error(pos, std::move(message), trace_);
+  }
+
+  [[nodiscard]] static bool fits_i32(std::int64_t v) {
+    return v >= std::numeric_limits<std::int32_t>::min() &&
+           v <= std::numeric_limits<std::int32_t>::max();
+  }
+
   // ── declarations ────────────────────────────────────────────────────
   // One global namespace: a second declaration of any name is an error.
   bool declare_name(const std::string& name, NameKind kind, Pos pos) {
     const auto [it, fresh] = names_.emplace(name, kind);
     if (!fresh) {
-      sink_.error(pos, util::format("'%s' is already declared as %s",
-                                    name.c_str(), to_string(it->second)));
+      error(pos, util::format("'%s' is already declared as %s",
+                              name.c_str(), to_string(it->second)));
       return false;
     }
     return true;
+  }
+
+  // `--param` overrides are validated up front: a name that matches no
+  // `const` declaration (or repeats) would otherwise be silently inert.
+  void check_param_overrides() {
+    for (std::size_t i = 0; i < options_.params.size(); ++i) {
+      const std::string& name = options_.params[i].first;
+      bool declared = false;
+      for (const ConstDeclAst& decl : ast_.constants) {
+        declared |= decl.name == name;
+      }
+      if (!declared) {
+        sink_.error(util::format("parameter override '%s=%lld' does not "
+                                 "match any 'const' declaration",
+                                 name.c_str(),
+                                 static_cast<long long>(
+                                     options_.params[i].second)));
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (options_.params[j].first == name) {
+          sink_.error(util::format("duplicate parameter override '%s'",
+                                   name.c_str()));
+          break;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const std::int64_t* find_override(
+      const std::string& name) const {
+    for (const auto& [n, v] : options_.params) {
+      if (n == name) return &v;
+    }
+    return nullptr;
   }
 
   void declare_clocks() {
@@ -90,12 +149,34 @@ class Elaborator {
 
   void declare_channels() {
     for (const ChanDeclAst& decl : ast_.channels) {
-      if (!declare_name(decl.name, NameKind::kChannel, decl.pos)) continue;
-      channels_.emplace(decl.name,
-                        sys_->add_channel(decl.name,
-                                          decl.controllable
-                                              ? Controllability::kControllable
-                                              : Controllability::kUncontrollable));
+      const Controllability control = decl.controllable
+                                          ? Controllability::kControllable
+                                          : Controllability::kUncontrollable;
+      if (!decl.size) {
+        if (!declare_name(decl.name, NameKind::kChannel, decl.pos)) continue;
+        channels_.emplace(decl.name, sys_->add_channel(decl.name, control));
+        continue;
+      }
+      // A channel array stamps out members `name[0] .. name[size-1]`.
+      if (!declare_name(decl.name, NameKind::kChannelArray, decl.pos)) {
+        continue;
+      }
+      const auto size = fold_const(decl.size, "channel array size");
+      if (!size) continue;
+      if (*size < 1 || *size > kMaxChannelArray) {
+        error(decl.pos,
+              util::format("channel array size must be in [1, %d], got %lld",
+                           kMaxChannelArray,
+                           static_cast<long long>(*size)));
+        continue;
+      }
+      chan_arrays_.emplace(decl.name, *size);
+      for (std::int64_t k = 0; k < *size; ++k) {
+        const std::string member =
+            util::format("%s[%lld]", decl.name.c_str(),
+                         static_cast<long long>(k));
+        channels_.emplace(member, sys_->add_channel(member, control));
+      }
     }
   }
 
@@ -106,6 +187,10 @@ class Elaborator {
   void declare_constants() {
     for (const ConstDeclAst& decl : ast_.constants) {
       if (!declare_name(decl.name, NameKind::kConstant, decl.pos)) continue;
+      if (const std::int64_t* override_value = find_override(decl.name)) {
+        consts_.emplace(decl.name, *override_value);
+        continue;  // the declared value expression is replaced wholesale
+      }
       const auto value = fold_const(decl.value, "constant value");
       if (!value) continue;
       consts_.emplace(decl.name, *value);
@@ -126,12 +211,8 @@ class Elaborator {
       } else if (*lo > 0 || *hi < 0) {
         init = *lo;  // 0 is outside the range: default to the low bound
       }
-      const auto fits_i32 = [](std::int64_t v) {
-        return v >= std::numeric_limits<std::int32_t>::min() &&
-               v <= std::numeric_limits<std::int32_t>::max();
-      };
       if (!fits_i32(*lo) || !fits_i32(*hi) || !fits_i32(init)) {
-        sink_.error(decl.pos,
+        error(decl.pos,
                     util::format("'%s': range bounds and initial value must "
                                  "fit a 32-bit integer",
                                  decl.name.c_str()));
@@ -142,7 +223,7 @@ class Elaborator {
           const auto size = fold_const(decl.size, "array size");
           if (!size) continue;
           if (*size < 1 || *size > (1 << 20)) {
-            sink_.error(decl.pos,
+            error(decl.pos,
                         util::format("array size must be in [1, 2^20], got %lld",
                                      static_cast<long long>(*size)));
             continue;
@@ -161,25 +242,192 @@ class Elaborator {
                             static_cast<std::int32_t>(init)));
         }
       } catch (const ModelError& e) {
-        sink_.error(decl.pos, e.what());
+        error(decl.pos, e.what());
       }
     }
   }
 
+  // ── templates ───────────────────────────────────────────────────────
+  struct TemplateInfo {
+    const TemplateDeclAst* decl = nullptr;
+    std::int64_t lo = 0, hi = -1;
+    bool range_ok = false;
+  };
+
+  // Templates live in their own namespace — they never appear in
+  // expressions or purposes, only after `system` with a '(' — so a
+  // single instantiation may reuse the template's own name (`system
+  // IUT(N) as IUT`).
+  void register_templates() {
+    for (const TemplateDeclAst& tpl : ast_.templates) {
+      const std::string& name = tpl.body.name;
+      if (templates_.contains(name)) {
+        error(tpl.pos, util::format("duplicate template '%s'", name.c_str()));
+        continue;
+      }
+      if (const auto it = names_.find(name); it != names_.end()) {
+        error(tpl.pos,
+              util::format("'%s' is already declared as %s and cannot also "
+                           "name a template",
+                           name.c_str(), to_string(it->second)));
+        continue;
+      }
+      check_binder_shadow(tpl.param, tpl.param_pos, "template parameter");
+      TemplateInfo info;
+      info.decl = &tpl;
+      const auto lo = fold_const(tpl.range_lo, "template parameter range");
+      const auto hi = fold_const(tpl.range_hi, "template parameter range");
+      if (lo && hi) {
+        if (*lo > *hi) {
+          error(tpl.param_pos,
+                util::format("template parameter range %lld..%lld is empty",
+                             static_cast<long long>(*lo),
+                             static_cast<long long>(*hi)));
+        } else {
+          info.lo = *lo;
+          info.hi = *hi;
+          info.range_ok = true;
+        }
+      }
+      templates_.emplace(name, info);
+    }
+  }
+
+  // A template parameter or `for` variable must not shadow a declared
+  // name — `template P(w : ...)` with a clock `w` would silently turn
+  // every clock constraint into folded arithmetic.
+  void check_binder_shadow(const std::string& name, Pos pos,
+                           const char* what) {
+    if (const auto it = names_.find(name); it != names_.end()) {
+      error(pos, util::format("%s '%s' shadows %s", what, name.c_str(),
+                              to_string(it->second)));
+      return;
+    }
+    for (const auto& [scoped_name, value] : scoped_) {
+      if (scoped_name == name) {
+        error(pos, util::format("%s '%s' shadows an enclosing parameter",
+                                what, name.c_str()));
+        return;
+      }
+    }
+  }
+
+  void elaborate_instantiation(const InstantiationAst& inst) {
+    for (const InstItemAst& item : inst.items) {
+      const auto it = templates_.find(item.template_name);
+      if (it == templates_.end()) {
+        const auto known = names_.find(item.template_name);
+        error(item.pos,
+              known == names_.end()
+                  ? util::format("unknown template '%s'",
+                                 item.template_name.c_str())
+                  : util::format("'%s' is %s, not a template",
+                                 item.template_name.c_str(),
+                                 to_string(known->second)));
+        continue;
+      }
+      if (item.loop_var.empty()) {
+        const auto arg = fold_const(item.arg, "instantiation argument");
+        if (!arg) continue;
+        instantiate(it->second, item, *arg, item.as_name);
+        continue;
+      }
+      // Comprehension: `system P(expr-of-i) for i in lo..hi`.
+      check_binder_shadow(item.loop_var, item.loop_var_pos,
+                          "comprehension variable");
+      const auto lo = fold_const(item.loop_lo, "comprehension range");
+      const auto hi = fold_const(item.loop_hi, "comprehension range");
+      if (!lo || !hi) continue;
+      if (!fits_i32(*lo) || !fits_i32(*hi)) {
+        error(item.loop_var_pos,
+              "comprehension range bounds must fit a 32-bit integer");
+        continue;
+      }
+      if (*hi - *lo + 1 > kMaxInstances) {
+        error(item.loop_var_pos,
+              util::format("comprehension stamps more than %d instances",
+                           kMaxInstances));
+        continue;
+      }
+      for (std::int64_t v = *lo; v <= *hi; ++v) {
+        scoped_.push_back({item.loop_var, v});
+        const auto arg = fold_const(item.arg, "instantiation argument");
+        scoped_.pop_back();
+        if (!arg) break;
+        instantiate(it->second, item, *arg, std::string());
+      }
+    }
+  }
+
+  void instantiate(const TemplateInfo& info, const InstItemAst& item,
+                   std::int64_t arg, const std::string& as_name) {
+    const TemplateDeclAst& tpl = *info.decl;
+    if (info.range_ok && (arg < info.lo || arg > info.hi)) {
+      error(item.pos,
+            util::format("cannot instantiate %s(%lld): the argument is "
+                         "outside the declared parameter range %lld..%lld",
+                         tpl.body.name.c_str(), static_cast<long long>(arg),
+                         static_cast<long long>(info.lo),
+                         static_cast<long long>(info.hi)));
+      return;
+    }
+    if (++stamped_count_ > kMaxInstances) {
+      if (stamped_count_ == kMaxInstances + 1) {
+        error(item.pos,
+              util::format("more than %d stamped processes", kMaxInstances));
+      }
+      return;
+    }
+    const std::string name =
+        !as_name.empty()
+            ? as_name
+            : tpl.body.name + std::to_string(arg);
+    // An `as` name may not hijack a *different* template's name.
+    if (name != tpl.body.name && templates_.contains(name)) {
+      error(item.as_pos,
+            util::format("instance name '%s' is already a template name",
+                         name.c_str()));
+      return;
+    }
+    if (!declare_name(name, NameKind::kProcess, item.pos)) return;
+    trace_.push_back({util::format("in %s(%lld), instantiated",
+                                   tpl.body.name.c_str(),
+                                   static_cast<long long>(arg)),
+                      item.pos});
+    scoped_.push_back({tpl.param, arg});
+    elaborate_process_named(tpl.body, name);
+    scoped_.pop_back();
+    trace_.pop_back();
+  }
+
   // ── processes ───────────────────────────────────────────────────────
   void elaborate_process(const ProcessDeclAst& decl) {
+    if (templates_.contains(decl.name)) {
+      error(decl.pos,
+            util::format("process '%s' collides with a template of the same "
+                         "name",
+                         decl.name.c_str()));
+      return;
+    }
     if (!declare_name(decl.name, NameKind::kProcess, decl.pos)) return;
+    elaborate_process_named(decl, decl.name);
+  }
+
+  // Lowers a (possibly stamped) process body; `name` is the declared or
+  // stamped instance name, already registered in the global namespace.
+  void elaborate_process_named(const ProcessDeclAst& decl,
+                               const std::string& name) {
     Process& proc = sys_->add_process(
-        decl.name, decl.controllable_default
-                       ? Controllability::kControllable
-                       : Controllability::kUncontrollable);
+        name, decl.controllable_default
+                  ? Controllability::kControllable
+                  : Controllability::kUncontrollable);
 
     std::unordered_map<std::string, LocId> locs;
     for (const LocDeclAst& loc : decl.locations) {
       if (locs.contains(loc.name)) {
-        sink_.error(loc.pos,
-                    util::format("duplicate location '%s' in process '%s'",
-                                 loc.name.c_str(), decl.name.c_str()));
+        error(loc.pos,
+              util::format("duplicate location '%s' in process '%s'",
+                           loc.name.c_str(), name.c_str()));
         continue;
       }
       locs.emplace(loc.name, proc.add_location(loc.name, loc.kind));
@@ -196,46 +444,103 @@ class Elaborator {
               proc.set_invariant(it->second, c);
             }
           } else {
-            sink_.error(atom->pos,
-                        "invariants may only constrain clocks (e.g. 'x <= 3')");
+            error(atom->pos,
+                  "invariants may only constrain clocks (e.g. 'x <= 3')");
           }
         }
       }
     }
 
     if (decl.init_loc.empty()) {
-      sink_.error(decl.pos, util::format("process '%s' has no 'init' "
-                                         "declaration",
-                                         decl.name.c_str()));
+      error(decl.pos, util::format("process '%s' has no 'init' "
+                                   "declaration",
+                                   name.c_str()));
     } else if (const auto it = locs.find(decl.init_loc); it != locs.end()) {
       proc.set_initial(it->second);
     } else {
-      sink_.error(decl.init_pos,
-                  util::format("unknown initial location '%s' in process '%s'",
-                               decl.init_loc.c_str(), decl.name.c_str()));
+      error(decl.init_pos,
+            util::format("unknown initial location '%s' in process '%s'",
+                         decl.init_loc.c_str(), name.c_str()));
     }
 
-    for (const EdgeDeclAst& edge : decl.edges) {
-      elaborate_edge(proc, decl, locs, edge);
+    std::int64_t edge_budget = kMaxEdgesPerProcess;
+    elaborate_items(proc, name, locs, decl.items, edge_budget);
+  }
+
+  // Stamps the edges of a body in declaration order, expanding `for`
+  // blocks.  `edge_budget` bounds the total stamped edges of one
+  // process so a hostile range cannot explode the system.
+  void elaborate_items(Process& proc, const std::string& pname,
+                       const std::unordered_map<std::string, LocId>& locs,
+                       const std::vector<ProcessItemAst>& items,
+                       std::int64_t& edge_budget) {
+    for (const ProcessItemAst& item : items) {
+      if (edge_budget < 0) return;
+      if (item.edge) {
+        if (--edge_budget < 0) {
+          error(item.edge->pos,
+                util::format("process '%s' stamps more than %d edges",
+                             pname.c_str(), kMaxEdgesPerProcess));
+          return;
+        }
+        elaborate_edge(proc, pname, locs, *item.edge);
+      } else if (item.loop) {
+        elaborate_for(proc, pname, locs, *item.loop, edge_budget);
+      }
     }
   }
 
-  void elaborate_edge(Process& proc, const ProcessDeclAst& pdecl,
+  void elaborate_for(Process& proc, const std::string& pname,
+                     const std::unordered_map<std::string, LocId>& locs,
+                     const ForBlockAst& fb, std::int64_t& edge_budget) {
+    check_binder_shadow(fb.var, fb.var_pos, "loop variable");
+    const auto lo = fold_const(fb.lo, "'for' range bound");
+    const auto hi = fold_const(fb.hi, "'for' range bound");
+    if (!lo || !hi) return;
+    // Bound the iteration count up front (not just the stamped edges):
+    // an empty body over a huge — or int64-overflowing — range must
+    // fail fast, not spin.  With 32-bit bounds the arithmetic below is
+    // exact.
+    if (!fits_i32(*lo) || !fits_i32(*hi)) {
+      error(fb.pos, "'for' range bounds must fit a 32-bit integer");
+      return;
+    }
+    if (*hi - *lo >= kMaxEdgesPerProcess) {
+      error(fb.pos,
+            util::format("'for' range spans more than %d iterations",
+                         kMaxEdgesPerProcess));
+      return;
+    }
+    // An empty range (lo > hi) stamps nothing — the n = 0 corner of a
+    // template is a model with fewer edges, not an error.
+    for (std::int64_t v = *lo; v <= *hi && edge_budget >= 0; ++v) {
+      scoped_.push_back({fb.var, v});
+      trace_.push_back({util::format("in 'for' iteration %s = %lld",
+                                     fb.var.c_str(),
+                                     static_cast<long long>(v)),
+                        fb.pos});
+      elaborate_items(proc, pname, locs, fb.items, edge_budget);
+      trace_.pop_back();
+      scoped_.pop_back();
+    }
+  }
+
+  void elaborate_edge(Process& proc, const std::string& pname,
                       const std::unordered_map<std::string, LocId>& locs,
                       const EdgeDeclAst& edge) {
     // Resolve everything before bailing out, so one pass also surfaces
     // the guard/sync/update mistakes of an edge with a bad endpoint.
     const auto src = locs.find(edge.src);
     if (src == locs.end()) {
-      sink_.error(edge.src_pos,
-                  util::format("unknown location '%s' in process '%s'",
-                               edge.src.c_str(), pdecl.name.c_str()));
+      error(edge.src_pos,
+            util::format("unknown location '%s' in process '%s'",
+                         edge.src.c_str(), pname.c_str()));
     }
     const auto dst = locs.find(edge.dst);
     if (dst == locs.end()) {
-      sink_.error(edge.dst_pos,
-                  util::format("unknown location '%s' in process '%s'",
-                               edge.dst.c_str(), pdecl.name.c_str()));
+      error(edge.dst_pos,
+            util::format("unknown location '%s' in process '%s'",
+                         edge.dst.c_str(), pname.c_str()));
     }
     std::optional<tsystem::EdgeBuilder> builder;
     if (src != locs.end() && dst != locs.end()) {
@@ -243,21 +548,22 @@ class Elaborator {
     }
 
     if (edge.sync) {
-      const auto chan = channels_.find(edge.sync->channel);
-      if (chan == channels_.end()) {
-        const auto known = names_.find(edge.sync->channel);
-        sink_.error(edge.sync->pos,
-                    known == names_.end()
-                        ? util::format("unknown channel '%s'",
-                                       edge.sync->channel.c_str())
-                        : util::format("'%s' is %s, not a channel",
-                                       edge.sync->channel.c_str(),
-                                       to_string(known->second)));
-      } else if (builder) {
-        if (edge.sync->send) {
-          builder->send(chan->second);
-        } else {
-          builder->receive(chan->second);
+      if (const auto name = resolve_sync_channel(*edge.sync)) {
+        const auto chan = channels_.find(*name);
+        if (chan == channels_.end()) {
+          const auto known = names_.find(*name);
+          error(edge.sync->pos,
+                known == names_.end()
+                    ? util::format("unknown channel '%s'", name->c_str())
+                    : util::format("'%s' is %s, not a channel",
+                                   name->c_str(),
+                                   to_string(known->second)));
+        } else if (builder) {
+          if (edge.sync->send) {
+            builder->send(chan->second);
+          } else {
+            builder->receive(chan->second);
+          }
         }
       }
     }
@@ -286,24 +592,64 @@ class Elaborator {
     if (builder && !edge.label.empty()) builder->comment(edge.label);
   }
 
+  // Resolves a sync to the concrete channel name: plain channels pass
+  // through, `chan[i]` folds the index into a channel-array member.
+  // Returns nullopt when an error was already reported here.
+  std::optional<std::string> resolve_sync_channel(const SyncAst& sync) {
+    const auto array = chan_arrays_.find(sync.channel);
+    if (!sync.index) {
+      if (array != chan_arrays_.end()) {
+        error(sync.pos,
+              util::format("channel array '%s' needs an index ('%s[i]%c')",
+                           sync.channel.c_str(), sync.channel.c_str(),
+                           sync.send ? '!' : '?'));
+        return std::nullopt;
+      }
+      return sync.channel;
+    }
+    if (array == chan_arrays_.end()) {
+      const auto known = names_.find(sync.channel);
+      error(sync.pos,
+            known == names_.end()
+                ? util::format("unknown channel array '%s'",
+                               sync.channel.c_str())
+                : util::format("'%s' is %s, not a channel array",
+                               sync.channel.c_str(),
+                               to_string(known->second)));
+      return std::nullopt;
+    }
+    const auto index = fold_const(sync.index, "channel index");
+    if (!index) return std::nullopt;
+    if (*index < 0 || *index >= array->second) {
+      error(sync.index->pos,
+            util::format("channel index %lld is outside '%s[0..%lld]'",
+                         static_cast<long long>(*index),
+                         sync.channel.c_str(),
+                         static_cast<long long>(array->second - 1)));
+      return std::nullopt;
+    }
+    return util::format("%s[%lld]", sync.channel.c_str(),
+                        static_cast<long long>(*index));
+  }
+
   // `builder` may be null (the edge had an unresolvable endpoint); the
   // update is still checked for its own errors.
   void elaborate_update(tsystem::EdgeBuilder* builder,
                         const UpdateAst& update) {
     if (const auto clock = clocks_.find(update.target);
         clock != clocks_.end()) {
-      if (update.index) {
-        sink_.error(update.pos, util::format("clock '%s' cannot be indexed",
-                                             update.target.c_str()));
+      if (update.index || update.whole_array) {
+        error(update.pos, util::format("clock '%s' cannot be indexed",
+                                       update.target.c_str()));
         return;
       }
       const auto value = fold_const(update.rhs, "clock reset value");
       if (!value) return;
       if (*value < 0 || *value >= tigat::dbm::kMaxBoundValue) {
-        sink_.error(update.pos,
-                    util::format("clock reset value must be a constant in "
-                                 "[0, 2^28), got %lld",
-                                 static_cast<long long>(*value)));
+        error(update.pos,
+              util::format("clock reset value must be a constant in "
+                           "[0, 2^28), got %lld",
+                           static_cast<long long>(*value)));
         return;
       }
       if (builder) {
@@ -315,30 +661,58 @@ class Elaborator {
 
     const auto var = vars_.find(update.target);
     if (var == vars_.end()) {
+      for (const auto& [scoped_name, value] : scoped_) {
+        if (scoped_name == update.target) {
+          error(update.pos,
+                util::format("'%s' is a template parameter or 'for' "
+                             "variable and cannot be assigned",
+                             update.target.c_str()));
+          return;
+        }
+      }
       const auto known = names_.find(update.target);
-      sink_.error(update.pos,
-                  known == names_.end()
-                      ? util::format("unknown clock or variable '%s'",
-                                     update.target.c_str())
-                      : util::format("'%s' is %s and cannot be assigned",
-                                     update.target.c_str(),
-                                     to_string(known->second)));
+      error(update.pos,
+            known == names_.end()
+                ? util::format("unknown clock or variable '%s'",
+                               update.target.c_str())
+                : util::format("'%s' is %s and cannot be assigned",
+                               update.target.c_str(),
+                               to_string(known->second)));
       return;
     }
     const bool is_array = sys_->data().decl(var->second).is_array();
-    if (is_array && !update.index) {
-      sink_.error(update.pos,
-                  util::format("array '%s' needs an index in assignments",
-                               update.target.c_str()));
+    if (update.whole_array && !is_array) {
+      error(update.pos,
+            util::format("whole-array assignment '%s[] := ...' needs an "
+                         "array; '%s' is a scalar",
+                         update.target.c_str(), update.target.c_str()));
+      return;
+    }
+    if (is_array && !update.index && !update.whole_array) {
+      error(update.pos,
+            util::format("array '%s' needs an index in assignments "
+                         "(or '%s[] := ...' for every cell)",
+                         update.target.c_str(), update.target.c_str()));
       return;
     }
     if (!is_array && update.index) {
-      sink_.error(update.pos, util::format("'%s' is not an array",
-                                           update.target.c_str()));
+      error(update.pos, util::format("'%s' is not an array",
+                                     update.target.c_str()));
       return;
     }
     const Expr rhs = lower_expr(*update.rhs);
     if (rhs.is_null()) return;
+    if (update.whole_array) {
+      // `A[] := e` expands to one per-cell assignment, in index order;
+      // `e` is evaluated per cell (it may not reference the index).
+      if (builder) {
+        const std::uint32_t size = sys_->data().decl(var->second).size;
+        for (std::uint32_t k = 0; k < size; ++k) {
+          builder->assign_elem(var->second, Expr::constant(k), rhs);
+        }
+      }
+      return;
+    }
     if (update.index) {
       const Expr index = lower_expr(*update.index);
       if (index.is_null()) return;
@@ -414,20 +788,20 @@ class Elaborator {
       }
     }
     if (op == BinOp::kNe) {
-      sink_.error(atom.pos, "'!=' is not a convex clock constraint");
+      error(atom.pos, "'!=' is not a convex clock constraint");
       out.clear();
       return true;  // consumed (do not fall back to the data world)
     }
     const auto value = fold_const_expr(*bound_side);
     if (!value) {
-      sink_.error(bound_side->pos,
+      error(bound_side->pos,
                   "clock comparisons need a constant integer bound");
       out.clear();
       return true;
     }
     if (*value <= -tigat::dbm::kMaxBoundValue ||
         *value >= tigat::dbm::kMaxBoundValue) {
-      sink_.error(bound_side->pos, "clock bound is out of range");
+      error(bound_side->pos, "clock bound is out of range");
       out.clear();
       return true;
     }
@@ -468,12 +842,15 @@ class Elaborator {
             return Expr::bound_var(static_cast<std::uint32_t>(k));
           }
         }
+        if (const std::int64_t* scoped = find_scoped(e.name)) {
+          return Expr::constant(*scoped);
+        }
         if (const auto c = consts_.find(e.name); c != consts_.end()) {
           return Expr::constant(c->second);
         }
         if (const auto var = vars_.find(e.name); var != vars_.end()) {
           if (sys_->data().decl(var->second).is_array()) {
-            sink_.error(e.pos,
+            error(e.pos,
                         util::format("array '%s' needs an index here",
                                      e.name.c_str()));
             return {};
@@ -483,25 +860,25 @@ class Elaborator {
         if (e.name == "true") return Expr::constant(1);
         if (e.name == "false") return Expr::constant(0);
         if (clocks_.contains(e.name)) {
-          sink_.error(e.pos,
+          error(e.pos,
                       util::format("clock '%s' may only appear in simple "
                                    "comparisons like '%s <= 3'",
                                    e.name.c_str(), e.name.c_str()));
           return {};
         }
-        sink_.error(e.pos,
+        error(e.pos,
                     util::format("unknown identifier '%s'", e.name.c_str()));
         return {};
       }
       case ExprAst::Kind::kIndex: {
         const auto var = vars_.find(e.name);
         if (var == vars_.end()) {
-          sink_.error(e.pos,
+          error(e.pos,
                       util::format("unknown variable '%s'", e.name.c_str()));
           return {};
         }
         if (!sys_->data().decl(var->second).is_array()) {
-          sink_.error(e.pos,
+          error(e.pos,
                       util::format("'%s' is not an array", e.name.c_str()));
           return {};
         }
@@ -526,7 +903,7 @@ class Elaborator {
           const auto var = vars_.find(e.range_array);
           if (var == vars_.end() ||
               !sys_->data().decl(var->second).is_array()) {
-            sink_.error(e.pos,
+            error(e.pos,
                         util::format("quantifier range '%s' is not a "
                                      "declared array",
                                      e.range_array.c_str()));
@@ -583,6 +960,7 @@ class Elaborator {
       case ExprAst::Kind::kName: {
         if (e.name == "true") return 1;
         if (e.name == "false") return 0;
+        if (const std::int64_t* scoped = find_scoped(e.name)) return *scoped;
         const auto it = consts_.find(e.name);
         if (it != consts_.end()) return it->second;
         return std::nullopt;
@@ -645,7 +1023,7 @@ class Elaborator {
     if (!e) return std::nullopt;
     const auto v = fold_const_expr(*e);
     if (!v) {
-      sink_.error(e->pos,
+      error(e->pos,
                   util::format("%s must be a constant integer expression",
                                what));
     }
@@ -664,31 +1042,53 @@ class Elaborator {
           e.offset >= kPrefix.size() ? e.offset - kPrefix.size() : 0;
       // `detail` has no "offset N" prefix — the diagnostic carries the
       // file position itself.
-      sink_.error({static_cast<std::uint32_t>(decl.pos.offset + rel)},
+      error({static_cast<std::uint32_t>(decl.pos.offset + rel)},
                   e.detail);
     } catch (const ModelError& e) {
-      sink_.error(decl.pos, e.what());
+      error(decl.pos, e.what());
     }
   }
+
+  // Innermost template parameter / `for` variable binding, or null.
+  [[nodiscard]] const std::int64_t* find_scoped(
+      const std::string& name) const {
+    for (auto it = scoped_.rbegin(); it != scoped_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+  static constexpr int kMaxChannelArray = 1024;
+  static constexpr int kMaxInstances = 1024;
+  static constexpr int kMaxEdgesPerProcess = 65536;
 
   const ModelAst& ast_;
   const std::string& fallback_name_;
   DiagnosticSink& sink_;
+  const CompileOptions& options_;
   std::optional<System> sys_;
   std::unordered_map<std::string, NameKind> names_;
   std::unordered_map<std::string, Clock> clocks_;
   std::unordered_map<std::string, ChannelId> channels_;
+  std::unordered_map<std::string, std::int64_t> chan_arrays_;
   std::unordered_map<std::string, std::int64_t> consts_;
   std::unordered_map<std::string, VarId> vars_;
+  std::unordered_map<std::string, TemplateInfo> templates_;
   std::vector<std::string> binders_;
+  // Template parameters and `for` variables in scope, outermost first.
+  std::vector<std::pair<std::string, std::int64_t>> scoped_;
+  // Instantiation/iteration context for diagnostics, outermost first.
+  std::vector<Note> trace_;
+  int stamped_count_ = 0;
 };
 
 }  // namespace
 
 std::optional<ElaboratedModel> elaborate(const ModelAst& ast,
                                          const std::string& fallback_name,
-                                         DiagnosticSink& sink) {
-  return Elaborator(ast, fallback_name, sink).run();
+                                         DiagnosticSink& sink,
+                                         const CompileOptions& options) {
+  return Elaborator(ast, fallback_name, sink, options).run();
 }
 
 }  // namespace tigat::lang

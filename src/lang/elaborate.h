@@ -21,8 +21,10 @@
 // independent mistakes as possible.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lang/ast.h"
@@ -37,11 +39,20 @@ struct ElaboratedModel {
   std::vector<tsystem::TestPurpose> purposes;  // one per control decl
 };
 
+// Knobs the driver may pass into compilation.
+struct CompileOptions {
+  // `--param N=4` style overrides: each entry replaces the value of the
+  // `const` declaration of that name before anything folds, so one
+  // templated model file serves every instance size.  An override that
+  // matches no `const` declaration is an error.
+  std::vector<std::pair<std::string, std::int64_t>> params;
+};
+
 // Lowers `ast`; returns nullopt when any diagnostic of error severity
 // was emitted (the sink then holds the full report).  `fallback_name`
 // names the system when the source has no `system` declaration.
 [[nodiscard]] std::optional<ElaboratedModel> elaborate(
     const ModelAst& ast, const std::string& fallback_name,
-    DiagnosticSink& sink);
+    DiagnosticSink& sink, const CompileOptions& options = {});
 
 }  // namespace tigat::lang

@@ -20,16 +20,18 @@ std::string stem_of(const std::string& path) {
 }
 
 // The one compile pipeline; both public entry points wrap it.
-std::optional<LoadedModel> compile_with_sink(DiagnosticSink& sink) {
+std::optional<LoadedModel> compile_with_sink(DiagnosticSink& sink,
+                                             const CompileOptions& options) {
   const ModelAst ast = parse(sink.source(), sink);
   if (sink.has_errors()) return std::nullopt;
-  return elaborate(ast, stem_of(sink.source().name()), sink);
+  return elaborate(ast, stem_of(sink.source().name()), sink, options);
 }
 
-LoadedModel compile_or_throw(std::string_view text, const std::string& name) {
+LoadedModel compile_or_throw(std::string_view text, const std::string& name,
+                             const CompileOptions& options) {
   const Source source(name, std::string(text));
   DiagnosticSink sink(source);
-  std::optional<LoadedModel> model = compile_with_sink(sink);
+  std::optional<LoadedModel> model = compile_with_sink(sink, options);
   if (!model) throw LangError(sink.render_all());
   return std::move(*model);
 }
@@ -38,27 +40,30 @@ LoadedModel compile_or_throw(std::string_view text, const std::string& name) {
 
 std::optional<LoadedModel> compile_model(std::string_view source_text,
                                          const std::string& name,
-                                         std::vector<Diagnostic>& diagnostics) {
+                                         std::vector<Diagnostic>& diagnostics,
+                                         const CompileOptions& options) {
   const Source source(name, std::string(source_text));
   DiagnosticSink sink(source);
-  std::optional<LoadedModel> model = compile_with_sink(sink);
+  std::optional<LoadedModel> model = compile_with_sink(sink, options);
   diagnostics = sink.diagnostics();
   return model;
 }
 
-LoadedModel load_model(const std::string& path) {
+LoadedModel load_model(const std::string& path,
+                       const CompileOptions& options) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     throw LangError(util::format("%s: cannot open model file", path.c_str()));
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return compile_or_throw(buffer.str(), path);
+  return compile_or_throw(buffer.str(), path, options);
 }
 
 LoadedModel load_model_from_string(std::string_view source,
-                                   const std::string& name) {
-  return compile_or_throw(source, name);
+                                   const std::string& name,
+                                   const CompileOptions& options) {
+  return compile_or_throw(source, name, options);
 }
 
 }  // namespace tigat::lang

@@ -40,16 +40,20 @@ class LangError : public tsystem::ModelError {
 // Parses + elaborates `source`.  `name` labels diagnostics (usually the
 // file path) and provides the fallback system name.  Diagnostics land
 // in `diagnostics`; the result is nullopt whenever an error was
-// reported.
+// reported.  `options.params` overrides `const` declarations by name
+// (the `run_model --param N=4` mechanism), so one templated model file
+// serves every instance size.
 [[nodiscard]] std::optional<LoadedModel> compile_model(
     std::string_view source, const std::string& name,
-    std::vector<Diagnostic>& diagnostics);
+    std::vector<Diagnostic>& diagnostics, const CompileOptions& options = {});
 
 // Reads and compiles a .tg file; throws LangError on any failure.
-[[nodiscard]] LoadedModel load_model(const std::string& path);
+[[nodiscard]] LoadedModel load_model(const std::string& path,
+                                     const CompileOptions& options = {});
 
 // As load_model, for in-memory text (`name` labels diagnostics).
-[[nodiscard]] LoadedModel load_model_from_string(std::string_view source,
-                                                 const std::string& name);
+[[nodiscard]] LoadedModel load_model_from_string(
+    std::string_view source, const std::string& name,
+    const CompileOptions& options = {});
 
 }  // namespace tigat::lang

@@ -14,12 +14,13 @@ bool is_top_keyword(const Token& t) {
   return t.is_keyword("system") || t.is_keyword("clock") ||
          t.is_keyword("chan") || t.is_keyword("const") ||
          t.is_keyword("int") || t.is_keyword("process") ||
-         t.is_keyword("control");
+         t.is_keyword("template") || t.is_keyword("control");
 }
 
 bool is_body_keyword(const Token& t) {
   return t.is_keyword("loc") || t.is_keyword("edge") || t.is_keyword("init") ||
-         t.is_keyword("urgent") || t.is_keyword("committed");
+         t.is_keyword("for") || t.is_keyword("urgent") ||
+         t.is_keyword("committed");
 }
 
 class Parser {
@@ -42,12 +43,14 @@ class Parser {
         parse_variable(model);
       } else if (peek().is_keyword("process")) {
         parse_process(model);
+      } else if (peek().is_keyword("template")) {
+        parse_template(model);
       } else if (peek().is_keyword("control")) {
         parse_control(model);
       } else {
         error(peek().pos,
               util::format("expected a declaration (system, clock, chan, "
-                           "const, int, process or control), got %s",
+                           "const, int, process, template or control), got %s",
                            describe(peek()).c_str()));
         // The offending token is by definition not a declaration start,
         // and sync() stops *at* '}' — consume it first so the loop
@@ -128,18 +131,74 @@ class Parser {
   }
 
   // ── declarations ────────────────────────────────────────────────────
+  // `system name ;` names the system; `system P(...) ... ;` is a
+  // template-instantiation list, told apart by the '(' after the first
+  // identifier.
   void parse_system(ModelAst& model) {
     try {
       const Token& kw = next();  // system
-      if (!model.system_name.empty()) {
-        error(kw.pos, "duplicate 'system' declaration");
+      const Pos kw_pos = kw.pos;
+      const Pos first_pos = peek().pos;
+      std::string first = expect_ident("system name or template name");
+      if (peek().is(TokKind::kLParen)) {
+        parse_instantiation(model, kw_pos, std::move(first), first_pos);
+        return;
       }
-      model.system_pos = kw.pos;
-      model.system_name = expect_ident("system name");
+      if (!model.system_name.empty()) {
+        error(kw_pos, "duplicate 'system' declaration");
+      }
+      model.system_pos = kw_pos;
+      model.system_name = std::move(first);
       expect(TokKind::kSemi, "';'");
     } catch (SyntaxError&) {
       sync_top();
     }
+  }
+
+  // system P(0), P(2) as Two, Q(i) for i in 0..N-1 ;
+  // The first template name is already consumed (by parse_system).
+  void parse_instantiation(ModelAst& model, Pos kw_pos, std::string first_name,
+                           Pos first_pos) {
+    InstantiationAst inst;
+    inst.pos = kw_pos;
+    bool first = true;
+    do {
+      InstItemAst item;
+      if (first) {
+        item.template_name = std::move(first_name);
+        item.pos = first_pos;
+        first = false;
+      } else {
+        item.pos = peek().pos;
+        item.template_name = expect_ident("template name");
+      }
+      expect(TokKind::kLParen, "'(' after the template name");
+      item.arg = parse_expr();
+      expect(TokKind::kRParen, "')'");
+      if (accept_kw("as")) {
+        item.as_pos = peek().pos;
+        item.as_name = expect_ident("instance name after 'as'");
+      }
+      if (peek().is_keyword("for")) {
+        if (!item.as_name.empty()) {
+          error(item.as_pos,
+                "'as' cannot name a 'for' comprehension (each instance is "
+                "named <template><value>)");
+        }
+        next();  // for
+        item.loop_var_pos = peek().pos;
+        item.loop_var = expect_ident("comprehension variable after 'for'");
+        if (!accept_kw("in")) fail("'in' after the comprehension variable");
+        item.loop_lo = parse_expr();
+        expect(TokKind::kDotDot, "'..'");
+        item.loop_hi = parse_expr();
+      }
+      inst.items.push_back(std::move(item));
+    } while (accept(TokKind::kComma));
+    expect(TokKind::kSemi, "';'");
+    model.unit_order.push_back({ModelAst::UnitKind::kInstantiation,
+                                model.instantiations.size()});
+    model.instantiations.push_back(std::move(inst));
   }
 
   void parse_clocks(ModelAst& model) {
@@ -167,8 +226,15 @@ class Parser {
         fail("'ctrl' or 'unctrl' after 'chan'");
       }
       do {
-        const Pos pos = peek().pos;
-        model.channels.push_back({expect_ident("channel name"), controllable, pos});
+        ChanDeclAst decl;
+        decl.pos = peek().pos;
+        decl.name = expect_ident("channel name");
+        decl.controllable = controllable;
+        if (accept(TokKind::kLBracket)) {  // channel array
+          decl.size = parse_expr();
+          expect(TokKind::kRBracket, "']'");
+        }
+        model.channels.push_back(std::move(decl));
       } while (accept(TokKind::kComma));
       expect(TokKind::kSemi, "';'");
     } catch (SyntaxError&) {
@@ -243,13 +309,61 @@ class Parser {
       return;
     }
 
+    parse_process_body(proc);
+    model.unit_order.push_back(
+        {ModelAst::UnitKind::kProcess, model.processes.size()});
+    model.processes.push_back(std::move(proc));
+  }
+
+  // template P(i : lo..hi) (controlled|uncontrolled) { <process body> }
+  void parse_template(ModelAst& model) {
+    TemplateDeclAst tpl;
+    try {
+      tpl.pos = peek().pos;
+      tpl.body.pos = tpl.pos;
+      next();  // template
+      tpl.body.name = expect_ident("template name");
+      expect(TokKind::kLParen, "'(' after the template name");
+      tpl.param_pos = peek().pos;
+      tpl.param = expect_ident("parameter name");
+      expect(TokKind::kColon, "':' after the parameter name");
+      tpl.range_lo = parse_expr();
+      expect(TokKind::kDotDot, "'..'");
+      tpl.range_hi = parse_expr();
+      expect(TokKind::kRParen, "')'");
+      if (accept_kw("controlled")) {
+        tpl.body.controllable_default = true;
+      } else if (accept_kw("uncontrolled")) {
+        tpl.body.controllable_default = false;
+      } else {
+        fail("'controlled' or 'uncontrolled' after the parameter list");
+      }
+      expect(TokKind::kLBrace, "'{'");
+    } catch (SyntaxError&) {
+      sync_top();
+      return;
+    }
+
+    parse_process_body(tpl.body);
+    model.templates.push_back(std::move(tpl));
+  }
+
+  // The shared `{ ... }` body of a process or template; consumes the
+  // closing brace.
+  void parse_process_body(ProcessDeclAst& proc) {
     while (!peek().is(TokKind::kRBrace) && !peek().is(TokKind::kEof)) {
       try {
         if (peek().is_keyword("loc") || peek().is_keyword("urgent") ||
             peek().is_keyword("committed")) {
           parse_location(proc);
         } else if (peek().is_keyword("edge")) {
-          parse_edge(proc);
+          ProcessItemAst item;
+          item.edge = parse_edge();
+          proc.items.push_back(std::move(item));
+        } else if (peek().is_keyword("for")) {
+          ProcessItemAst item;
+          item.loop = parse_for_block();
+          proc.items.push_back(std::move(item));
         } else if (peek().is_keyword("init")) {
           const Token& kw = next();  // init
           if (!proc.init_loc.empty()) {
@@ -266,14 +380,52 @@ class Parser {
                              describe(peek()).c_str()));
           break;  // let the top level resume from the keyword
         } else {
-          fail("'loc', 'edge' or 'init' inside the process body");
+          fail("'loc', 'edge', 'for' or 'init' inside the process body");
         }
       } catch (SyntaxError&) {
         sync_body();
       }
     }
     accept(TokKind::kRBrace);
-    model.processes.push_back(std::move(proc));
+  }
+
+  // for (i : lo..hi) { <edges / nested for blocks> }
+  ForBlockAst parse_for_block() {
+    if (++for_depth_ > kMaxForDepth) {
+      error(peek().pos, "'for' blocks are nested too deeply");
+      --for_depth_;
+      throw SyntaxError{};
+    }
+    const struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{for_depth_};
+
+    ForBlockAst fb;
+    fb.pos = peek().pos;
+    next();  // for
+    expect(TokKind::kLParen, "'(' after 'for'");
+    fb.var_pos = peek().pos;
+    fb.var = expect_ident("loop variable");
+    expect(TokKind::kColon, "':' after the loop variable");
+    fb.lo = parse_expr();
+    expect(TokKind::kDotDot, "'..'");
+    fb.hi = parse_expr();
+    expect(TokKind::kRParen, "')'");
+    expect(TokKind::kLBrace, "'{'");
+    while (!peek().is(TokKind::kRBrace) && !peek().is(TokKind::kEof)) {
+      ProcessItemAst item;
+      if (peek().is_keyword("edge")) {
+        item.edge = parse_edge();
+      } else if (peek().is_keyword("for")) {
+        item.loop = parse_for_block();
+      } else {
+        fail("'edge' or a nested 'for' inside the 'for' block");
+      }
+      fb.items.push_back(std::move(item));
+    }
+    expect(TokKind::kRBrace, "'}'");
+    return fb;
   }
 
   void parse_location(ProcessDeclAst& proc) {
@@ -304,9 +456,9 @@ class Parser {
     proc.locations.push_back(std::move(loc));
   }
 
-  // edge A -> B (on chan! | on chan?)? (when e {, e})? (do u {, u})?
-  //   (ctrl | unctrl)? (label "...")? ;
-  void parse_edge(ProcessDeclAst& proc) {
+  // edge A -> B (on chan[idx]! | on chan[idx]?)? (when e {, e})?
+  //   (do u {, u})? (ctrl | unctrl)? (label "...")? ;
+  EdgeDeclAst parse_edge() {
     EdgeDeclAst edge;
     edge.pos = peek().pos;
     next();  // edge
@@ -320,6 +472,10 @@ class Parser {
       SyncAst sync;
       sync.pos = peek().pos;
       sync.channel = expect_ident("channel name after 'on'");
+      if (accept(TokKind::kLBracket)) {  // channel-array member
+        sync.index = parse_expr();
+        expect(TokKind::kRBracket, "']'");
+      }
       if (accept(TokKind::kBang)) {
         sync.send = true;
       } else if (accept(TokKind::kQuestion)) {
@@ -340,8 +496,12 @@ class Parser {
         update.pos = peek().pos;
         update.target = expect_ident("update target");
         if (accept(TokKind::kLBracket)) {
-          update.index = parse_expr();
-          expect(TokKind::kRBracket, "']'");
+          if (accept(TokKind::kRBracket)) {
+            update.whole_array = true;  // `A[] := e`
+          } else {
+            update.index = parse_expr();
+            expect(TokKind::kRBracket, "']'");
+          }
         }
         expect(TokKind::kAssignOp, "':='");
         update.rhs = parse_expr();
@@ -358,7 +518,7 @@ class Parser {
       edge.label = std::string(next().text);
     }
     expect(TokKind::kSemi, "';'");
-    proc.edges.push_back(std::move(edge));
+    return edge;
   }
 
   // control: <raw text up to ';'> ;
@@ -577,12 +737,14 @@ class Parser {
   }
 
   static constexpr int kMaxExprDepth = 500;
+  static constexpr int kMaxForDepth = 64;
 
   const Source& source_;
   DiagnosticSink& sink_;
   std::vector<Token> toks_;
   std::size_t at_ = 0;
   int expr_depth_ = 0;
+  int for_depth_ = 0;
 };
 
 }  // namespace

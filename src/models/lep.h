@@ -60,6 +60,12 @@ struct Lep {
 
 [[nodiscard]] Lep make_lep(LepParams params = {});
 
+// The n-node instance with the paper's default timing parameters —
+// the C++ twin of `examples/models/lep.tg --param N=n`.
+[[nodiscard]] inline Lep build_lep(std::uint32_t nodes) {
+  return make_lep({.nodes = nodes});
+}
+
 // The paper's three test purposes for the given instance.
 [[nodiscard]] std::string lep_tp1();
 [[nodiscard]] std::string lep_tp2();

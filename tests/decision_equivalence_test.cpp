@@ -16,9 +16,11 @@
 #include "decision/serialize.h"
 #include "game/solver.h"
 #include "game/strategy.h"
+#include "lang/lang.h"
 #include "models/lep.h"
 #include "models/smart_light.h"
 #include "semantics/concrete.h"
+#include "support/lep_template.h"
 #include "testing/executor.h"
 #include "testing/simulated_imp.h"
 #include "util/rng.h"
@@ -182,6 +184,42 @@ TEST(DecisionEquivalence, ExecutorVerdictsAndTracesMatch) {
     EXPECT_EQ(a.trace_string(), b.trace_string()) << "latency " << latency;
     EXPECT_EQ(a.total_ticks, b.total_ticks) << "latency " << latency;
   }
+}
+
+// A .tgs compiled from the template-elaborated LEP serves the C++-built
+// model and vice versa: the fingerprints are identical at the same n —
+// and a template re-instantiated at a different n is REJECTED by the
+// fingerprint check, so a compiled strategy can never silently serve
+// the wrong instance size.
+TEST(DecisionEquivalence, TemplatedLepFingerprintMatchesBuilderAndPinsN) {
+  const lang::LoadedModel parsed = test_support::load_lep_template(3);
+  const auto lep = models::build_lep(3);
+
+  const auto from_template = solve(parsed.system, models::lep_tp1());
+  const auto from_builder = solve(lep.system, models::lep_tp1());
+  EXPECT_EQ(from_template->stats().keys, from_builder->stats().keys);
+
+  const DecisionTable table_t = compile(*from_template);
+  const DecisionTable table_b = compile(*from_builder);
+  EXPECT_EQ(table_t.fingerprint(), table_b.fingerprint());
+  EXPECT_TRUE(table_t.matches(lep.system));     // cross-served
+  EXPECT_TRUE(table_b.matches(parsed.system));  // both directions
+
+  // The .tgs round trip preserves the cross-fingerprint.
+  const DecisionTable reloaded = from_bytes(to_bytes(table_t));
+  EXPECT_TRUE(reloaded.matches(lep.system));
+
+  // Same decisions on the template-elaborated system, walk vs both
+  // tables, on seeded fuzz states.
+  game::Strategy strategy(from_template);
+  util::Rng rng(kSeed);
+  expect_identical(strategy, table_b, fuzz_states(*from_template, rng, 1000));
+
+  // Re-instantiated at n = 4, the fingerprint must differ: arrays,
+  // edges and processes all changed shape.
+  const lang::LoadedModel bigger = test_support::load_lep_template(4);
+  EXPECT_FALSE(table_t.matches(bigger.system));
+  EXPECT_TRUE(table_t.matches(parsed.system));
 }
 
 TEST(DecisionEquivalence, SerializeRoundTrip) {

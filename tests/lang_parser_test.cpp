@@ -143,8 +143,10 @@ TEST(LangParser, BuildsExpectedAst) {
   ASSERT_EQ(p.locations.size(), 2u);
   EXPECT_EQ(p.locations[1].invariants.size(), 1u);
   EXPECT_EQ(p.init_loc, "A");
-  ASSERT_EQ(p.edges.size(), 2u);
-  const EdgeDeclAst& e = p.edges[0];
+  ASSERT_EQ(p.items.size(), 2u);
+  ASSERT_TRUE(p.items[0].edge.has_value());
+  ASSERT_TRUE(p.items[1].edge.has_value());
+  const EdgeDeclAst& e = *p.items[0].edge;
   EXPECT_EQ(e.src, "A");
   EXPECT_EQ(e.dst, "B");
   ASSERT_TRUE(e.sync.has_value());
@@ -168,8 +170,9 @@ TEST(LangParser, QuantifierAndOperatorPrecedence) {
   const ModelAst ast = parse(source, sink);
   EXPECT_FALSE(sink.has_errors()) << sink.render_all();
   ASSERT_EQ(ast.processes.size(), 1u);
-  ASSERT_EQ(ast.processes[0].edges.size(), 1u);
-  const ExprAst& guard = *ast.processes[0].edges[0].guards.at(0);
+  ASSERT_EQ(ast.processes[0].items.size(), 1u);
+  ASSERT_TRUE(ast.processes[0].items[0].edge.has_value());
+  const ExprAst& guard = *ast.processes[0].items[0].edge->guards.at(0);
   // Max-munch quantifier body: the `and` is inside the forall.
   EXPECT_EQ(guard.kind, ExprAst::Kind::kQuantifier);
   EXPECT_TRUE(guard.is_forall);
@@ -682,6 +685,140 @@ TEST(LangDiagnostics, ConstSyntaxErrorsRecover) {
   // parses and K resolves (no cascade).
   EXPECT_EQ(error_count(diags), 1u);
   EXPECT_EQ(first_error(diags).line, 1u);
+}
+
+// ── templates, for blocks and arrays ──────────────────────────────────
+
+TEST(LangParser, TemplateAndInstantiationAstShape) {
+  const Source source(
+      "tpl.tg",
+      "const N = 3;\n"
+      "template P(i : 0..N-1) uncontrolled {\n"
+      "  loc A; init A;\n"
+      "  for (k : 0..i) { edge A -> A when k == i; }\n"
+      "}\n"
+      "system P(0), P(2) as Two, P(j) for j in 0..N-1;\n");
+  DiagnosticSink sink(source);
+  const ModelAst ast = parse(source, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.render_all();
+
+  ASSERT_EQ(ast.templates.size(), 1u);
+  const TemplateDeclAst& tpl = ast.templates[0];
+  EXPECT_EQ(tpl.body.name, "P");
+  EXPECT_EQ(tpl.param, "i");
+  EXPECT_FALSE(tpl.body.controllable_default);
+  ASSERT_EQ(tpl.body.items.size(), 1u);
+  ASSERT_TRUE(tpl.body.items[0].loop.has_value());
+  const ForBlockAst& loop = *tpl.body.items[0].loop;
+  EXPECT_EQ(loop.var, "k");
+  ASSERT_EQ(loop.items.size(), 1u);
+  EXPECT_TRUE(loop.items[0].edge.has_value());
+
+  ASSERT_EQ(ast.instantiations.size(), 1u);
+  const InstantiationAst& inst = ast.instantiations[0];
+  ASSERT_EQ(inst.items.size(), 3u);
+  EXPECT_EQ(inst.items[0].template_name, "P");
+  EXPECT_TRUE(inst.items[0].as_name.empty());
+  EXPECT_EQ(inst.items[1].as_name, "Two");
+  EXPECT_EQ(inst.items[2].loop_var, "j");
+  ASSERT_TRUE(inst.items[2].loop_lo != nullptr);
+  ASSERT_TRUE(inst.items[2].loop_hi != nullptr);
+  // `system P(...)` is an instantiation, not the system name.
+  EXPECT_TRUE(ast.system_name.empty());
+  ASSERT_EQ(ast.unit_order.size(), 1u);
+  EXPECT_EQ(ast.unit_order[0].kind, ModelAst::UnitKind::kInstantiation);
+}
+
+TEST(LangParser, ChannelArraysSyncIndicesAndWholeArrayUpdates) {
+  const Source source(
+      "arr.tg",
+      "chan ctrl send[4];\n"
+      "int[0, 1] a[4];\n"
+      "process P controlled {\n"
+      "  loc A; init A;\n"
+      "  edge A -> A on send[2]! do a[] := 0;\n"
+      "}\n");
+  DiagnosticSink sink(source);
+  const ModelAst ast = parse(source, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.render_all();
+  ASSERT_EQ(ast.channels.size(), 1u);
+  EXPECT_TRUE(ast.channels[0].size != nullptr);
+  const EdgeDeclAst& e = *ast.processes[0].items[0].edge;
+  ASSERT_TRUE(e.sync.has_value());
+  EXPECT_TRUE(e.sync->index != nullptr);
+  EXPECT_TRUE(e.sync->send);
+  ASSERT_EQ(e.updates.size(), 1u);
+  EXPECT_TRUE(e.updates[0].whole_array);
+  EXPECT_TRUE(e.updates[0].index == nullptr);
+}
+
+TEST(LangDiagnostics, DeeplyNestedForBlocksAreAnErrorNotAStackOverflow) {
+  std::string body;
+  for (int i = 0; i < 200; ++i) body += "for (i : 0..1) { ";
+  body += "edge A -> A;";
+  for (int i = 0; i < 200; ++i) body += " }";
+  std::vector<Diagnostic> diags;
+  const auto model = compile(
+      "process P controlled { loc A; init A;\n" + body + "\n}\n", diags);
+  EXPECT_FALSE(model.has_value());
+  bool saw_depth = false;
+  for (const Diagnostic& d : diags) {
+    saw_depth |= d.message.find("nested too deeply") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_depth);
+}
+
+TEST(LangDiagnostics, RuntimeGuardOnStampedEdgeStillChecksBounds) {
+  // A `for` variable is a constant inside the loop: using it as a
+  // clock bound must work, and the loop dies cleanly on a bad body.
+  const auto model = compile(
+      "clock x;\n"
+      "process P controlled {\n"
+      "  loc A; init A;\n"
+      "  for (i : 1..3) { edge A -> A when x <= i; }\n"
+      "}\n");
+  ASSERT_TRUE(model.has_value());
+  const tsystem::Process& p = model->system.processes()[0];
+  ASSERT_EQ(p.edges().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(p.edges()[i].guard.size(), 1u);
+    EXPECT_EQ(p.edges()[i].guard[0].bound,
+              dbm::make_weak(static_cast<dbm::bound_t>(i + 1)));
+  }
+}
+
+TEST(LangDiagnostics, ForRangeExplosionIsCapped) {
+  // The iteration-count cap fires up front — even with an empty body,
+  // and even when the bounds would overflow 32 bits — instead of
+  // spinning through the range.
+  for (const char* range : {"0..100000000", "0..1099511627776 * 8",
+                            "-1099511627776..0"}) {
+    std::vector<Diagnostic> diags;
+    const auto model = compile(
+        std::string("process P controlled {\n"
+                    "  loc A; init A;\n"
+                    "  for (i : ") + range + ") { }\n"
+        "}\n",
+        diags);
+    SCOPED_TRACE(range);
+    EXPECT_FALSE(model.has_value());
+    const std::string& msg = first_error(diags).message;
+    EXPECT_TRUE(msg.find("spans more than") != std::string::npos ||
+                msg.find("32-bit") != std::string::npos)
+        << msg;
+  }
+  // Stamping more edges than the per-process budget still errors even
+  // when each individual range is small.
+  std::vector<Diagnostic> diags;
+  const auto model = compile(
+      "process P controlled {\n"
+      "  loc A; init A;\n"
+      "  for (i : 0..32767) { edge A -> A; edge A -> A; edge A -> A; }\n"
+      "}\n",
+      diags);
+  EXPECT_FALSE(model.has_value());
+  EXPECT_NE(first_error(diags).message.find("stamps more than"),
+            std::string::npos);
 }
 
 TEST(LangLoad, MissingFileThrowsLangError) {

@@ -1,0 +1,101 @@
+// Golden-corpus runner for .tg diagnostics: compiles one bad input and
+// compares the FULL rendered report (messages, positions, snippets,
+// carets, instantiation-trace notes) against a checked-in .expected
+// file.  CMake registers one CTest case per corpus input, so a failure
+// names the exact file.
+//
+//   corpus_runner <input.tg> <expected.txt>          verify
+//   corpus_runner <input.tg> <expected.txt> --update regenerate golden
+//
+// Reports are rendered against the input's basename so the goldens are
+// independent of the checkout path.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/lang.h"
+
+namespace {
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: corpus_runner <input.tg> <expected.txt> "
+                 "[--update]\n");
+    return 2;
+  }
+  const std::string input_path = argv[1];
+  const std::string expected_path = argv[2];
+  const bool update = argc > 3 && std::strcmp(argv[3], "--update") == 0;
+
+  std::string source;
+  if (!read_file(input_path, source)) {
+    std::fprintf(stderr, "cannot read %s\n", input_path.c_str());
+    return 2;
+  }
+
+  const std::string name = basename_of(input_path);
+  std::vector<tigat::lang::Diagnostic> diagnostics;
+  const auto model = tigat::lang::compile_model(source, name, diagnostics);
+
+  std::string actual;
+  for (const tigat::lang::Diagnostic& d : diagnostics) {
+    if (!actual.empty()) actual += "\n";
+    actual += d.render(name);
+  }
+  actual += "\n";
+
+  if (model.has_value()) {
+    std::fprintf(stderr,
+                 "%s: compiled WITHOUT errors — every corpus input must be "
+                 "rejected\n",
+                 input_path.c_str());
+    return 1;
+  }
+
+  if (update) {
+    std::ofstream out(expected_path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    std::printf("updated %s\n", expected_path.c_str());
+    return 0;
+  }
+
+  std::string expected;
+  if (!read_file(expected_path, expected)) {
+    std::fprintf(stderr,
+                 "cannot read %s (run with --update to create it)\n",
+                 expected_path.c_str());
+    return 1;
+  }
+  if (expected != actual) {
+    std::fprintf(stderr,
+                 "%s: diagnostics changed\n"
+                 "---- expected (%s) ----\n%s"
+                 "---- actual ----\n%s"
+                 "----\n"
+                 "(re-bless with: corpus_runner %s %s --update)\n",
+                 input_path.c_str(), expected_path.c_str(), expected.c_str(),
+                 actual.c_str(), input_path.c_str(), expected_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Loads the shipped LEP template (examples/models/lep.tg) at a given
+// instance size — the test-side twin of `run_model --param N=n`.
+// Shared by the template roundtrip and decision-fingerprint suites so
+// the parameter name and model path live in one place.
+#pragma once
+
+#include <string>
+
+#include "lang/lang.h"
+
+#ifndef TIGAT_MODEL_DIR
+#error "TIGAT_MODEL_DIR must point at examples/models"
+#endif
+
+namespace tigat::test_support {
+
+inline std::string lep_template_path() {
+  return std::string(TIGAT_MODEL_DIR) + "/lep.tg";
+}
+
+inline lang::LoadedModel load_lep_template(std::int64_t n) {
+  lang::CompileOptions options;
+  options.params = {{"N", n}};
+  return lang::load_model(lep_template_path(), options);
+}
+
+}  // namespace tigat::test_support

@@ -1,0 +1,69 @@
+// Structural equality of two tsystem::System instances, gtest style:
+// same declarations in the same order, same per-process location/edge
+// skeleton and game partition.  Shared by the .tg roundtrip test (the
+// hand-unrolled models) and the template test (stamped instances vs
+// the C++ builders at every n).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tsystem/system.h"
+
+namespace tigat::test_support {
+
+inline void expect_same_structure(const tsystem::System& parsed,
+                                  const tsystem::System& built) {
+  EXPECT_EQ(parsed.name(), built.name());
+  ASSERT_EQ(parsed.clock_count(), built.clock_count());
+  EXPECT_EQ(parsed.clock_names(), built.clock_names());
+  ASSERT_EQ(parsed.channels().size(), built.channels().size());
+  for (std::size_t c = 0; c < built.channels().size(); ++c) {
+    EXPECT_EQ(parsed.channels()[c].name, built.channels()[c].name);
+    EXPECT_EQ(parsed.channels()[c].control, built.channels()[c].control);
+  }
+  EXPECT_EQ(parsed.data().slot_count(), built.data().slot_count());
+  EXPECT_EQ(parsed.data().decl_count(), built.data().decl_count());
+  EXPECT_EQ(parsed.data().initial_state(), built.data().initial_state());
+  EXPECT_EQ(parsed.max_constants(), built.max_constants());
+
+  ASSERT_EQ(parsed.processes().size(), built.processes().size());
+  for (std::size_t pi = 0; pi < built.processes().size(); ++pi) {
+    const tsystem::Process& p = parsed.processes()[pi];
+    const tsystem::Process& b = built.processes()[pi];
+    SCOPED_TRACE("process " + b.name());
+    EXPECT_EQ(p.name(), b.name());
+    EXPECT_EQ(p.default_control(), b.default_control());
+    EXPECT_EQ(p.initial(), b.initial());
+    ASSERT_EQ(p.locations().size(), b.locations().size());
+    for (std::size_t li = 0; li < b.locations().size(); ++li) {
+      EXPECT_EQ(p.locations()[li].name, b.locations()[li].name);
+      EXPECT_EQ(p.locations()[li].kind, b.locations()[li].kind);
+      EXPECT_EQ(p.locations()[li].invariant.size(),
+                b.locations()[li].invariant.size());
+    }
+    ASSERT_EQ(p.edges().size(), b.edges().size());
+    for (std::size_t ei = 0; ei < b.edges().size(); ++ei) {
+      SCOPED_TRACE("edge " + std::to_string(ei));
+      const tsystem::Edge& e = p.edges()[ei];
+      const tsystem::Edge& f = b.edges()[ei];
+      EXPECT_EQ(e.src, f.src);
+      EXPECT_EQ(e.dst, f.dst);
+      EXPECT_EQ(e.sync, f.sync);
+      EXPECT_EQ(e.channel.id, f.channel.id);
+      EXPECT_EQ(e.guard.size(), f.guard.size());
+      for (std::size_t g = 0; g < f.guard.size(); ++g) {
+        EXPECT_EQ(e.guard[g].i, f.guard[g].i);
+        EXPECT_EQ(e.guard[g].j, f.guard[g].j);
+        EXPECT_EQ(e.guard[g].bound, f.guard[g].bound);
+      }
+      EXPECT_EQ(e.data_guard.is_null(), f.data_guard.is_null());
+      EXPECT_EQ(e.resets.size(), f.resets.size());
+      EXPECT_EQ(e.assignments.size(), f.assignments.size());
+      EXPECT_EQ(parsed.edge_controllable(p, e), built.edge_controllable(b, f));
+    }
+  }
+}
+
+}  // namespace tigat::test_support
