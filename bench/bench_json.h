@@ -99,7 +99,10 @@ class JsonObject {
     raw(key, value ? "true" : "false");
   }
   void set(std::string_view key, std::string_view value) {
-    raw(key, "\"" + json_escape(value) + "\"");
+    std::string quoted = "\"";
+    quoted += json_escape(value);
+    quoted += "\"";
+    raw(key, std::move(quoted));
   }
   void set(std::string_view key, const char* value) {
     set(key, std::string_view(value));
@@ -112,9 +115,13 @@ class JsonObject {
     std::string out = "{";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       if (i != 0) out += ", ";
-      out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+      out += '"';
+      out += json_escape(fields_[i].first);
+      out += "\": ";
+      out += fields_[i].second;
     }
-    return out + "}";
+    out += "}";
+    return out;
   }
 
  private:

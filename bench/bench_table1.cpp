@@ -15,12 +15,17 @@
 //   TIGAT_TABLE1_MEM_MB   per-cell zone-memory budget, MB (default 1024)
 //   TIGAT_TABLE1_THREADS  solver threads; 0 = hardware    (default 0)
 //   TIGAT_TABLE1_SPEEDUP  0 disables the 1-vs-N rerun     (default 1)
+//   TIGAT_TABLE1_COMPACT  1 = SolverOptions::compact_zones (default 0)
 //
 // Once a cell blows the budget, larger n in the same row are reported
 // "/" without being run (the growth is monotone).
 //
-// With --json (or TIGAT_BENCH_JSON, see bench_json.h) every cell and
-// the 1-thread-vs-N-thread speedup figure land in BENCH_table1.json.
+// With --json (or TIGAT_BENCH_JSON, see bench_json.h) every cell lands
+// in BENCH_table1.json with its deterministic shape counters (keys,
+// zones, edges, rounds — what the CI bench gate pins), the zone-pool
+// dictionary counters and the process peak RSS, plus the
+// 1-thread-vs-N-thread speedup figure with its merge-phase split (the
+// serial share the striped interner attacks).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -49,6 +54,7 @@ struct Cell {
   bool winning = false;
   double seconds = 0.0;
   double mebibytes = 0.0;
+  game::SolverStats stats;
 };
 
 // One templated model file serves every column: `--param N=n`.
@@ -60,7 +66,7 @@ tsystem::System elaborate_lep(std::uint32_t nodes) {
 }
 
 Cell run_cell(std::uint32_t nodes, const std::string& purpose, double budget,
-              std::size_t mem_budget_bytes, unsigned threads) {
+              std::size_t mem_budget_bytes, unsigned threads, bool compact) {
   Cell cell;
   try {
     const tsystem::System lep_system = elaborate_lep(nodes);
@@ -68,12 +74,14 @@ Cell run_cell(std::uint32_t nodes, const std::string& purpose, double budget,
     options.exploration.deadline_seconds = budget;
     options.exploration.max_zone_bytes = mem_budget_bytes;
     options.threads = threads;
+    options.compact_zones = compact;
     util::Stopwatch watch;
     game::GameSolver solver(
         lep_system, tsystem::TestPurpose::parse(lep_system, purpose), options);
     const auto solution = solver.solve();
     cell.completed = true;
     cell.seconds = watch.seconds();
+    cell.stats = solution->stats();
     cell.mebibytes = util::to_mebibytes(solution->stats().peak_zone_bytes);
     cell.winning = solution->winning_from_initial();
     if (!cell.winning) {
@@ -106,11 +114,13 @@ int main(int argc, char** argv) {
   const auto threads =
       static_cast<unsigned>(env_int("TIGAT_TABLE1_THREADS", 0));
   const bool with_speedup = env_int("TIGAT_TABLE1_SPEEDUP", 1) != 0;
+  const bool compact = env_int("TIGAT_TABLE1_COMPACT", 0) != 0;
 
   benchio::BenchReport report("table1", argc, argv);
   report.root().set("max_n", max_n);
   report.root().set("budget_s", budget);
   report.root().set("mem_budget_mb", static_cast<long long>(mem_budget >> 20));
+  report.root().set("compact_zones", compact);
   report.root().set(
       "threads",
       static_cast<long long>(threads == 0 ? util::ThreadPool::hardware_threads()
@@ -150,7 +160,7 @@ int main(int argc, char** argv) {
       }
       util::zone_memory().reset();
       const Cell cell = run_cell(static_cast<std::uint32_t>(n), purpose,
-                                 budget, mem_budget, threads);
+                                 budget, mem_budget, threads, compact);
       auto& row = report.add_row();
       row.set("purpose", label);
       row.set("n", n);
@@ -159,6 +169,17 @@ int main(int argc, char** argv) {
         row.set("seconds", cell.seconds);
         row.set("mem_mb", cell.mebibytes);
         row.set("winning", cell.winning);
+        // Deterministic shape counters — identical across machines and
+        // thread counts; what tools/bench_gate.py pins hardest.
+        row.set("keys", cell.stats.keys);
+        row.set("reach_zones", cell.stats.reach_zones);
+        row.set("winning_zones", cell.stats.winning_zones);
+        row.set("edges", cell.stats.edges);
+        row.set("rounds", cell.stats.rounds);
+        if (compact) {
+          row.set("pool_rows", cell.stats.zone_pool_rows);
+          row.set("pool_mb", util::to_mebibytes(cell.stats.zone_pool_bytes));
+        }
         time_row.push_back(util::format("%.2f", cell.seconds));
         mem_row.push_back(util::format("%.1f", cell.mebibytes));
         if (n > best_n) {
@@ -190,31 +211,57 @@ int main(int argc, char** argv) {
         threads > 1 ? threads : util::ThreadPool::hardware_threads();
     util::zone_memory().reset();
     const Cell serial = run_cell(static_cast<std::uint32_t>(best_n),
-                                 best_purpose, budget, mem_budget, 1);
+                                 best_purpose, budget, mem_budget, 1, compact);
     util::zone_memory().reset();
     const Cell pooled = run_cell(static_cast<std::uint32_t>(best_n),
-                                 best_purpose, budget, mem_budget, many);
+                                 best_purpose, budget, mem_budget, many,
+                                 compact);
     if (serial.completed && pooled.completed) {
       const double speedup =
           pooled.seconds > 0.0 ? serial.seconds / pooled.seconds : 0.0;
+      // The exploration's serial remainder (seal + merge + subsumption)
+      // is the Amdahl cap of the parallel pipeline; with the striped
+      // interner the hashing/equality work left this phase, so the
+      // split is worth tracking next to the end-to-end figure.
+      const double merge_speedup =
+          pooled.stats.explore_merge_seconds > 0.0
+              ? serial.stats.explore_merge_seconds /
+                    pooled.stats.explore_merge_seconds
+              : 0.0;
       std::printf(
           "\nspeedup (%s, n=%d): 1 thread %.2fs vs %u threads %.2fs "
-          "→ %.2fx%s\n",
+          "→ %.2fx  (explore merge phase %.2fs vs %.2fs → %.2fx)%s\n",
           best_label.c_str(), best_n, serial.seconds, many, pooled.seconds,
-          speedup,
+          speedup, serial.stats.explore_merge_seconds,
+          pooled.stats.explore_merge_seconds, merge_speedup,
           serial.winning == pooled.winning ? "" : "  VERDICT MISMATCH!");
-      auto& row = report.root();
-      row.raw("speedup",
-              "{\"purpose\": \"" + best_label +
-                  "\", \"n\": " + std::to_string(best_n) +
-                  ", \"serial_s\": " + util::format("%.4f", serial.seconds) +
-                  ", \"pooled_s\": " + util::format("%.4f", pooled.seconds) +
-                  ", \"threads\": " + std::to_string(many) +
-                  ", \"speedup\": " + util::format("%.3f", speedup) +
-                  ", \"verdicts_equal\": " +
-                  (serial.winning == pooled.winning ? "true" : "false") + "}");
+      std::string blob = "{\"purpose\": \"";
+      blob += best_label;
+      blob += "\", \"n\": " + std::to_string(best_n);
+      blob += ", \"serial_s\": " + util::format("%.4f", serial.seconds);
+      blob += ", \"pooled_s\": " + util::format("%.4f", pooled.seconds);
+      blob += ", \"threads\": " + std::to_string(many);
+      blob += ", \"speedup\": " + util::format("%.3f", speedup);
+      blob += ", \"serial_expand_s\": " +
+              util::format("%.4f", serial.stats.explore_expand_seconds);
+      blob += ", \"pooled_expand_s\": " +
+              util::format("%.4f", pooled.stats.explore_expand_seconds);
+      blob += ", \"serial_merge_s\": " +
+              util::format("%.4f", serial.stats.explore_merge_seconds);
+      blob += ", \"pooled_merge_s\": " +
+              util::format("%.4f", pooled.stats.explore_merge_seconds);
+      blob += ", \"merge_speedup\": " + util::format("%.3f", merge_speedup);
+      blob += ", \"verdicts_equal\": ";
+      blob += serial.winning == pooled.winning ? "true" : "false";
+      blob += "}";
+      report.root().raw("speedup", std::move(blob));
     }
   }
+
+  // Whole-process high-water RSS (ru_maxrss never decreases, so this
+  // is a run-level figure — the largest cell dominates it — not a
+  // per-cell one).
+  report.root().set("peak_rss_mb", util::to_mebibytes(util::peak_rss_bytes()));
 
   report.flush();
   return 0;

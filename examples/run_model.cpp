@@ -5,6 +5,8 @@
 //   ./build/examples/run_model examples/models/lep.tg --print-model
 //   ./build/examples/run_model model.tg "control: A<> IUT.Bright"
 //   ./build/examples/run_model model.tg --threads=4   # 0 = hardware
+//   ./build/examples/run_model model.tg --compact-zones  # pooled zone
+//                      # storage; what lets LEP n=6 fit in memory
 //
 // Templated models rescale from the command line: --param NAME=VALUE
 // overrides a `const` declaration before elaboration, so one file
@@ -99,7 +101,8 @@ int main(int argc, char** argv) {
 
   std::string path;
   bool print_model = false;
-  unsigned threads = 0;  // 0 = hardware concurrency
+  bool compact_zones = false;  // dictionary-compressed zone storage
+  unsigned threads = 0;        // 0 = hardware concurrency
   std::string strategy_out;
   std::string strategy_in;
   lang::CompileOptions compile_options;
@@ -121,6 +124,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-model") == 0) {
       print_model = true;
+    } else if (std::strcmp(argv[i], "--compact-zones") == 0) {
+      compact_zones = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--strategy-out=", 15) == 0) {
@@ -140,7 +145,7 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: run_model <model.tg> [--print-model] "
-                 "[--threads=N] [--param NAME=VALUE]... "
+                 "[--threads=N] [--compact-zones] [--param NAME=VALUE]... "
                  "[--strategy-out=FILE.tgs] "
                  "[--strategy-in=FILE.tgs] [\"control: A<> ...\"]...\n");
     return 2;
@@ -196,6 +201,7 @@ int main(int argc, char** argv) {
     try {
       game::SolverOptions options;
       options.threads = threads;
+      options.compact_zones = compact_zones;
       game::GameSolver solver(model.system, purpose, options);
       const auto solution = solver.solve();
       game::Strategy strategy(solution);

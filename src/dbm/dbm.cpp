@@ -87,6 +87,12 @@ Dbm Dbm::zero(std::uint32_t dim) {
   return d;
 }
 
+Dbm Dbm::from_raw(std::uint32_t dim, const raw_t* cells) {
+  Dbm d(dim);
+  std::memcpy(d.data(), cells, d.cells() * sizeof(raw_t));
+  return d;
+}
+
 Dbm Dbm::universal(std::uint32_t dim) {
   Dbm d(dim);
   std::fill(d.data(), d.data() + d.cells(), kInfinity);

@@ -53,6 +53,10 @@ class Dbm {
   static Dbm zero(std::uint32_t dim);
   // The zone of all valuations (clocks ≥ 0, otherwise unconstrained).
   static Dbm universal(std::uint32_t dim);
+  // Rebuilds a zone from dim×dim raw cells that came out of a closed,
+  // non-empty Dbm (e.g. dictionary-compressed storage, dbm/zone_pool.h).
+  // No closure runs: the caller vouches the cells are canonical.
+  static Dbm from_raw(std::uint32_t dim, const raw_t* cells);
 
   Dbm(const Dbm&);
   Dbm(Dbm&&) noexcept;

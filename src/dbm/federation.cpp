@@ -58,6 +58,12 @@ void Fed::add(Dbm zone) {
   zones_.push_back(std::move(zone));
 }
 
+void Fed::append_raw(Dbm zone) {
+  TIGAT_ASSERT(!zone.is_empty() && zone.dimension() == dim_,
+               "append_raw of an empty or mismatched zone");
+  zones_.push_back(std::move(zone));
+}
+
 Fed& Fed::operator|=(const Fed& other) {
   TIGAT_ASSERT(other.dim_ == dim_, "dimension mismatch");
   zones_.reserve(zones_.size() + other.zones_.size());

@@ -67,6 +67,11 @@ class Fed {
   // Union; filters zones already included in a member (and members
   // included in the new zone).  Ignores empty zones.
   void add(Dbm zone);
+  // Appends without the inclusion scan — for decoding pooled storage
+  // (dbm/zone_pool.h) whose members are already pairwise-filtered.
+  // Member order is preserved exactly.
+  void append_raw(Dbm zone);
+  void clear() noexcept { zones_.clear(); }
   Fed& operator|=(const Fed& other);
   Fed& operator|=(const Dbm& zone);
 

@@ -10,6 +10,7 @@
 
 namespace tigat::game {
 
+using dbm::Dbm;
 using dbm::Fed;
 using semantics::SymbolicEdge;
 using semantics::SymbolicGraph;
@@ -19,7 +20,55 @@ GameSolution::GameSolution(std::unique_ptr<SymbolicGraph> graph,
     : graph_(std::move(graph)),
       purpose_(std::move(purpose)),
       empty_fed_(graph_->system().clock_count()),
-      action_mutex_(std::make_unique<std::shared_mutex>()) {}
+      action_mutex_(std::make_unique<std::shared_mutex>()),
+      mat_mutex_(std::make_unique<std::shared_mutex>()) {}
+
+const GameSolution::MaterializedKey* GameSolution::materialized(
+    std::uint32_t k) const {
+  if (!compact()) return nullptr;
+  {
+    std::shared_lock lock(*mat_mutex_);
+    const auto it = mat_cache_.find(k);
+    if (it != mat_cache_.end()) return &it->second;
+  }
+  // Decode outside the lock (reads only the immutable pooled store); a
+  // racing caller may duplicate the work, but emplace keeps the first
+  // insertion and the loser's copy is discarded.  The winning
+  // federation is the concatenation of the delta federations — gains
+  // are pairwise disjoint, so Fed::add's filtering never fires and
+  // plain append reproduces the plain-mode member order exactly.
+  const dbm::ZonePool& pool = *graph_->zone_pool();
+  const std::uint32_t dim = graph_->system().clock_count();
+  MaterializedKey m{Fed(dim), {}, {}};
+  for (const PooledDelta& pd : deltas_pooled_[k]) {
+    Fed gained(dim);
+    pd.gained.materialize(gained, pool);
+    for (const Dbm& z : gained.zones()) m.win.append_raw(z);
+    m.deltas.push_back({pd.round, std::move(gained)});
+  }
+  if (m.deltas.size() >= 2) {
+    m.up_to.reserve(m.deltas.size() - 1);
+    Fed acc = m.deltas.front().gained;
+    m.up_to.push_back(acc);
+    for (std::size_t d = 1; d + 1 < m.deltas.size(); ++d) {
+      acc |= m.deltas[d].gained;
+      m.up_to.push_back(acc);
+    }
+  }
+  std::unique_lock lock(*mat_mutex_);
+  return &mat_cache_.emplace(k, std::move(m)).first->second;
+}
+
+const Fed& GameSolution::winning(std::uint32_t k) const {
+  const MaterializedKey* m = materialized(k);
+  return m != nullptr ? m->win : win_all_[k];
+}
+
+const std::vector<GameSolution::Delta>& GameSolution::deltas(
+    std::uint32_t k) const {
+  const MaterializedKey* m = materialized(k);
+  return m != nullptr ? m->deltas : deltas_[k];
+}
 
 const Fed& GameSolution::action_region(std::uint32_t ei,
                                        std::uint32_t round) const {
@@ -34,29 +83,31 @@ const Fed& GameSolution::action_region(std::uint32_t ei,
   // insertion and the loser's copy is discarded.
   const SymbolicEdge& e = graph_->edges()[ei];
   Fed region = graph_->pred_through(e, winning_up_to(e.dst, round));
-  region &= graph_->reach(e.src);
+  Fed scratch(graph_->system().clock_count());
+  region &= graph_->reach(e.src, scratch);
   std::unique_lock lock(*action_mutex_);
   return action_cache_.emplace(key, std::move(region)).first->second;
 }
 
 const Fed& GameSolution::winning_up_to(std::uint32_t k,
                                        std::uint32_t round) const {
+  const MaterializedKey* m = materialized(k);
+  const std::vector<Delta>& ds = m != nullptr ? m->deltas : deltas_[k];
   // deltas are in round order; find how many apply.
-  const std::vector<Delta>& ds = deltas_[k];
   std::size_t idx = ds.size();
   while (idx > 0 && ds[idx - 1].round > round) --idx;
   if (idx == 0) return empty_fed_;
   // The full prefix is the complete winning set; intermediate prefixes
   // come from the cumulative cache (which omits the last level to
-  // avoid duplicating win_all_).
-  if (idx == ds.size()) return win_all_[k];
-  return win_up_to_[k][idx - 1];
+  // avoid duplicating the full federation).
+  if (idx == ds.size()) return m != nullptr ? m->win : win_all_[k];
+  return m != nullptr ? m->up_to[idx - 1] : win_up_to_[k][idx - 1];
 }
 
 std::optional<std::uint32_t> GameSolution::rank(
     std::uint32_t k, std::span<const std::int64_t> clocks,
     std::int64_t scale) const {
-  for (const Delta& d : deltas_[k]) {  // deltas are in round order
+  for (const Delta& d : deltas(k)) {  // deltas are in round order
     if (d.gained.contains_point(clocks, scale)) return d.round;
   }
   return std::nullopt;
@@ -64,6 +115,15 @@ std::optional<std::uint32_t> GameSolution::rank(
 
 bool GameSolution::winning_from_initial() const {
   const std::vector<std::int64_t> zero(graph_->system().clock_count(), 0);
+  if (compact()) {
+    // Pooled membership test — no materialization for the one question
+    // every Table 1 cell asks.
+    const dbm::ZonePool& pool = *graph_->zone_pool();
+    for (const PooledDelta& pd : deltas_pooled_[graph_->initial_key()]) {
+      if (pd.gained.contains_point(zero, pool, 1)) return true;
+    }
+    return false;
+  }
   return win_all_[graph_->initial_key()].contains_point(zero, 1);
 }
 
@@ -86,45 +146,98 @@ GameSolver::GameSolver(const tsystem::System& system,
 // afterwards; since each slot's value is a deterministic function of
 // the previous round, the merged state — and hence every subsequent
 // round, rank and strategy — is bit-identical at any thread count.
+//
+// compact_zones: the bulk stores (reach, loss, win/deltas) hold row
+// ids; workers decode into chunk-local scratch federations, and every
+// pool WRITE (compressing gains and refreshed loss sets) happens in
+// the serial merge sections, in key order — so the dictionary content
+// is deterministic too.
 std::shared_ptr<const GameSolution> GameSolver::solve() {
   util::Stopwatch watch;
   util::zone_memory().reset_peak();
   util::ThreadPool pool(options_.threads);
 
-  auto graph = std::make_unique<SymbolicGraph>(*sys_, options_.exploration);
+  semantics::ExplorationOptions expl = options_.exploration;
+  expl.compact_zones = expl.compact_zones || options_.compact_zones;
+  auto graph = std::make_unique<SymbolicGraph>(*sys_, expl);
   graph->explore(&pool);
   const std::uint32_t n = graph->key_count();
   const std::uint32_t dim = sys_->clock_count();
 
   auto solution = std::make_shared<GameSolution>(std::move(graph), purpose_);
   const SymbolicGraph& g = *solution->graph_;
+  dbm::ZonePool* zpool = solution->graph_->zone_pool();
+  const bool compact = zpool != nullptr;
+
+  // Decodes a key's winning federation (the concatenation of its delta
+  // federations; see GameSolution::materialized) into `out`.
+  const auto win_fed = [&](std::uint32_t k, Fed& out) {
+    out.clear();
+    for (const auto& pd : solution->deltas_pooled_[k]) {
+      const std::size_t zones = pd.gained.size();
+      for (std::size_t z = 0; z < zones; ++z) {
+        out.append_raw(pd.gained.zone(z, *zpool));
+      }
+    }
+  };
+  const auto win_empty = [&](std::uint32_t k) {
+    return compact ? solution->deltas_pooled_[k].empty()
+                   : solution->win_all_[k].is_empty();
+  };
 
   // Round 0: goal keys win everywhere they are reachable (goals are
   // formulas over the discrete part; Sec. 2.4's purposes are
   // location/data predicates).  The scan is per-key independent.
-  solution->win_all_.assign(n, Fed(dim));
-  std::vector<Fed> loss(n, Fed(dim));  // Reach \ Win cache
+  std::vector<Fed> loss;                    // plain: Reach \ Win cache
+  std::vector<dbm::PooledFed> loss_pooled;  // compact twin
   std::vector<char> is_goal(n, 0);
-  pool.parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto k = static_cast<std::uint32_t>(i);
-      const auto& key = g.key(k);
-      if (purpose_.formula.eval(key.locs, key.data, sys_->data())) {
-        is_goal[k] = 1;
-        solution->win_all_[k] = g.reach(k);
+  if (compact) {
+    solution->deltas_pooled_.assign(n, {});
+    loss_pooled.assign(n, dbm::PooledFed(dim));
+    pool.parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto k = static_cast<std::uint32_t>(i);
+        const auto& key = g.key(k);
+        if (purpose_.formula.eval(key.locs, key.data, sys_->data())) {
+          is_goal[k] = 1;
+        }
+      }
+    });
+    // Row-id copies are cheap; run them serially so the pool stays a
+    // single-writer structure.
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (is_goal[k]) {
+        solution->deltas_pooled_[k].push_back({0, g.reach_pooled(k)});
       } else {
-        loss[k] = g.reach(k);
+        loss_pooled[k] = g.reach_pooled(k);
       }
     }
-  });
+  } else {
+    solution->win_all_.assign(n, Fed(dim));
+    loss.assign(n, Fed(dim));
+    pool.parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto k = static_cast<std::uint32_t>(i);
+        const auto& key = g.key(k);
+        if (purpose_.formula.eval(key.locs, key.data, sys_->data())) {
+          is_goal[k] = 1;
+          solution->win_all_[k] = g.reach(k);
+        } else {
+          loss[k] = g.reach(k);
+        }
+      }
+    });
+  }
   solution->goal_key_.assign(n, false);
-  solution->deltas_.assign(n, {});
+  if (!compact) solution->deltas_.assign(n, {});
   std::vector<bool> dirty(n, false);   // winning changed in last round
   std::vector<bool> saturated(n, false);  // win == reach, nothing to gain
   for (std::uint32_t k = 0; k < n; ++k) {
     if (!is_goal[k]) continue;
     solution->goal_key_[k] = true;
-    solution->deltas_[k].push_back({0, solution->win_all_[k]});
+    if (!compact) {
+      solution->deltas_[k].push_back({0, solution->win_all_[k]});
+    }
     dirty[k] = true;
     saturated[k] = true;
   }
@@ -135,6 +248,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   // Per-key independent: fanned out over the pool.
   std::vector<Fed> forced(n, Fed(dim));
   pool.parallel_for(n, 8, [&](std::size_t begin, std::size_t end) {
+    Fed scratch(dim);
     for (std::size_t i = begin; i < end; ++i) {
       const auto k = static_cast<std::uint32_t>(i);
       // Upper invariant boundary: some weak bound x_i ≤ b holds with
@@ -162,15 +276,16 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
       for (const std::uint32_t ei : g.edges_out(k)) {
         const SymbolicEdge& e = g.edges()[ei];
         if (e.inst.controllable) continue;
-        unc_enabled |= g.pred_through(e, g.reach(e.dst));
+        unc_enabled |= g.pred_through(e, g.reach(e.dst, scratch));
       }
       if (unc_enabled.is_empty()) continue;
       if (semantics::time_frozen(*sys_, key.locs)) {
         // Urgent/committed: every state is a deadline.
-        forced[k] = unc_enabled.intersection(g.reach(k));
+        forced[k] = unc_enabled.intersection(g.reach(k, scratch));
       } else {
         forced[k] =
-            boundary.intersection(unc_enabled).intersection(g.reach(k));
+            boundary.intersection(unc_enabled).intersection(
+                g.reach(k, scratch));
       }
     }
   });
@@ -180,7 +295,11 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   std::size_t rounds = 0;
   std::vector<std::uint32_t> work;    // keys to recompute this round
   std::vector<Fed> gains;             // per-work-item staged gain
+  std::vector<Fed> loss_staged;       // compact: per-changed-key refresh
   std::vector<std::uint32_t> changed; // keys that actually gained
+  // compact: the round's gains, compressed batch by batch and applied
+  // only once the round is complete.
+  std::vector<std::pair<std::uint32_t, GameSolution::PooledDelta>> staged;
   for (std::uint32_t r = 1;; ++r) {
     if (r > options_.max_rounds) {
       throw semantics::ExplorationLimit("fixpoint round limit exceeded");
@@ -212,68 +331,145 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
     // strategy extraction (an action prescribed at rank r provably
     // lands at rank < r) — and the per-key computations of a round are
     // independent, the source of all parallelism here.  Gains are
-    // staged per work item and applied after the round.
-    gains.assign(work.size(), Fed(dim));
-    pool.parallel_for(work.size(), 1, [&](std::size_t begin, std::size_t end) {
+    // staged per work item and applied after the round.  compact mode
+    // processes the work list in batches — compute a slice in
+    // parallel, compress its gains serially, move on — so the
+    // uncompressed staging buffer stays bounded; the compressed stage
+    // is still applied only after the WHOLE round (Jacobi reads
+    // round-r−1 state throughout).
+    const auto round_body = [&](std::size_t base) {
+      return [&, base](std::size_t begin, std::size_t end) {
+      Fed scratch(dim);
+      Fed other(dim);   // compact: decoded win/loss of a neighbour
+      Fed win_k(dim);   // compact: decoded win of k
       for (std::size_t i = begin; i < end; ++i) {
-        const std::uint32_t k = work[i];
+        const std::uint32_t k = work[base + i];
 
         // B: already-winning here, a controllable edge into winning, or
         // a deadline where the SUT is forced to move (G filters out
         // forced states with a non-winning escape).
-        Fed b = solution->win_all_[k];
+        if (compact) win_fed(k, win_k);
+        const Fed& wk = compact ? win_k : solution->win_all_[k];
+        Fed b = wk;
         if (!forced[k].is_empty()) b |= forced[k];
         // G: an uncontrollable edge can escape to a non-winning state.
         Fed gbad(dim);
         for (const std::uint32_t ei : g.edges_out(k)) {
           const SymbolicEdge& e = g.edges()[ei];
           if (e.inst.controllable) {
-            if (!solution->win_all_[e.dst].is_empty()) {
-              b |= g.pred_through(e, solution->win_all_[e.dst]);
+            if (!win_empty(e.dst)) {
+              if (compact) {
+                win_fed(e.dst, other);
+                b |= g.pred_through(e, other);
+              } else {
+                b |= g.pred_through(e, solution->win_all_[e.dst]);
+              }
             }
           } else {
-            if (!loss[e.dst].is_empty()) {
-              gbad |= g.pred_through(e, loss[e.dst]);
+            const bool loss_empty = compact ? loss_pooled[e.dst].is_empty()
+                                            : loss[e.dst].is_empty();
+            if (!loss_empty) {
+              if (compact) {
+                loss_pooled[e.dst].materialize(other, *zpool);
+                gbad |= g.pred_through(e, other);
+              } else {
+                gbad |= g.pred_through(e, loss[e.dst]);
+              }
             }
           }
         }
-        b &= g.reach(k);
-        gbad &= g.reach(k);
+        // One decode serves all three intersections (materializing a
+        // pooled federation per use tripled the hot-loop decode cost).
+        const Fed& rk = g.reach(k, scratch);
+        b &= rk;
+        gbad &= rk;
 
         Fed new_win = semantics::time_frozen(*sys_, g.key(k).locs)
                           ? b.minus(gbad)
                           : b.pred_t(gbad);
-        new_win &= g.reach(k);
+        new_win &= rk;
 
-        Fed gained = new_win.minus(solution->win_all_[k]);
+        Fed gained = new_win.minus(wk);
         if (gained.is_empty()) continue;
         gained.reduce();
         gains[i] = std::move(gained);
       }
-    });
+      };
+    };
 
     // Serial merge in key index order: bit-identical to the serial
-    // staged application whatever the thread count.
+    // staged application whatever the thread count.  All pool writes
+    // (compressing the gains) happen here.
     std::vector<bool> new_dirty(n, false);
     changed.clear();
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      if (gains[i].is_empty()) continue;
-      const std::uint32_t k = work[i];
-      solution->deltas_[k].push_back({r, gains[i]});
-      solution->win_all_[k] |= gains[i];
-      new_dirty[k] = true;
-      changed.push_back(k);
+    constexpr std::size_t kGainBatch = std::size_t{1} << 16;
+    if (compact) {
+      staged.clear();
+      for (std::size_t base = 0; base < work.size(); base += kGainBatch) {
+        const std::size_t count = std::min(kGainBatch, work.size() - base);
+        gains.assign(count, Fed(dim));
+        pool.parallel_for(count, 1, round_body(base));
+        for (std::size_t i = 0; i < count; ++i) {
+          if (gains[i].is_empty()) continue;
+          GameSolution::PooledDelta pd{r, dbm::PooledFed(dim)};
+          pd.gained.assign(gains[i], *zpool);
+          staged.emplace_back(work[base + i], std::move(pd));
+        }
+      }
+      // Apply only after the whole round was computed (Jacobi).
+      for (auto& [k, pd] : staged) {
+        solution->deltas_pooled_[k].push_back(std::move(pd));
+        new_dirty[k] = true;
+        changed.push_back(k);
+      }
+    } else {
+      gains.assign(work.size(), Fed(dim));
+      pool.parallel_for(work.size(), 1, round_body(0));
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        if (gains[i].is_empty()) continue;
+        const std::uint32_t k = work[i];
+        solution->deltas_[k].push_back({r, gains[i]});
+        solution->win_all_[k] |= gains[i];
+        new_dirty[k] = true;
+        changed.push_back(k);
+      }
     }
     // Loss refresh (Reach \ Win) per changed key, again independent.
-    pool.parallel_for(changed.size(), 4,
-                      [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i) {
-                          const std::uint32_t k = changed[i];
-                          loss[k] = g.reach(k).minus(solution->win_all_[k]);
-                        }
-                      });
+    // compact: the subtraction fans out into staging slots, the
+    // re-compression (a pool write) stays serial in key order.
+    if (compact) {
+      for (std::size_t base = 0; base < changed.size(); base += kGainBatch) {
+        const std::size_t count = std::min(kGainBatch, changed.size() - base);
+        loss_staged.assign(count, Fed(dim));
+        pool.parallel_for(count, 4, [&](std::size_t begin, std::size_t end) {
+          Fed scratch(dim);
+          Fed win_k(dim);
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t k = changed[base + i];
+            win_fed(k, win_k);
+            loss_staged[i] = g.reach(k, scratch).minus(win_k);
+          }
+        });
+        // Loss sets are only read by the NEXT round's body, so batch
+        // application is safe; the pool write stays serial.
+        for (std::size_t i = 0; i < count; ++i) {
+          loss_pooled[changed[base + i]].assign(loss_staged[i], *zpool);
+          loss_staged[i] = Fed(dim);
+        }
+      }
+    } else {
+      pool.parallel_for(changed.size(), 4,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            const std::uint32_t k = changed[i];
+                            loss[k] = g.reach(k).minus(solution->win_all_[k]);
+                          }
+                        });
+    }
     for (const std::uint32_t k : changed) {
-      if (loss[k].is_empty()) saturated[k] = true;
+      const bool empty =
+          compact ? loss_pooled[k].is_empty() : loss[k].is_empty();
+      if (empty) saturated[k] = true;
     }
     dirty = std::move(new_dirty);
     rounds = r;
@@ -289,23 +485,28 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
 
   // Cumulative winning_up_to cache: per key, the union of the delta
   // prefix at every round but the last (the full prefix is win_all_).
-  // It's what the executor's per-decision lookups read.
-  solution->win_up_to_.assign(n, {});
-  pool.parallel_for(n, 16, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto k = static_cast<std::uint32_t>(i);
-      const auto& ds = solution->deltas_[k];
-      if (ds.size() < 2) continue;
-      auto& cum = solution->win_up_to_[k];
-      cum.reserve(ds.size() - 1);
-      Fed acc = ds.front().gained;
-      cum.push_back(acc);
-      for (std::size_t d = 1; d + 1 < ds.size(); ++d) {
-        acc |= ds[d].gained;
+  // It's what the executor's per-decision lookups read.  compact mode
+  // builds it lazily per touched key instead (GameSolution::
+  // materialized) — eagerly decoding every key would re-inflate the
+  // memory the pooled store just saved.
+  if (!compact) {
+    solution->win_up_to_.assign(n, {});
+    pool.parallel_for(n, 16, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto k = static_cast<std::uint32_t>(i);
+        const auto& ds = solution->deltas_[k];
+        if (ds.size() < 2) continue;
+        auto& cum = solution->win_up_to_[k];
+        cum.reserve(ds.size() - 1);
+        Fed acc = ds.front().gained;
         cum.push_back(acc);
+        for (std::size_t d = 1; d + 1 < ds.size(); ++d) {
+          acc |= ds[d].gained;
+          cum.push_back(acc);
+        }
       }
-    }
-  });
+    });
+  }
 
   // Stats.
   const auto gstats = g.stats();
@@ -314,8 +515,18 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   st.reach_zones = gstats.zones;
   st.edges = gstats.edges;
   st.rounds = rounds;
-  for (const Fed& w : solution->win_all_) st.winning_zones += w.size();
+  if (compact) {
+    for (const auto& pds : solution->deltas_pooled_) {
+      for (const auto& pd : pds) st.winning_zones += pd.gained.size();
+    }
+  } else {
+    for (const Fed& w : solution->win_all_) st.winning_zones += w.size();
+  }
   st.peak_zone_bytes = solve_peak_bytes;
+  st.explore_expand_seconds = gstats.expand_seconds;
+  st.explore_merge_seconds = gstats.merge_seconds;
+  st.zone_pool_rows = gstats.pool_rows;
+  st.zone_pool_bytes = gstats.pool_bytes;
   st.solve_seconds = watch.seconds();
   return solution;
 }

@@ -41,6 +41,23 @@
 // pred_t's endpoint must be a state the play can actually be in
 // (delay-closed reach zones make Reach[q] ⊇ every delay successor that
 // respects the invariant).  G ∩ Reach[q] is exact for the same reason.
+//
+// ── compact_zones ──────────────────────────────────────────────────────
+//
+// With SolverOptions::compact_zones the reach sets, the fixpoint's
+// loss cache and the solution's winning/delta federations are all
+// stored dictionary-compressed (dbm/zone_pool.h): a zone costs dim row
+// ids instead of an inline dim×dim matrix, which is what makes LEP
+// n = 6 strategy tables fit in CI-class memory.  Solutions are
+// BIT-IDENTICAL with the flag on or off (tests/zone_pool_test.cpp);
+// the executor-facing accessors (winning, deltas, winning_up_to,
+// rank) materialize a key's federations on first touch and cache them
+// — test execution visits a handful of keys per run, so serving stays
+// cheap while bulk storage stays compressed.  Caveat: consumers that
+// touch EVERY key (Strategy::to_string, decision::compile) fill that
+// cache completely and re-inflate to plain-mode memory — extract
+// strategies at the instance sizes plain mode can hold; compact_zones
+// buys the solve + verdict at sizes it cannot.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +68,7 @@
 #include <vector>
 
 #include "dbm/federation.h"
+#include "dbm/zone_pool.h"
 #include "semantics/symbolic.h"
 #include "tsystem/property.h"
 
@@ -65,6 +83,9 @@ struct SolverOptions {
   // at every value — work is distributed, results are merged in key
   // order (see solve()).
   unsigned threads = 0;
+  // Dictionary-compress all bulk zone storage (see the file comment).
+  // Mirrored into exploration.compact_zones by the solver.
+  bool compact_zones = false;
 };
 
 struct SolverStats {
@@ -75,6 +96,13 @@ struct SolverStats {
   std::size_t rounds = 0;
   std::size_t peak_zone_bytes = 0;
   double solve_seconds = 0.0;
+  // Exploration phase split: parallel wave expansion vs the serial
+  // seal+merge remainder (the striped interner shrinks the latter).
+  double explore_expand_seconds = 0.0;
+  double explore_merge_seconds = 0.0;
+  // Zone-pool dictionary stats (0 unless compact_zones).
+  std::size_t zone_pool_rows = 0;
+  std::size_t zone_pool_bytes = 0;
 };
 
 // The solved game: symbolic graph + ranked winning federations.
@@ -96,19 +124,16 @@ class GameSolution {
 
   [[nodiscard]] bool goal_key(std::uint32_t k) const { return goal_key_[k]; }
 
-  // Full winning federation of a key.
-  [[nodiscard]] const dbm::Fed& winning(std::uint32_t k) const {
-    return win_all_[k];
-  }
+  // Full winning federation of a key.  compact_zones: materialized and
+  // cached on first touch.
+  [[nodiscard]] const dbm::Fed& winning(std::uint32_t k) const;
   // Winning states of rank ≤ round.  Served from the cumulative
   // per-round cache built at solve time (the executor asks on every
   // decision; rebuilding the union federation per call dominated the
   // per-decision hot path).
   [[nodiscard]] const dbm::Fed& winning_up_to(std::uint32_t k,
                                               std::uint32_t round) const;
-  [[nodiscard]] const std::vector<Delta>& deltas(std::uint32_t k) const {
-    return deltas_[k];
-  }
+  [[nodiscard]] const std::vector<Delta>& deltas(std::uint32_t k) const;
 
   // Rank of a concrete valuation (ticks at `scale`), if winning.
   [[nodiscard]] std::optional<std::uint32_t> rank(
@@ -129,20 +154,44 @@ class GameSolution {
 
  private:
   friend class GameSolver;
+
+  struct PooledDelta {
+    std::uint32_t round;
+    dbm::PooledFed gained;
+  };
+  // A key's executor-facing federations, materialized from the pooled
+  // store on first access (compact mode only).
+  struct MaterializedKey {
+    dbm::Fed win;
+    std::vector<Delta> deltas;
+    std::vector<dbm::Fed> up_to;  // delta-prefix unions minus the last
+  };
+
+  [[nodiscard]] bool compact() const { return graph_->zones_compacted(); }
+  // Compact mode: materializes key k (idempotent, thread-safe) and
+  // returns its cache node; plain mode: nullptr.
+  const MaterializedKey* materialized(std::uint32_t k) const;
+
   std::unique_ptr<semantics::SymbolicGraph> graph_;
   tsystem::TestPurpose purpose_;
   std::vector<bool> goal_key_;
+  // Plain mode stores.  In compact mode win federations live ONLY in
+  // deltas_pooled_ (a key's winning set is the concatenation of its
+  // delta federations — gains are disjoint, so no filtering applies).
   std::vector<dbm::Fed> win_all_;
   std::vector<std::vector<Delta>> deltas_;
   // win_up_to_[k][i] = union of deltas_[k][0..i].gained, so
   // winning_up_to is a lookup instead of a federation rebuild.
   std::vector<std::vector<dbm::Fed>> win_up_to_;
+  // Compact mode stores.
+  std::vector<std::vector<PooledDelta>> deltas_pooled_;
+  mutable std::unordered_map<std::uint32_t, MaterializedKey> mat_cache_;
   dbm::Fed empty_fed_;  // returned for rounds before the first delta
-  // Action-region cache keyed by (edge index << 32 | round), guarded
-  // by *action_mutex_ (behind a pointer to keep the class movable).
-  // Node-based, so returned references survive rehashes; entries are
-  // immutable once inserted.
+  // Guards mat_cache_ and action_cache_ (behind pointers to keep the
+  // class movable).  Node-based maps, so returned references survive
+  // rehashes; entries are immutable once inserted.
   std::unique_ptr<std::shared_mutex> action_mutex_;
+  std::unique_ptr<std::shared_mutex> mat_mutex_;
   mutable std::unordered_map<std::uint64_t, dbm::Fed> action_cache_;
   SolverStats stats_;
 };

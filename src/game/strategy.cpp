@@ -65,14 +65,10 @@ Move Strategy::decide(const semantics::ConcreteState& state,
 }
 
 std::size_t Strategy::size() const {
-  std::size_t rows = 0;
-  const auto& g = solution_->graph();
-  for (std::uint32_t k = 0; k < g.key_count(); ++k) {
-    for (const GameSolution::Delta& d : solution_->deltas(k)) {
-      rows += d.gained.size();
-    }
-  }
-  return rows;
+  // = sum over keys of the delta-federation zone counts, which the
+  // solver already tallied — and, under compact_zones, counting via
+  // deltas(k) would materialize every key.
+  return solution_->stats().winning_zones;
 }
 
 std::string Strategy::to_string() const {

@@ -1,6 +1,7 @@
 #include "semantics/symbolic.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/assert.h"
 #include "util/memory_meter.h"
@@ -11,6 +12,7 @@ namespace tigat::semantics {
 
 using dbm::Dbm;
 using dbm::Fed;
+using dbm::raw_t;
 using tsystem::ClockConstraint;
 using tsystem::Edge;
 
@@ -35,48 +37,81 @@ SymbolicGraph::SymbolicGraph(const tsystem::System& system,
           std::max(max_constants_[i], options_.extra_max_constants[i]);
     }
   }
+  if (options_.compact_zones) {
+    pool_ = std::make_unique<dbm::ZonePool>(sys_->clock_count());
+  }
 }
 
 std::optional<std::uint32_t> SymbolicGraph::find_key(
     const DiscreteKey& key) const {
-  const auto it = key_lookup_.find(key.hash());
-  if (it == key_lookup_.end()) return std::nullopt;
-  for (const std::uint32_t k : it->second) {
-    if (keys_[k] == key) return k;
-  }
-  return std::nullopt;
+  const InternMap::Entry* e = intern_.find(key, key.hash());
+  if (e == nullptr || e->id == InternMap::kUnassigned) return std::nullopt;
+  return e->id;
 }
 
-std::uint32_t SymbolicGraph::intern_key(DiscreteKey key) {
-  if (const auto existing = find_key(key)) return *existing;
-  if (keys_.size() >= options_.max_keys) {
-    throw ExplorationLimit("discrete state limit exceeded");
+void SymbolicGraph::fill_invariant(InternMap::Entry& e) const {
+  // Invariants depend only on the location vector, so they are
+  // hash-consed in a side map: at LEP n = 6 scale, ~11M keys share a
+  // few dozen invariant zones instead of each carrying a Dbm.
+  std::size_t h = 0x811c9dc5u;
+  for (const tsystem::LocId l : e.key.locs) {
+    h ^= l + 0x9e3779b9u + (h << 6) + (h >> 2);
   }
-  const auto index = static_cast<std::uint32_t>(keys_.size());
-  key_lookup_[key.hash()].push_back(index);
-
-  // Cache the invariant zone of the new key.
-  Dbm inv = Dbm::universal(sys_->clock_count());
-  bool alive = true;
-  const auto& procs = sys_->processes();
-  for (std::uint32_t p = 0; p < procs.size() && alive; ++p) {
-    for (const ClockConstraint& c :
-         procs[p].locations()[key.locs[p]].invariant) {
-      if (!inv.constrain(c.i, c.j, c.bound)) {
-        alive = false;
-        break;
+  std::vector<tsystem::LocId> locs = e.key.locs;
+  auto [inv_entry, inserted] = invariants_.intern(std::move(locs), h, 0);
+  if (inserted) {
+    Dbm inv = Dbm::universal(sys_->clock_count());
+    bool alive = true;
+    const auto& procs = sys_->processes();
+    for (std::uint32_t p = 0; p < procs.size() && alive; ++p) {
+      for (const ClockConstraint& c :
+           procs[p].locations()[inv_entry->key[p]].invariant) {
+        if (!inv.constrain(c.i, c.j, c.bound)) {
+          alive = false;
+          break;
+        }
       }
     }
+    TIGAT_ASSERT(alive, "key with unsatisfiable invariant interned");
+    inv_entry->aux = std::move(inv);
   }
-  TIGAT_ASSERT(alive, "key with unsatisfiable invariant interned");
-  keys_.push_back(std::move(key));
-  reach_.emplace_back(sys_->clock_count());
-  invariants_.push_back(std::move(inv));
-  return index;
+  e.aux = &inv_entry->aux;
 }
 
-const Dbm& SymbolicGraph::invariant(std::uint32_t k) const {
-  return invariants_[k];
+void SymbolicGraph::seal_wave() {
+  const auto fresh = intern_.seal_wave();
+  // Seal the invariant side map too: its ids go unused, but sealing
+  // drains the pending lists and lets overloaded stripes rehash (a
+  // model with many distinct location vectors would otherwise degrade
+  // to linear chain scans).
+  invariants_.seal_wave();
+  if (intern_.size() > options_.max_keys) {
+    throw ExplorationLimit("discrete state limit exceeded");
+  }
+  const std::uint32_t dim = sys_->clock_count();
+  if (pool_ != nullptr) {
+    reach_pooled_.resize(intern_.size(), dbm::PooledFed(dim));
+  } else {
+    reach_.resize(intern_.size(), Fed(dim));
+  }
+  (void)fresh;
+}
+
+const Fed& SymbolicGraph::reach(std::uint32_t k) const {
+  TIGAT_ASSERT(pool_ == nullptr,
+               "plain reach() access with compact_zones on; pass a scratch");
+  return reach_[k];
+}
+
+const Fed& SymbolicGraph::reach(std::uint32_t k, Fed& scratch) const {
+  if (pool_ == nullptr) return reach_[k];
+  reach_pooled_[k].materialize(scratch, *pool_);
+  return scratch;
+}
+
+const dbm::PooledFed& SymbolicGraph::reach_pooled(std::uint32_t k) const {
+  TIGAT_ASSERT(pool_ != nullptr, "pooled reach access in plain mode");
+  return reach_pooled_[k];
 }
 
 void SymbolicGraph::collect_guard(const EdgeRef& ref, Dbm& zone,
@@ -141,7 +176,7 @@ std::optional<std::pair<DiscreteKey, Dbm>> SymbolicGraph::apply(
   if (inst.receiver) collect_guard(*inst.receiver, z, alive);
   if (!alive) return std::nullopt;
 
-  DiscreteKey key = keys_[src_key];
+  DiscreteKey key = this->key(src_key);
   apply_discrete_effects(*sys_, key, inst.primary);
   if (inst.receiver) apply_discrete_effects(*sys_, key, *inst.receiver);
 
@@ -169,158 +204,294 @@ std::optional<std::pair<DiscreteKey, Dbm>> SymbolicGraph::apply(
 
 void SymbolicGraph::explore(util::ThreadPool* pool) {
   if (explored_) return;
+  const std::uint32_t dim = sys_->clock_count();
 
   // Initial symbolic state.
   DiscreteKey init;
   for (const auto& p : sys_->processes()) init.locs.push_back(p.initial());
   init.data = sys_->data().initial_state();
 
-  Dbm z0 = Dbm::zero(sys_->clock_count());
-  const std::uint32_t k0 = intern_key(std::move(init));
   {
-    bool alive = !invariants_[k0].is_empty();
+    auto [entry, inserted] = intern_.intern(std::move(init), init.hash(), 0);
+    TIGAT_ASSERT(inserted, "fresh interner already held the initial key");
+    fill_invariant(*entry);
+    seal_wave();  // initial key gets id 0
+  }
+  Dbm z0 = Dbm::zero(dim);
+  {
+    const std::uint32_t k0 = 0;
+    bool alive = !invariant(k0).is_empty();
     Dbm z(z0);
-    if (alive) alive = z.intersect_with(invariants_[k0]);
+    if (alive) alive = z.intersect_with(invariant(k0));
     TIGAT_ASSERT(alive, "initial state violates invariants");
-    if (!time_frozen(*sys_, keys_[k0].locs)) {
+    if (!time_frozen(*sys_, key(k0).locs)) {
       z.up();
-      const bool ok = z.intersect_with(invariants_[k0]);
+      const bool ok = z.intersect_with(invariant(k0));
       TIGAT_ASSERT(ok, "initial delay closure empty");
     }
     if (options_.extrapolate) z.extrapolate_max_bounds(max_constants_);
-    reach_[k0].add(z);
+    z0 = z;
+    if (pool_ != nullptr) {
+      reach_pooled_[k0].add(z0, *pool_);
+    } else {
+      reach_[k0].add(z0);
+    }
   }
 
   // A FIFO queue drains in waves (everything currently queued is one
   // wave; its successors form the next).  Successor EXPANSION — the
-  // expensive Dbm work — only reads state fixed before the wave
-  // (keys_, invariants_, the wave's own zones), so it fans out over
-  // the pool into per-item slots; interning, edge recording and
-  // subsumption then run serially in item order, which is exactly the
-  // order the serial FIFO would have produced.
+  // expensive Dbm work — only reads state fixed before the wave (key
+  // entries, invariants, the wave's own zones), so it fans out over
+  // the pool into per-item slots.  Each successor's key is interned
+  // into the striped map right in the worker, tagged with its rank
+  // (wave item index, successor index) — the position the serial FIFO
+  // would process it at.  seal_wave() then numbers the new keys in
+  // rank order, and the serial merge records edges and applies
+  // subsumption in item order: the numbering, edge list and reach sets
+  // equal the serial algorithm's exactly, at any thread count.
+  //
+  // Waves are processed in BATCHES (expand a slice, seal, merge it,
+  // next slice) so the uncompressed successor buffers stay bounded —
+  // an n = 6 LEP frontier holds millions of zones.  Batching preserves
+  // the numbering: slices cover the wave in index order, and a key's
+  // first discovery lands in the earliest slice that mentions it, so
+  // per-slice rank-sorted sealing equals whole-wave sealing.  In
+  // compact mode the frontier itself is stored as row ids (the rows
+  // were interned when the zone entered reach) and decoded per item.
   struct Successor {
-    DiscreteKey key;
+    InternMap::Entry* entry;
     Dbm zone;
     TransitionInstance inst;
   };
-  std::vector<std::pair<std::uint32_t, Dbm>> wave;
-  std::vector<std::pair<std::uint32_t, Dbm>> next_wave;
+  constexpr std::uint64_t kRankShift = 24;  // successors per wave item
+  constexpr std::size_t kExpandBatch = 1u << 15;
+  const bool compact = pool_ != nullptr;
+  std::vector<std::pair<std::uint32_t, Dbm>> wave, next_wave;   // plain
+  std::vector<std::uint32_t> wave_keys, next_wave_keys;         // compact
+  std::vector<dbm::ZonePool::RowId> wave_rows, next_wave_rows;  // compact
   std::vector<std::vector<Successor>> expanded;
-  wave.emplace_back(k0, reach_[k0].zones().front());
+  if (compact) {
+    wave_keys.push_back(0);
+    raw_t row[64];
+    TIGAT_ASSERT(dim <= 64, "pooled storage caps the clock count at 64");
+    for (std::uint32_t r = 0; r < dim; ++r) {
+      for (std::uint32_t c = 0; c < dim; ++c) row[c] = z0.at(r, c);
+      wave_rows.push_back(pool_->intern_row(row));
+    }
+  } else {
+    wave.emplace_back(0u, std::move(z0));
+  }
+  const auto wave_count = [&] {
+    return compact ? wave_keys.size() : wave.size();
+  };
+  const auto wave_key_at = [&](std::size_t i) {
+    return compact ? wave_keys[i] : wave[i].first;
+  };
+  // Compact mode decodes the frontier zone into `into` and returns it;
+  // plain mode returns the stored zone by reference (no copy on the
+  // default path).
+  const auto wave_zone_at = [&](std::size_t i, Dbm& into) -> const Dbm& {
+    if (!compact) return wave[i].second;
+    raw_t cells[64 * 64];
+    for (std::uint32_t r = 0; r < dim; ++r) {
+      std::memcpy(cells + std::size_t{r} * dim,
+                  pool_->row(wave_rows[i * dim + r]), dim * sizeof(raw_t));
+    }
+    into = Dbm::from_raw(dim, cells);
+    return into;
+  };
 
   const util::Stopwatch watch;
   std::size_t zone_count = 1;
   std::size_t merged = 0;
-  while (!wave.empty()) {
-    expanded.assign(wave.size(), {});
-    const auto expand = [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        // Budget checks live here too, not only in the merge: a wide
-        // wave must not overshoot the deadline or the zone-byte cap by
-        // a whole wave's worth of expansion work.  (Throws propagate
-        // through ThreadPool::parallel_for.)
-        if (options_.deadline_seconds > 0.0 &&
+  while (wave_count() != 0) {
+    const std::size_t wave_size = wave_count();
+    for (std::size_t base = 0; base < wave_size; base += kExpandBatch) {
+      const std::size_t count = std::min(kExpandBatch, wave_size - base);
+      const double batch_start = watch.seconds();
+      expanded.assign(count, {});
+      const auto expand = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t li = begin; li < end; ++li) {
+          // Budget checks live here too, not only in the merge: a wide
+          // batch must not overshoot the deadline or the zone-byte cap
+          // by a whole batch's worth of expansion work.  (Throws
+          // propagate through ThreadPool::parallel_for.)
+          if (options_.deadline_seconds > 0.0 &&
+              watch.seconds() > options_.deadline_seconds) {
+            throw ExplorationLimit("exploration deadline exceeded");
+          }
+          if (util::zone_memory().current() > options_.max_zone_bytes) {
+            throw ExplorationLimit("zone memory budget exceeded");
+          }
+          // Sealed-key count is frozen during a batch, so this check is
+          // deterministic; it bounds the overshoot past max_keys to one
+          // batch's fan-out (seal_wave re-checks exactly).
+          if (intern_.size() > options_.max_keys) {
+            throw ExplorationLimit("discrete state limit exceeded");
+          }
+          const std::size_t gi = base + li;
+          const std::uint32_t k = wave_key_at(gi);
+          Dbm decoded;
+          const Dbm& z = wave_zone_at(gi, decoded);
+          std::vector<Successor>& out = expanded[li];
+          for (const TransitionInstance& inst :
+               instances_from(*sys_, key(k).locs)) {
+            // Data guards: evaluated once per (key, instance).
+            const auto data_ok = [&](const EdgeRef& ref) {
+              const Edge& e = sys_->processes()[ref.process].edges()[ref.edge];
+              return e.data_guard.eval_bool(key(k).data, sys_->data());
+            };
+            if (!data_ok(inst.primary)) continue;
+            if (inst.receiver && !data_ok(*inst.receiver)) continue;
+
+            auto next = apply(k, z, inst);
+            if (!next) continue;
+            if (options_.extrapolate) {
+              next->second.extrapolate_max_bounds(max_constants_);
+            }
+            TIGAT_ASSERT(out.size() < (1u << kRankShift),
+                         "successor fan-out exceeds the rank encoding");
+            const std::uint64_t rank =
+                (static_cast<std::uint64_t>(gi) << kRankShift) | out.size();
+            const std::size_t h = next->first.hash();
+            auto [entry, inserted] =
+                intern_.intern(std::move(next->first), h, rank);
+            if (inserted) fill_invariant(*entry);
+            out.push_back({entry, std::move(next->second), inst});
+          }
+        }
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(count, 1, expand);
+      } else {
+        expand(0, count);
+      }
+      const double expand_end = watch.seconds();
+      expand_seconds_ += expand_end - batch_start;
+
+      seal_wave();
+      for (std::size_t li = 0; li < count; ++li) {
+        const std::uint32_t k = wave_key_at(base + li);
+        if (options_.deadline_seconds > 0.0 && (++merged & 1023u) == 0 &&
             watch.seconds() > options_.deadline_seconds) {
           throw ExplorationLimit("exploration deadline exceeded");
         }
-        if (util::zone_memory().current() > options_.max_zone_bytes) {
-          throw ExplorationLimit("zone memory budget exceeded");
-        }
-        const std::uint32_t k = wave[i].first;
-        const Dbm& z = wave[i].second;
-        std::vector<Successor>& out = expanded[i];
-        for (const TransitionInstance& inst :
-             instances_from(*sys_, keys_[k].locs)) {
-          // Data guards: evaluated once per (key, instance).
-          const auto data_ok = [&](const EdgeRef& ref) {
-            const Edge& e = sys_->processes()[ref.process].edges()[ref.edge];
-            return e.data_guard.eval_bool(keys_[k].data, sys_->data());
-          };
-          if (!data_ok(inst.primary)) continue;
-          if (inst.receiver && !data_ok(*inst.receiver)) continue;
-
-          auto next = apply(k, z, inst);
-          if (!next) continue;
-          if (options_.extrapolate) {
-            next->second.extrapolate_max_bounds(max_constants_);
+        for (Successor& s : expanded[li]) {
+          const std::uint32_t kd = s.entry->id;
+          // Record the symbolic edge once per (src, instance, dst); the
+          // out-index doubles as the exact dedup structure.
+          if (out_building_.size() < intern_.size()) {
+            out_building_.resize(intern_.size());
           }
-          out.push_back(
-              {std::move(next->first), std::move(next->second), inst});
+          bool duplicate = false;
+          for (const std::uint32_t ei : out_building_[k]) {
+            if (edges_[ei].dst == kd && edges_[ei].inst == s.inst) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) {
+            out_building_[k].push_back(
+                static_cast<std::uint32_t>(edges_.size()));
+            // Explicit +12.5% growth: at LEP n = 6 the edge list is
+            // ~3 GB, so the default doubling would spike the peak by
+            // that much on one realloc.
+            if (edges_.size() == edges_.capacity() &&
+                edges_.capacity() > (std::size_t{1} << 20)) {
+              edges_.reserve(edges_.capacity() + edges_.capacity() / 8);
+            }
+            edges_.push_back({k, kd, s.inst});
+          }
+
+          // Subsumption: skip zones already covered by a single member.
+          const bool covered =
+              compact ? reach_pooled_[kd].covers(s.zone, *pool_)
+                      : std::any_of(reach_[kd].zones().begin(),
+                                    reach_[kd].zones().end(),
+                                    [&](const Dbm& e) {
+                                      return s.zone.is_subset_of(e);
+                                    });
+          if (covered) continue;
+          if (compact) {
+            const bool appended = reach_pooled_[kd].add(s.zone, *pool_);
+            TIGAT_ASSERT(appended,
+                         "zone passed the subsumption check but add() "
+                         "dropped it");
+            next_wave_keys.push_back(kd);
+            // Reuse the row ids add() just interned for this zone.
+            const auto ids = reach_pooled_[kd].last_zone_ids();
+            next_wave_rows.insert(next_wave_rows.end(), ids.begin(),
+                                  ids.end());
+          } else {
+            reach_[kd].add(s.zone);
+            next_wave.emplace_back(kd, std::move(s.zone));
+          }
+          ++zone_count;
+          if (zone_count > options_.max_zones) {
+            throw ExplorationLimit("zone limit exceeded");
+          }
+          if (util::zone_memory().current() > options_.max_zone_bytes) {
+            throw ExplorationLimit("zone memory budget exceeded");
+          }
         }
       }
-    };
-    if (pool != nullptr) {
-      pool->parallel_for(wave.size(), 1, expand);
+      merge_seconds_ += watch.seconds() - expand_end;
+    }
+    if (compact) {
+      wave_keys.swap(next_wave_keys);
+      wave_rows.swap(next_wave_rows);
+      next_wave_keys.clear();
+      next_wave_rows.clear();
     } else {
-      expand(0, wave.size());
+      wave.swap(next_wave);
+      next_wave.clear();
     }
-
-    next_wave.clear();
-    for (std::size_t i = 0; i < wave.size(); ++i) {
-      const std::uint32_t k = wave[i].first;
-      if (options_.deadline_seconds > 0.0 && (++merged & 1023u) == 0 &&
-          watch.seconds() > options_.deadline_seconds) {
-        throw ExplorationLimit("exploration deadline exceeded");
-      }
-      for (Successor& s : expanded[i]) {
-        const std::uint32_t kd = intern_key(std::move(s.key));
-        // Record the symbolic edge once per (src, instance, dst); the
-        // out-index doubles as the exact dedup structure.
-        if (out_index_.size() < keys_.size()) out_index_.resize(keys_.size());
-        bool duplicate = false;
-        for (const std::uint32_t ei : out_index_[k]) {
-          if (edges_[ei].dst == kd && edges_[ei].inst == s.inst) {
-            duplicate = true;
-            break;
-          }
-        }
-        if (!duplicate) {
-          out_index_[k].push_back(static_cast<std::uint32_t>(edges_.size()));
-          edges_.push_back({k, kd, s.inst});
-        }
-
-        // Subsumption: skip zones already covered by a single member.
-        bool covered = false;
-        for (const Dbm& existing : reach_[kd].zones()) {
-          if (s.zone.is_subset_of(existing)) {
-            covered = true;
-            break;
-          }
-        }
-        if (covered) continue;
-        reach_[kd].add(s.zone);
-        ++zone_count;
-        if (zone_count > options_.max_zones) {
-          throw ExplorationLimit("zone limit exceeded");
-        }
-        if (util::zone_memory().current() > options_.max_zone_bytes) {
-          throw ExplorationLimit("zone memory budget exceeded");
-        }
-        next_wave.emplace_back(kd, std::move(s.zone));
-      }
-    }
-    wave.swap(next_wave);
   }
 
-  build_edge_index();
+  {
+    const double t0 = watch.seconds();
+    build_edge_index();
+    merge_seconds_ += watch.seconds() - t0;
+  }
   explored_ = true;
 }
 
 void SymbolicGraph::build_edge_index() {
-  out_index_.resize(keys_.size());
-  in_index_.assign(keys_.size(), {});
+  const std::size_t n = intern_.size();
+  out_building_.resize(n);
+  // Flatten the incrementally built out-index and count-prefix-fill the
+  // in-index, both as CSR (offsets + one flat array): at large n the
+  // per-key vector headers dominate the index payload.
+  out_off_.assign(n + 1, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    out_off_[k + 1] =
+        out_off_[k] + static_cast<std::uint32_t>(out_building_[k].size());
+  }
+  out_flat_.resize(edges_.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    std::copy(out_building_[k].begin(), out_building_[k].end(),
+              out_flat_.begin() + out_off_[k]);
+  }
+  out_building_.clear();
+  out_building_.shrink_to_fit();
+
+  in_off_.assign(n + 1, 0);
+  for (const SymbolicEdge& e : edges_) ++in_off_[e.dst + 1];
+  for (std::size_t k = 0; k < n; ++k) in_off_[k + 1] += in_off_[k];
+  in_flat_.resize(edges_.size());
+  std::vector<std::uint32_t> cursor(in_off_.begin(), in_off_.end() - 1);
   for (std::uint32_t i = 0; i < edges_.size(); ++i) {
-    in_index_[edges_[i].dst].push_back(i);
+    in_flat_[cursor[edges_[i].dst]++] = i;
   }
 }
 
 std::span<const std::uint32_t> SymbolicGraph::edges_out(
     std::uint32_t k) const {
-  return out_index_[k];
+  return {out_flat_.data() + out_off_[k], out_off_[k + 1] - out_off_[k]};
 }
 
 std::span<const std::uint32_t> SymbolicGraph::edges_in(std::uint32_t k) const {
-  return in_index_[k];
+  return {in_flat_.data() + in_off_[k], in_off_[k + 1] - in_off_[k]};
 }
 
 Fed SymbolicGraph::pred_through(const SymbolicEdge& e,
@@ -349,10 +520,18 @@ Fed SymbolicGraph::pred_through(const SymbolicEdge& e,
 
 SymbolicGraph::Stats SymbolicGraph::stats() const {
   Stats s;
-  s.keys = keys_.size();
+  s.keys = intern_.size();
   s.edges = edges_.size();
-  for (const Fed& f : reach_) s.zones += f.size();
+  if (pool_ != nullptr) {
+    for (const dbm::PooledFed& f : reach_pooled_) s.zones += f.size();
+    s.pool_rows = pool_->row_count();
+    s.pool_bytes = pool_->memory_bytes();
+  } else {
+    for (const Fed& f : reach_) s.zones += f.size();
+  }
   s.peak_zone_bytes = util::zone_memory().peak();
+  s.expand_seconds = expand_seconds_;
+  s.merge_seconds = merge_seconds_;
   return s;
 }
 

@@ -14,18 +14,30 @@
 // abstraction UPPAAL-TIGA applies during timed-game solving; the
 // region-solver cross-check in tests/game_solver_test.cpp exercises
 // this implementation against an extrapolation-free oracle.
+//
+// Scale features (see explore() for the wave protocol):
+//   * keys live in a striped concurrent interner
+//     (util/striped_intern.h): workers intern during wave expansion,
+//     numbering is assigned between waves in deterministic
+//     first-encounter order — bit-identical at any thread count;
+//   * with ExplorationOptions::compact_zones the reach federations are
+//     dictionary-compressed (dbm/zone_pool.h): each stored zone is dim
+//     row ids into a shared hash-consed row dictionary, which is what
+//     lets LEP n ≥ 6 tables fit in CI-class memory.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "dbm/federation.h"
+#include "dbm/zone_pool.h"
 #include "semantics/transition.h"
 #include "tsystem/system.h"
+#include "util/striped_intern.h"
 
 namespace tigat::util {
 class ThreadPool;
@@ -58,13 +70,20 @@ struct ExplorationOptions {
   bool extrapolate = true;
   // Extra max constants merged over the system's (e.g. from a goal).
   std::vector<dbm::bound_t> extra_max_constants;
-  std::size_t max_keys = 1u << 22;
-  std::size_t max_zones = 1u << 24;
+  // Hard count caps (runaway guards; LEP n = 6 needs ~11M keys / ~28M
+  // zones, so the caps sit above that).  max_zone_bytes is the
+  // mechanism for bounding actual memory.
+  std::size_t max_keys = std::size_t{1} << 25;
+  std::size_t max_zones = std::size_t{1} << 27;
   // Abort when the zone-memory meter exceeds this many bytes.
   std::size_t max_zone_bytes = std::numeric_limits<std::size_t>::max();
   // Wall-clock budget for exploration (seconds); 0 = unlimited.  Used
   // by the Table 1 harness to reproduce the paper's "/" cells.
   double deadline_seconds = 0.0;
+  // Store reach federations dictionary-compressed (dbm/zone_pool.h).
+  // Opt-in: reach() then needs a scratch federation to materialize
+  // into.  Solutions are bit-identical either way.
+  bool compact_zones = false;
 };
 
 class SymbolicGraph {
@@ -75,29 +94,43 @@ class SymbolicGraph {
   // Runs forward exploration to the fixpoint (or throws
   // ExplorationLimit).  Idempotent.
   //
-  // With a pool, the frontier is processed in WAVES: every state of the
-  // current wave expands its successors on a worker (the expensive part
-  // — guard collection, resets, closure, extrapolation), then a serial
-  // merge interns keys, records edges and applies subsumption in wave
-  // order.  Because the serial algorithm's FIFO also drains the queue
-  // wave by wave, the merge visits successors in exactly the serial
-  // order — key numbering, edge order and reach federations are
+  // With a pool, the frontier is processed in WAVES: every state of
+  // the current wave expands its successors on a worker (the expensive
+  // part — guard collection, resets, closure, extrapolation) and
+  // interns the successor key into the striped map right there,
+  // tagging it with its deterministic serial-order rank.  Between
+  // waves the new keys are numbered in rank order (= the order the
+  // serial FIFO would have discovered them), then a serial merge
+  // records edges and applies subsumption in wave order.  Key
+  // numbering, edge order and reach federations are therefore
   // bit-identical at any thread count.
   void explore(util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] const tsystem::System& system() const { return *sys_; }
   [[nodiscard]] std::uint32_t key_count() const {
-    return static_cast<std::uint32_t>(keys_.size());
+    return static_cast<std::uint32_t>(intern_.size());
   }
   [[nodiscard]] const DiscreteKey& key(std::uint32_t k) const {
-    return keys_[k];
-  }
-  [[nodiscard]] const dbm::Fed& reach(std::uint32_t k) const {
-    return reach_[k];
+    return intern_.entry(k)->key;
   }
   [[nodiscard]] std::uint32_t initial_key() const { return 0; }
   [[nodiscard]] std::optional<std::uint32_t> find_key(
       const DiscreteKey& key) const;
+
+  // ── reach federations ────────────────────────────────────────────────
+  [[nodiscard]] bool zones_compacted() const { return pool_ != nullptr; }
+  [[nodiscard]] const dbm::ZonePool* zone_pool() const { return pool_.get(); }
+  [[nodiscard]] dbm::ZonePool* zone_pool() { return pool_.get(); }
+
+  // Plain storage only; asserts when compact_zones is on.
+  [[nodiscard]] const dbm::Fed& reach(std::uint32_t k) const;
+  // Mode-independent: returns the stored federation (plain) or
+  // materializes it into `scratch` and returns that (compact).  The
+  // result is bit-identical across modes.
+  [[nodiscard]] const dbm::Fed& reach(std::uint32_t k,
+                                      dbm::Fed& scratch) const;
+  // Compact storage only; asserts in plain mode.
+  [[nodiscard]] const dbm::PooledFed& reach_pooled(std::uint32_t k) const;
 
   [[nodiscard]] const std::vector<SymbolicEdge>& edges() const {
     return edges_;
@@ -105,8 +138,12 @@ class SymbolicGraph {
   [[nodiscard]] std::span<const std::uint32_t> edges_out(std::uint32_t k) const;
   [[nodiscard]] std::span<const std::uint32_t> edges_in(std::uint32_t k) const;
 
-  // Invariant zone of a key (cached).
-  [[nodiscard]] const dbm::Dbm& invariant(std::uint32_t k) const;
+  // Invariant zone of a key (hash-consed per location vector at intern
+  // time — invariants ignore the data valuation, so millions of keys
+  // share a handful of invariant zones).
+  [[nodiscard]] const dbm::Dbm& invariant(std::uint32_t k) const {
+    return *intern_.entry(k)->aux;
+  }
 
   // Predecessor through an edge: states satisfying the edge's clock
   // guards whose reset image lies in `target`.  NOT intersected with
@@ -126,6 +163,13 @@ class SymbolicGraph {
     std::size_t zones = 0;
     std::size_t edges = 0;
     std::size_t peak_zone_bytes = 0;
+    // Wave-expansion (parallel) vs seal+merge (serial) wall time; the
+    // merge share is the Amdahl cap the striped interner attacks.
+    double expand_seconds = 0.0;
+    double merge_seconds = 0.0;
+    // Zone-pool dictionary stats (0 when compact_zones is off).
+    std::size_t pool_rows = 0;
+    std::size_t pool_bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -134,7 +178,18 @@ class SymbolicGraph {
   }
 
  private:
-  std::uint32_t intern_key(DiscreteKey key);
+  // Key entries point at their hash-consed invariant zone; the
+  // invariant map is keyed on the location vector alone.
+  using InternMap = util::StripedInternMap<DiscreteKey, const dbm::Dbm*>;
+  using InvariantMap =
+      util::StripedInternMap<std::vector<tsystem::LocId>, dbm::Dbm>;
+
+  // Resolves (interning if new) the invariant zone of a freshly
+  // interned key — the inserting worker's one-time aux write.
+  void fill_invariant(InternMap::Entry& e) const;
+  // Numbers the keys interned during the last wave and grows the
+  // per-key stores; throws on the key limit.
+  void seal_wave();
   void collect_guard(const EdgeRef& ref, dbm::Dbm& zone, bool& alive) const;
   void build_edge_index();
 
@@ -142,13 +197,21 @@ class SymbolicGraph {
   ExplorationOptions options_;
   std::vector<dbm::bound_t> max_constants_;
 
-  std::vector<DiscreteKey> keys_;
-  std::unordered_map<std::size_t, std::vector<std::uint32_t>> key_lookup_;
-  std::vector<dbm::Fed> reach_;
-  std::vector<dbm::Dbm> invariants_;
+  InternMap intern_;
+  mutable InvariantMap invariants_{/*stripes=*/8};
+  std::vector<dbm::Fed> reach_;              // plain mode
+  std::unique_ptr<dbm::ZonePool> pool_;      // compact mode
+  std::vector<dbm::PooledFed> reach_pooled_;  // compact mode
   std::vector<SymbolicEdge> edges_;
-  std::vector<std::vector<std::uint32_t>> out_index_;
-  std::vector<std::vector<std::uint32_t>> in_index_;
+  // During exploration the out-edges per key grow incrementally (the
+  // dedup structure of the merge); build_edge_index() flattens both
+  // directions into CSR arrays — at LEP n = 6 scale the per-key vector
+  // headers alone are hundreds of MB.
+  std::vector<std::vector<std::uint32_t>> out_building_;
+  std::vector<std::uint32_t> out_flat_, out_off_;
+  std::vector<std::uint32_t> in_flat_, in_off_;
+  double expand_seconds_ = 0.0;
+  double merge_seconds_ = 0.0;
   bool explored_ = false;
 };
 

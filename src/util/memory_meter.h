@@ -69,6 +69,12 @@ class MemoryMeter {
 // Process-wide meter used by the zone layer.
 MemoryMeter& zone_memory() noexcept;
 
+// Process high-water RSS from the OS (0 where unsupported).  The
+// counters above measure the zone layer exactly; this measures
+// everything — keys, edges, allocator overhead — and is what the
+// bench harness reports alongside them.
+std::size_t peak_rss_bytes() noexcept;
+
 double to_mebibytes(std::size_t bytes) noexcept;
 
 }  // namespace tigat::util

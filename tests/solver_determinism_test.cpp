@@ -1,10 +1,12 @@
 // Thread-count determinism of the parallel solving pipeline.
 //
 // SolverOptions::threads promises bit-identical results at any value:
-// exploration interns keys in serial-FIFO order whatever the pool size,
-// and the Jacobi fixpoint stages per-key gains that are merged in key
-// index order.  This test solves the LEP (n = 4) and the Smart Light
-// with 1, 2 and 8 threads and asserts identical verdicts, per-key
+// exploration interns keys CONCURRENTLY into the striped map
+// (util/striped_intern.h) but numbers them in serial-FIFO rank order
+// whatever the pool size, and the Jacobi fixpoint stages per-key gains
+// that are merged in key index order.  This test solves the LEP
+// (n = 4) and the Smart Light with 1, 2 and 8 threads — with
+// compact_zones off AND on — and asserts identical verdicts, per-key
 // winning federations, ranks/round counts, and strategy-guided traces.
 // It is the test the CI ThreadSanitizer job leans on.
 #include <gtest/gtest.h>
@@ -26,9 +28,11 @@ namespace {
 using tsystem::TestPurpose;
 
 std::shared_ptr<const GameSolution> solve_with_threads(
-    const tsystem::System& sys, const std::string& prop, unsigned threads) {
+    const tsystem::System& sys, const std::string& prop, unsigned threads,
+    bool compact = false) {
   SolverOptions options;
   options.threads = threads;
+  options.compact_zones = compact;
   GameSolver solver(sys, TestPurpose::parse(sys, prop), options);
   return solver.solve();
 }
@@ -44,11 +48,14 @@ void expect_same_solution(const GameSolution& a, const GameSolution& b,
   EXPECT_EQ(a.stats().reach_zones, b.stats().reach_zones);
   EXPECT_EQ(a.stats().winning_zones, b.stats().winning_zones);
   ASSERT_EQ(a.graph().key_count(), b.graph().key_count());
+  dbm::Fed scratch_a(a.graph().system().clock_count());
+  dbm::Fed scratch_b(b.graph().system().clock_count());
   for (std::uint32_t k = 0; k < a.graph().key_count(); ++k) {
     // Key numbering must agree exactly, not just up to permutation.
     ASSERT_EQ(a.graph().key(k).locs, b.graph().key(k).locs) << "key " << k;
     EXPECT_EQ(a.goal_key(k), b.goal_key(k)) << "key " << k;
-    EXPECT_TRUE(a.graph().reach(k).same_set_as(b.graph().reach(k)))
+    EXPECT_TRUE(a.graph().reach(k, scratch_a)
+                    .same_set_as(b.graph().reach(k, scratch_b)))
         << "reach of key " << k;
     EXPECT_TRUE(a.winning(k).same_set_as(b.winning(k))) << "key " << k;
     const auto& da = a.deltas(k);
@@ -73,6 +80,19 @@ TEST(SolverDeterminism, LepN4AcrossThreadCounts) {
     expect_same_solution(*base, *sol, threads);
     // The textual strategy is the artifact a tester ships; identical
     // federations must render identically.
+    EXPECT_EQ(Strategy(base).to_string(), Strategy(sol).to_string());
+  }
+}
+
+TEST(SolverDeterminism, LepN4CompactZonesAcrossThreadCounts) {
+  // The striped interner + pooled storage path: compact solutions at
+  // every thread count must equal the plain serial solution exactly.
+  models::Lep lep = models::make_lep({.nodes = 4});
+  const auto base = solve_with_threads(lep.system, models::lep_tp1(), 1);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto sol = solve_with_threads(lep.system, models::lep_tp1(), threads,
+                                        /*compact=*/true);
+    expect_same_solution(*base, *sol, threads);
     EXPECT_EQ(Strategy(base).to_string(), Strategy(sol).to_string());
   }
 }

@@ -1,0 +1,258 @@
+// dbm::ZonePool / dbm::PooledFed — dictionary-compressed zone storage.
+//
+// Two layers of guarantees:
+//   1. representation: a PooledFed mirrors Fed::add's filtering and
+//      member ORDER exactly, so compress → materialize round-trips to
+//      a bit-identical federation (operator== per zone, same order);
+//   2. end to end: GameSolver with compact_zones on and off produces
+//      identical solutions — keys, reach sets, winning federations,
+//      deltas, ranks and rendered strategies.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dbm/zone_pool.h"
+#include "game/solver.h"
+#include "game/strategy.h"
+#include "models/lep.h"
+#include "models/smart_light.h"
+#include "util/rng.h"
+
+namespace tigat::dbm {
+namespace {
+
+// Random non-empty zone over `dim` clocks: constrain a universal zone
+// with a handful of random (i, j, bound) facets; retry on emptiness.
+Dbm random_zone(util::Rng& rng, std::uint32_t dim) {
+  for (;;) {
+    Dbm z = Dbm::universal(dim);
+    bool alive = true;
+    const int facets = static_cast<int>(rng.range(1, 2 * dim));
+    for (int f = 0; f < facets && alive; ++f) {
+      const auto i = static_cast<std::uint32_t>(rng.range(0, dim - 1));
+      const auto j = static_cast<std::uint32_t>(rng.range(0, dim - 1));
+      if (i == j) continue;
+      const auto c = static_cast<bound_t>(rng.range(i == 0 ? -8 : 0, 10));
+      const raw_t b = rng.chance(1, 2) ? make_weak(c) : make_strict(c);
+      alive = z.constrain(i, j, b);
+    }
+    if (alive) return z;
+  }
+}
+
+TEST(ZonePool, RowInterningDeduplicates) {
+  ZonePool pool(3);
+  const raw_t row_a[3] = {kLeZero, make_weak(-1), make_weak(-2)};
+  const raw_t row_b[3] = {make_weak(5), kLeZero, kInfinity};
+  const auto a1 = pool.intern_row(row_a);
+  const auto b1 = pool.intern_row(row_b);
+  const auto a2 = pool.intern_row(row_a);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b1);
+  EXPECT_EQ(pool.row_count(), 2u);
+  EXPECT_EQ(0, std::memcmp(pool.row(a1), row_a, sizeof row_a));
+  EXPECT_EQ(0, std::memcmp(pool.row(b1), row_b, sizeof row_b));
+}
+
+// The core mirror property: feed the SAME random zone stream to a Fed
+// (via add) and a PooledFed (via add); at every step the materialized
+// PooledFed must equal the Fed bit for bit, including member order.
+TEST(ZonePool, AddMirrorsFedExactly) {
+  for (const std::uint32_t dim : {2u, 3u, 4u}) {
+    SCOPED_TRACE("dim=" + std::to_string(dim));
+    util::Rng rng(42 + dim);
+    ZonePool pool(dim);
+    for (int trial = 0; trial < 30; ++trial) {
+      Fed fed(dim);
+      PooledFed pooled(dim);
+      Fed materialized(dim);
+      for (int step = 0; step < 25; ++step) {
+        const Dbm z = random_zone(rng, dim);
+        fed.add(z);
+        pooled.add(z, pool);
+        ASSERT_EQ(pooled.size(), fed.size());
+        pooled.materialize(materialized, pool);
+        ASSERT_EQ(materialized.size(), fed.size());
+        for (std::size_t m = 0; m < fed.size(); ++m) {
+          ASSERT_TRUE(materialized.zones()[m] == fed.zones()[m])
+              << "trial " << trial << " step " << step << " member " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(ZonePool, CoversMatchesSingleMemberSubsumption) {
+  util::Rng rng(7);
+  const std::uint32_t dim = 3;
+  ZonePool pool(dim);
+  Fed fed(dim);
+  PooledFed pooled(dim);
+  for (int i = 0; i < 40; ++i) {
+    const Dbm z = random_zone(rng, dim);
+    fed.add(z);
+    pooled.add(z, pool);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Dbm probe = random_zone(rng, dim);
+    bool plain = false;
+    for (const Dbm& member : fed.zones()) {
+      if (probe.is_subset_of(member)) {
+        plain = true;
+        break;
+      }
+    }
+    EXPECT_EQ(pooled.covers(probe, pool), plain) << "probe " << i;
+  }
+}
+
+TEST(ZonePool, ContainsPointMatchesMaterialized) {
+  util::Rng rng(11);
+  const std::uint32_t dim = 3;
+  ZonePool pool(dim);
+  PooledFed pooled(dim);
+  Fed fed(dim);
+  for (int i = 0; i < 20; ++i) {
+    const Dbm z = random_zone(rng, dim);
+    fed.add(z);
+    pooled.add(z, pool);
+  }
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::int64_t> point(dim, 0);
+    for (std::uint32_t c = 1; c < dim; ++c) point[c] = rng.range(0, 12);
+    EXPECT_EQ(pooled.contains_point(point, pool), fed.contains_point(point))
+        << "point trial " << i;
+  }
+}
+
+TEST(ZonePool, AssignRoundTripsArbitraryFeds) {
+  util::Rng rng(13);
+  const std::uint32_t dim = 4;
+  ZonePool pool(dim);
+  for (int trial = 0; trial < 20; ++trial) {
+    Fed fed(dim);
+    for (int i = 0; i < 10; ++i) fed.add(random_zone(rng, dim));
+    PooledFed pooled(dim);
+    pooled.assign(fed, pool);
+    Fed back(dim);
+    pooled.materialize(back, pool);
+    ASSERT_EQ(back.size(), fed.size());
+    for (std::size_t m = 0; m < fed.size(); ++m) {
+      EXPECT_TRUE(back.zones()[m] == fed.zones()[m]) << "member " << m;
+    }
+  }
+}
+
+// End to end: compact_zones on/off solve to identical solutions.
+void expect_identical_solutions(const tsystem::System& sys,
+                                const std::string& prop) {
+  using game::GameSolution;
+  using game::GameSolver;
+  using game::SolverOptions;
+  using game::Strategy;
+
+  SolverOptions plain_opt;
+  plain_opt.threads = 1;
+  GameSolver plain_solver(sys, tsystem::TestPurpose::parse(sys, prop),
+                          plain_opt);
+  const auto plain = plain_solver.solve();
+
+  SolverOptions compact_opt;
+  compact_opt.threads = 1;
+  compact_opt.compact_zones = true;
+  GameSolver compact_solver(sys, tsystem::TestPurpose::parse(sys, prop),
+                            compact_opt);
+  const auto compact = compact_solver.solve();
+
+  EXPECT_EQ(plain->winning_from_initial(), compact->winning_from_initial());
+  EXPECT_EQ(plain->stats().rounds, compact->stats().rounds);
+  EXPECT_EQ(plain->stats().reach_zones, compact->stats().reach_zones);
+  EXPECT_EQ(plain->stats().winning_zones, compact->stats().winning_zones);
+  ASSERT_EQ(plain->graph().key_count(), compact->graph().key_count());
+  EXPECT_GT(compact->stats().zone_pool_rows, 0u);
+  EXPECT_EQ(plain->stats().zone_pool_rows, 0u);
+
+  Fed scratch(sys.clock_count());
+  for (std::uint32_t k = 0; k < plain->graph().key_count(); ++k) {
+    ASSERT_EQ(plain->graph().key(k).locs, compact->graph().key(k).locs)
+        << "key " << k;
+    // Reach sets must be bit-identical (zone by zone, same order), not
+    // just equal as point sets.
+    const Fed& pr = plain->graph().reach(k);
+    const Fed& cr = compact->graph().reach(k, scratch);
+    ASSERT_EQ(pr.size(), cr.size()) << "key " << k;
+    for (std::size_t z = 0; z < pr.size(); ++z) {
+      ASSERT_TRUE(pr.zones()[z] == cr.zones()[z]) << "key " << k << " zone "
+                                                  << z;
+    }
+    // Winning federations and deltas via the materializing accessors.
+    const Fed& pw = plain->winning(k);
+    const Fed& cw = compact->winning(k);
+    ASSERT_EQ(pw.size(), cw.size()) << "key " << k;
+    for (std::size_t z = 0; z < pw.size(); ++z) {
+      ASSERT_TRUE(pw.zones()[z] == cw.zones()[z]) << "key " << k;
+    }
+    const auto& pd = plain->deltas(k);
+    const auto& cd = compact->deltas(k);
+    ASSERT_EQ(pd.size(), cd.size()) << "key " << k;
+    for (std::size_t d = 0; d < pd.size(); ++d) {
+      EXPECT_EQ(pd[d].round, cd[d].round) << "key " << k;
+      ASSERT_EQ(pd[d].gained.size(), cd[d].gained.size()) << "key " << k;
+      for (std::size_t z = 0; z < pd[d].gained.size(); ++z) {
+        ASSERT_TRUE(pd[d].gained.zones()[z] == cd[d].gained.zones()[z])
+            << "key " << k << " delta " << d;
+      }
+      EXPECT_TRUE(plain->winning_up_to(k, pd[d].round)
+                      .same_set_as(compact->winning_up_to(k, cd[d].round)))
+          << "key " << k;
+    }
+  }
+  // The rendered strategy exercises action_region / winning_up_to on
+  // the compact path end to end.
+  EXPECT_EQ(Strategy(plain).to_string(), Strategy(compact).to_string());
+}
+
+TEST(ZonePoolSolver, SmartLightCompactOnOffIdentical) {
+  models::SmartLight spec = models::make_smart_light();
+  expect_identical_solutions(spec.system, "control: A<> IUT.Bright");
+  expect_identical_solutions(spec.system, "control: A<> IUT.Dim");
+}
+
+TEST(ZonePoolSolver, LepN3CompactOnOffIdentical) {
+  models::Lep lep = models::make_lep({.nodes = 3});
+  expect_identical_solutions(lep.system, models::lep_tp1());
+  expect_identical_solutions(lep.system, models::lep_tp3());
+}
+
+TEST(ZonePoolSolver, CompactReportsCompressedFootprint) {
+  // The Table 1 memory column must reflect the compressed store: the
+  // same game solved compact must peak well below plain.
+  models::Lep lep = models::make_lep({.nodes = 4});
+  // Scoped so the first solution's zones are gone before the second
+  // solve samples its peak (solve() restarts the high-water mark from
+  // the bytes still live).
+  std::size_t plain_peak = 0;
+  {
+    game::SolverOptions opt;
+    opt.threads = 1;
+    game::GameSolver solver(
+        lep.system, tsystem::TestPurpose::parse(lep.system, models::lep_tp1()),
+        opt);
+    plain_peak = solver.solve()->stats().peak_zone_bytes;
+  }
+  std::size_t compact_peak = 0;
+  {
+    game::SolverOptions opt;
+    opt.threads = 1;
+    opt.compact_zones = true;
+    game::GameSolver solver(
+        lep.system, tsystem::TestPurpose::parse(lep.system, models::lep_tp1()),
+        opt);
+    compact_peak = solver.solve()->stats().peak_zone_bytes;
+  }
+  EXPECT_LT(compact_peak, plain_peak / 2);
+}
+
+}  // namespace
+}  // namespace tigat::dbm
