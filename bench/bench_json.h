@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/memory_meter.h"
+
 namespace tigat::benchio {
 
 // Resolved output path, or "" when JSON output was not requested.
@@ -110,6 +112,12 @@ class JsonObject {
   void raw(std::string_view key, std::string rendered) {
     fields_.emplace_back(std::string(key), std::move(rendered));
   }
+  [[nodiscard]] bool has(std::string_view key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
 
   [[nodiscard]] std::string render() const {
     std::string out = "{";
@@ -143,8 +151,14 @@ class BenchReport {
 
   // Writes the report; returns false (with a note on stderr) on I/O
   // failure.  No-op when JSON output was not requested.
-  bool flush() const {
+  bool flush() {
     if (!enabled()) return true;
+    // Every bench reports its peak RSS (bench_gate carries it into the
+    // job summary); a bench that sampled it at a more meaningful
+    // moment keeps its own value.
+    if (!root_.has("peak_rss_mb")) {
+      root_.set("peak_rss_mb", util::to_mebibytes(util::peak_rss_bytes()));
+    }
     std::string out = root_.render();
     out.pop_back();  // reopen the root object to append "rows"
     if (out.size() > 1) out += ", ";
@@ -193,6 +207,27 @@ inline int gbench_main(int argc, char** argv, const char* bench_name) {
   if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json.empty()) {
+    // gbench owns the JSON file format; splice peak_rss_mb into the
+    // root object after the fact so gbench benches report it like the
+    // BenchReport ones do.
+    if (std::FILE* f = std::fopen(json.c_str(), "r+")) {
+      std::string doc;
+      char buf[1 << 12];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) doc.append(buf, n);
+      const std::size_t brace = doc.find('{');
+      if (brace != std::string::npos) {
+        char field[64];
+        std::snprintf(field, sizeof field, "\"peak_rss_mb\": %.6f,",
+                      tigat::util::to_mebibytes(tigat::util::peak_rss_bytes()));
+        doc.insert(brace + 1, field);
+        std::rewind(f);
+        std::fwrite(doc.data(), 1, doc.size(), f);
+      }
+      std::fclose(f);
+    }
+  }
   return 0;
 }
 #endif  // BENCHMARK

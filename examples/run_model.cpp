@@ -30,6 +30,19 @@
 // reports the table shape and times the compiled decide() at the
 // initial state, which is the whole per-step cost a test-execution
 // service pays once the game is solved offline.
+//
+// Observability (see src/obs/): all opt-in, near-zero cost when off.
+//
+//   --trace-out=FILE    Chrome trace-event JSON of the run (open in
+//                       Perfetto / chrome://tracing): per-worker spans
+//                       for expand, merge, fixpoint rounds, decide.
+//   --metrics-out=FILE  versioned metrics snapshot (counters, gauges,
+//                       histograms; superset of the solver stats).
+//   --progress[=SECS]   heartbeat JSONL on stderr every SECS (default
+//                       5) with keys/zones/round/RSS while solving.
+//   --stats-json        print the metrics snapshot to stdout instead
+//                       of the human table (parse from the line
+//                       starting with {"schema").
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +55,9 @@
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "lang/lang.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "semantics/concrete.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
@@ -49,6 +65,26 @@
 #include "util/text.h"
 
 namespace {
+
+// Exports whatever telemetry was requested; called on every exit path
+// that completed the pipeline (solve and serve).  Returns false only
+// if a requested artifact could not be written.
+bool write_obs_artifacts(const std::string& trace_out,
+                         const std::string& metrics_out, bool stats_json) {
+  bool ok = true;
+  if (!trace_out.empty()) {
+    tigat::obs::Tracer::instance().disable();
+    ok &= tigat::obs::Tracer::instance().write_chrome_trace(trace_out);
+  }
+  if (!metrics_out.empty()) {
+    ok &= tigat::obs::metrics().write_snapshot(metrics_out);
+  }
+  if (stats_json) {
+    const std::string json = tigat::obs::metrics().snapshot_json();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  }
+  return ok;
+}
 
 int serve_strategy(const tigat::lang::LoadedModel& model,
                    const std::string& path) {
@@ -105,6 +141,10 @@ int main(int argc, char** argv) {
   unsigned threads = 0;        // 0 = hardware concurrency
   std::string strategy_out;
   std::string strategy_in;
+  std::string trace_out;
+  std::string metrics_out;
+  bool stats_json = false;
+  double progress_secs = -1.0;  // < 0: heartbeat off
   lang::CompileOptions compile_options;
   std::vector<std::string> extra_purposes;
   const auto add_param = [&](const char* spec) {
@@ -132,6 +172,16 @@ int main(int argc, char** argv) {
       strategy_out = argv[i] + 15;
     } else if (std::strncmp(argv[i], "--strategy-in=", 14) == 0) {
       strategy_in = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      stats_json = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress_secs = 5.0;
+    } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
+      progress_secs = std::atof(argv[i] + 11);
     } else if (std::strncmp(argv[i], "--param=", 8) == 0) {
       add_param(argv[i] + 8);
     } else if (std::strcmp(argv[i], "--param") == 0) {
@@ -147,9 +197,18 @@ int main(int argc, char** argv) {
                  "usage: run_model <model.tg> [--print-model] "
                  "[--threads=N] [--compact-zones] [--param NAME=VALUE]... "
                  "[--strategy-out=FILE.tgs] "
-                 "[--strategy-in=FILE.tgs] [\"control: A<> ...\"]...\n");
+                 "[--strategy-in=FILE.tgs] "
+                 "[--trace-out=FILE] [--metrics-out=FILE] "
+                 "[--progress[=SECS]] [--stats-json] "
+                 "[\"control: A<> ...\"]...\n");
     return 2;
   }
+
+  // Arm the requested telemetry before any pipeline work runs.
+  obs::set_thread_name("tigat-main");
+  if (!trace_out.empty()) obs::Tracer::instance().enable();
+  if (!metrics_out.empty() || stats_json) obs::enable_metrics();
+  if (progress_secs >= 0.0) obs::progress().enable(progress_secs);
 
   lang::LoadedModel model = [&] {
     try {
@@ -168,7 +227,11 @@ int main(int argc, char** argv) {
   if (print_model) std::printf("\n%s\n", model.system.to_string().c_str());
 
   // Serving path: a compiled strategy replaces solving entirely.
-  if (!strategy_in.empty()) return serve_strategy(model, strategy_in);
+  if (!strategy_in.empty()) {
+    const int rc = serve_strategy(model, strategy_in);
+    if (!write_obs_artifacts(trace_out, metrics_out, stats_json)) return 1;
+    return rc;
+  }
 
   std::vector<tsystem::TestPurpose> purposes = std::move(model.purposes);
   for (const std::string& text : extra_purposes) {
@@ -236,7 +299,8 @@ int main(int argc, char** argv) {
       all_winning = false;
     }
   }
-  std::printf("\n%s\n", table.to_string().c_str());
+  if (!stats_json) std::printf("\n%s\n", table.to_string().c_str());
+  const bool obs_ok = write_obs_artifacts(trace_out, metrics_out, stats_json);
   if (!strategy_out.empty()) {
     // Never silently skip the artifact the caller asked for: a later
     // --strategy-in would fail far from the actual cause.
@@ -246,5 +310,6 @@ int main(int argc, char** argv) {
                  strategy_out.c_str());
     return 1;
   }
+  if (!obs_ok) return 1;
   return all_winning ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/assert.h"
 #include "util/memory_meter.h"
 
@@ -18,6 +19,18 @@ std::size_t row_hash(const raw_t* row, std::uint32_t dim) noexcept {
   return h;
 }
 
+// Cached registry references — intern_row is hot enough that a name
+// lookup per call would show up; resolved once, on the first metered
+// call.
+obs::Counter& row_lookups() {
+  static obs::Counter& c = obs::metrics().counter("zone_pool.row_lookups");
+  return c;
+}
+obs::Counter& row_inserts() {
+  static obs::Counter& c = obs::metrics().counter("zone_pool.row_inserts");
+  return c;
+}
+
 }  // namespace
 
 ZonePool::ZonePool(std::uint32_t dim) : dim_(dim) {
@@ -27,11 +40,13 @@ ZonePool::ZonePool(std::uint32_t dim) : dim_(dim) {
 ZonePool::~ZonePool() { util::zone_memory().sub(metered_); }
 
 ZonePool::RowId ZonePool::intern_row(const raw_t* row) {
+  if (obs::metrics_enabled()) row_lookups().add(1);
   const std::size_t h = row_hash(row, dim_);
   std::vector<RowId>& chain = index_[h];
   for (const RowId id : chain) {
     if (std::memcmp(this->row(id), row, dim_ * sizeof(raw_t)) == 0) return id;
   }
+  if (obs::metrics_enabled()) row_inserts().add(1);
   const std::size_t count = row_count();
   TIGAT_ASSERT(count < 0xffffffffu, "zone pool row ids exhausted");
   const auto id = static_cast<RowId>(count);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/text.h"
 
@@ -118,7 +119,10 @@ std::uint64_t model_fingerprint(const tsystem::System& system) {
   return f.h;
 }
 
-DecisionTable::DecisionTable(TableData data) : data_(std::move(data)) {
+DecisionTable::DecisionTable(TableData data)
+    : decide_latency_(&obs::metrics().histogram("decide.latency_ns",
+                                                obs::latency_buckets_ns())),
+      data_(std::move(data)) {
   validate();
   build_key_index();
   build_edge_index();
@@ -240,6 +244,15 @@ std::optional<std::uint32_t> DecisionTable::find_key(
 
 Move DecisionTable::decide(const ConcreteState& state,
                            std::int64_t scale) const {
+  if (!obs::metrics_enabled()) return decide_impl(state, scale);
+  const std::uint64_t t0 = obs::now_ns();
+  Move move = decide_impl(state, scale);
+  decide_latency_->record(obs::now_ns() - t0);
+  return move;
+}
+
+Move DecisionTable::decide_impl(const ConcreteState& state,
+                                std::int64_t scale) const {
   TIGAT_ASSERT(state.clocks.size() == data_.clock_dim,
                "state dimension mismatch");
   Move move;

@@ -42,6 +42,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+
 #include "dbm/dbm.h"
 #include "decision/source.h"
 #include "semantics/concrete.h"
@@ -125,6 +127,9 @@ class DecisionTable final : public DecisionSource {
 
   // Allocation-free compiled decide; bit-identical to
   // game::Strategy::decide for clocks[0] == 0 and clocks[i] >= 0.
+  // When metrics are enabled each call lands in the "decide.latency_ns"
+  // histogram — the serving-path visibility ROADMAP's daemon item
+  // needs; off, the timing costs one relaxed load + branch.
   [[nodiscard]] game::Move decide(const semantics::ConcreteState& state,
                                   std::int64_t scale) const override;
 
@@ -148,12 +153,15 @@ class DecisionTable final : public DecisionSource {
   [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
+  [[nodiscard]] game::Move decide_impl(const semantics::ConcreteState& state,
+                                       std::int64_t scale) const;
   [[nodiscard]] std::optional<std::uint32_t> find_key(
       const semantics::ConcreteState& state) const;
   void validate() const;
   void build_key_index();
   void build_edge_index();
 
+  obs::Histogram* decide_latency_ = nullptr;  // registered in the ctor
   TableData data_;
   // Open-addressed key index: key_index + 1, 0 = empty slot.
   std::vector<std::uint32_t> buckets_;

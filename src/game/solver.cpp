@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
@@ -153,6 +156,7 @@ GameSolver::GameSolver(const tsystem::System& system,
 // the serial merge sections, in key order — so the dictionary content
 // is deterministic too.
 std::shared_ptr<const GameSolution> GameSolver::solve() {
+  TIGAT_SPAN("solve");
   util::Stopwatch watch;
   util::zone_memory().reset_peak();
   util::ThreadPool pool(options_.threads);
@@ -202,7 +206,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
           is_goal[k] = 1;
         }
       }
-    });
+    }, "solve.goal_scan");
     // Row-id copies are cheap; run them serially so the pool stays a
     // single-writer structure.
     for (std::uint32_t k = 0; k < n; ++k) {
@@ -226,7 +230,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
           loss[k] = g.reach(k);
         }
       }
-    });
+    }, "solve.goal_scan");
   }
   solution->goal_key_.assign(n, false);
   if (!compact) solution->deltas_.assign(n, {});
@@ -288,7 +292,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
                 g.reach(k, scratch));
       }
     }
-  });
+  }, "solve.forced");
 
   // Synchronous rounds with dirtiness filtering: a key can only gain
   // in round r if itself or a successor gained in round r−1.
@@ -300,10 +304,13 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   // compact: the round's gains, compressed batch by batch and applied
   // only once the round is complete.
   std::vector<std::pair<std::uint32_t, GameSolution::PooledDelta>> staged;
+  const std::uint64_t reach_zone_count = g.stats().zones;
   for (std::uint32_t r = 1;; ++r) {
     if (r > options_.max_rounds) {
       throw semantics::ExplorationLimit("fixpoint round limit exceeded");
     }
+    TIGAT_SPAN("fixpoint.round", r);
+    obs::progress().tick("fixpoint", n, reach_zone_count, r);
     std::vector<bool> recompute(n, false);
     bool any = false;
     for (std::uint32_t k = 0; k < n; ++k) {
@@ -408,7 +415,8 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
       for (std::size_t base = 0; base < work.size(); base += kGainBatch) {
         const std::size_t count = std::min(kGainBatch, work.size() - base);
         gains.assign(count, Fed(dim));
-        pool.parallel_for(count, 1, round_body(base));
+        pool.parallel_for(count, 1, round_body(base), "fixpoint.recompute");
+        TIGAT_SPAN("fixpoint.compress_gains");
         for (std::size_t i = 0; i < count; ++i) {
           if (gains[i].is_empty()) continue;
           GameSolution::PooledDelta pd{r, dbm::PooledFed(dim)};
@@ -424,7 +432,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
       }
     } else {
       gains.assign(work.size(), Fed(dim));
-      pool.parallel_for(work.size(), 1, round_body(0));
+      pool.parallel_for(work.size(), 1, round_body(0), "fixpoint.recompute");
       for (std::size_t i = 0; i < work.size(); ++i) {
         if (gains[i].is_empty()) continue;
         const std::uint32_t k = work[i];
@@ -449,7 +457,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
             win_fed(k, win_k);
             loss_staged[i] = g.reach(k, scratch).minus(win_k);
           }
-        });
+        }, "fixpoint.refresh_loss");
         // Loss sets are only read by the NEXT round's body, so batch
         // application is safe; the pool write stays serial.
         for (std::size_t i = 0; i < count; ++i) {
@@ -464,12 +472,27 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
                             const std::uint32_t k = changed[i];
                             loss[k] = g.reach(k).minus(solution->win_all_[k]);
                           }
-                        });
+                        }, "fixpoint.refresh_loss");
     }
     for (const std::uint32_t k : changed) {
       const bool empty =
           compact ? loss_pooled[k].is_empty() : loss[k].is_empty();
       if (empty) saturated[k] = true;
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("solver.fixpoint.recomputed_keys")
+          .add(work.size());
+      obs::metrics().counter("solver.fixpoint.gained_keys")
+          .add(changed.size());
+      std::uint64_t gained_zones = 0;
+      // `changed` has one entry per gain applied this round, so the
+      // round's zones are the last delta of each changed key.
+      for (const std::uint32_t k : changed) {
+        gained_zones += compact
+                            ? solution->deltas_pooled_[k].back().gained.size()
+                            : solution->deltas_[k].back().gained.size();
+      }
+      obs::metrics().counter("solver.fixpoint.gained_zones").add(gained_zones);
     }
     dirty = std::move(new_dirty);
     rounds = r;
@@ -505,7 +528,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
           cum.push_back(acc);
         }
       }
-    });
+    }, "solve.up_to_cache");
   }
 
   // Stats.
@@ -528,6 +551,26 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   st.zone_pool_rows = gstats.pool_rows;
   st.zone_pool_bytes = gstats.pool_bytes;
   st.solve_seconds = watch.seconds();
+
+  // Publish the finished stats into the metrics registry: same fields,
+  // same values (set(), not add(), so counters equal SolverStats
+  // bit-for-bit — tests/obs_test.cpp holds us to that).
+  if (obs::metrics_enabled()) {
+    auto& m = obs::metrics();
+    m.counter("solver.keys").set(st.keys);
+    m.counter("solver.reach_zones").set(st.reach_zones);
+    m.counter("solver.winning_zones").set(st.winning_zones);
+    m.counter("solver.edges").set(st.edges);
+    m.counter("solver.rounds").set(st.rounds);
+    m.counter("solver.peak_zone_bytes").set(st.peak_zone_bytes);
+    m.counter("solver.zone_pool_rows").set(st.zone_pool_rows);
+    m.counter("solver.zone_pool_bytes").set(st.zone_pool_bytes);
+    m.gauge("solver.solve_seconds").set(st.solve_seconds);
+    m.gauge("solver.explore_expand_seconds").set(st.explore_expand_seconds);
+    m.gauge("solver.explore_merge_seconds").set(st.explore_merge_seconds);
+  }
+  // Final heartbeat so even sub-period solves report once.
+  obs::progress().emit("done", st.keys, st.reach_zones, st.rounds);
   return solution;
 }
 

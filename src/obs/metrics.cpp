@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace tigat::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}
+
+void enable_metrics() {
+  detail::g_metrics_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_metrics() {
+  detail::g_metrics_enabled.store(false, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+std::size_t Histogram::bucket_index(std::span<const std::uint64_t> bounds,
+                                    std::uint64_t v) noexcept {
+  // First bound >= v; upper_bound would misplace exact boundary hits
+  // (v == bounds[i] belongs to bucket i under le semantics).
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::span<const std::uint64_t> latency_buckets_ns() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t v = 16; v <= (std::uint64_t{1} << 24); v <<= 1) {
+      b.push_back(v);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+// std::map keeps iteration sorted for the snapshot and never moves
+// mapped values, so references handed out by counter()/gauge()/
+// histogram() stay stable across later registrations.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[std::string(name)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        std::vector<std::uint64_t>(bounds.begin(), bounds.end()));
+  }
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c->set(0);
+  for (auto& [name, g] : impl_->gauges) g->set(0.0);
+  for (auto& [name, h] : impl_->histograms) {
+    for (auto& bucket : h->counts_) bucket.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string out;
+  out.reserve(1 << 12);
+  out += "{\"schema\": \"tigat.metrics\", \"version\": 1,\n";
+
+  out += " \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    out += first ? "\n  \"" : ",\n  \"";
+    first = false;
+    append_escaped(out, name);
+    out += "\": ";
+    out += std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n },\n";
+
+  out += " \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    out += first ? "\n  \"" : ",\n  \"";
+    first = false;
+    append_escaped(out, name);
+    out += "\": ";
+    append_double(out, g->value());
+  }
+  out += first ? "},\n" : "\n },\n";
+
+  out += " \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    out += first ? "\n  \"" : ",\n  \"";
+    first = false;
+    append_escaped(out, name);
+    out += "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(h->bounds_[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h->counts_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(h->counts_[i].load(std::memory_order_relaxed));
+    }
+    out += "], \"count\": ";
+    out += std::to_string(h->count());
+    out += ", \"sum\": ";
+    out += std::to_string(h->sum());
+    out += "}";
+  }
+  out += first ? "}\n" : "\n }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_snapshot(const std::string& path) const {
+  const std::string json = snapshot_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace tigat::obs

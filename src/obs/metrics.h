@@ -1,0 +1,156 @@
+// Named counters, gauges and fixed-bucket histograms for the whole
+// pipeline, snapshotted into one versioned metrics JSON.
+//
+// Before this registry every component reported through its own side
+// channel: the solver returned a SolverStats struct, run_model printed
+// a human table, each bench invented JSON fields.  The registry is the
+// one schema they all feed: the solver publishes its stats here
+// (game/solver.cpp, names under "solver."), the compiled decision
+// table records a decide() latency histogram, the executor counts
+// steps and verdicts, the zone pool counts dictionary traffic — and a
+// snapshot (write_snapshot / snapshot_json) serialises every metric
+// with a schema version, so scripts parse ONE document instead of
+// scraping tables (run_model --metrics-out / --stats-json).
+//
+// Cost contract, mirroring obs/trace.h:
+//   * recording is gated on metrics_enabled() — a relaxed atomic load
+//     and a branch per site when off (the default);
+//   * when on, counters/gauges are single relaxed atomic ops and a
+//     histogram record is a small binary search plus three of them.
+//     Metrics never affect computation: solver results are
+//     bit-identical with metrics on or off.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and may
+// allocate; do it once at setup (constructors, function-local
+// statics), keep the returned reference — it stays valid for the
+// process lifetime, across reset().  Counters are u64 and exact:
+// values published from SolverStats compare bit-for-bit
+// (tests/obs_test.cpp).  Gauges are doubles for the wall-clock and
+// byte figures where 53-bit mantissas are plenty.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tigat::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}
+
+// The single per-site branch every disabled record pays.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void enable_metrics();
+void disable_metrics();
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Publishes an externally computed total (e.g. a SolverStats field).
+  void set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: bucket i counts values v with
+// v <= bounds[i] (and v > bounds[i-1]); one implicit overflow bucket
+// counts v > bounds.back().  Bounds are fixed at registration so
+// snapshots from different runs line up bucket for bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void record(std::uint64_t v) noexcept {
+    counts_[bucket_index(bounds_, v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  // The bucket a value lands in — first i with v <= bounds[i], or
+  // bounds.size() for overflow.  Static so the boundary math is
+  // unit-testable without a registry (tests/obs_test.cpp).
+  [[nodiscard]] static std::size_t bucket_index(
+      std::span<const std::uint64_t> bounds, std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::span<const std::uint64_t> bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<std::uint64_t> bounds_;  // strictly increasing
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// Power-of-two nanosecond bounds, 16 ns .. 2^24 ns (~16.8 ms) — the
+// shared vocabulary for latency histograms (decide() runs tens of ns
+// to µs; anything past 16 ms is pathological and lands in overflow).
+[[nodiscard]] std::span<const std::uint64_t> latency_buckets_ns();
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Find-or-create by name.  A histogram re-registered with different
+  // bounds keeps its original bounds (first registration wins).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> bounds);
+
+  // Zeroes every value; registrations and references stay valid.
+  void reset();
+
+  // Versioned snapshot:
+  //   {"schema": "tigat.metrics", "version": 1,
+  //    "counters": {...}, "gauges": {...},
+  //    "histograms": {name: {"bounds": [...], "counts": [...],
+  //                          "count": N, "sum": S}}}
+  // Names are emitted in sorted order (deterministic diffs).
+  [[nodiscard]] std::string snapshot_json() const;
+  bool write_snapshot(const std::string& path) const;
+
+ private:
+  MetricsRegistry();
+  struct Impl;
+  Impl* impl_;  // never freed (process-lifetime singleton)
+};
+
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+}  // namespace tigat::obs

@@ -1,0 +1,75 @@
+#include "obs/progress.h"
+
+#include <mutex>
+
+#include "obs/trace.h"
+#include "util/memory_meter.h"
+
+namespace tigat::obs {
+
+struct Progress::Impl {
+  std::mutex mutex;
+  std::FILE* out = stderr;
+  std::uint64_t period_ns = 0;
+  std::uint64_t start_ns = 0;
+  // 0 = "emit on the very next tick"; set on enable() so even a solve
+  // that finishes within one period produces its first record.
+  std::atomic<std::uint64_t> next_emit_ns{0};
+  std::uint64_t seq = 0;
+};
+
+Progress::Progress() : impl_(new Impl) {}
+
+Progress& Progress::instance() {
+  static Progress progress;
+  return progress;
+}
+
+void Progress::enable(double period_seconds, std::FILE* out) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->out = out;
+  impl_->period_ns =
+      period_seconds <= 0.0
+          ? 0
+          : static_cast<std::uint64_t>(period_seconds * 1e9);
+  impl_->start_ns = now_ns();
+  impl_->next_emit_ns.store(0, std::memory_order_relaxed);
+  impl_->seq = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Progress::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Progress::tick(const char* phase, std::uint64_t keys,
+                    std::uint64_t zones, std::uint64_t round) {
+  if (!enabled()) return;
+  // Racy check on purpose: two threads ticking in the same instant may
+  // both emit; emit() re-arms under the mutex so the steady state is
+  // one record per period.
+  if (now_ns() < impl_->next_emit_ns.load(std::memory_order_relaxed)) return;
+  emit(phase, keys, zones, round);
+}
+
+void Progress::emit(const char* phase, std::uint64_t keys,
+                    std::uint64_t zones, std::uint64_t round) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint64_t now = now_ns();
+  impl_->next_emit_ns.store(now + impl_->period_ns, std::memory_order_relaxed);
+  const double elapsed =
+      static_cast<double>(now - impl_->start_ns) * 1e-9;
+  const double rss_mb = util::to_mebibytes(util::peak_rss_bytes());
+  std::fprintf(impl_->out,
+               "{\"tigat_hb\": %llu, \"elapsed_s\": %.3f, \"phase\": \"%s\", "
+               "\"keys\": %llu, \"zones\": %llu, \"round\": %llu, "
+               "\"rss_mb\": %.1f}\n",
+               static_cast<unsigned long long>(impl_->seq++), elapsed, phase,
+               static_cast<unsigned long long>(keys),
+               static_cast<unsigned long long>(zones),
+               static_cast<unsigned long long>(round), rss_mb);
+  std::fflush(impl_->out);
+}
+
+}  // namespace tigat::obs

@@ -1,0 +1,215 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tigat::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+// One recorded trace event.  `name == nullptr` marks an E event (its
+// name is implied by the matching B — the exporter re-attaches it so
+// validators that match names across the pair stay happy).
+struct Event {
+  const char* name;
+  std::uint64_t ts_ns;
+  std::uint64_t arg;
+  bool has_arg;
+  bool is_end;
+};
+
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::size_t cap = 0;          // B events stop when events.size() >= cap
+  std::uint64_t dropped = 0;    // spans not opened because of the cap
+  std::uint32_t tid = 0;        // export row id (registration order)
+  std::string name;             // thread name at registration time
+};
+
+namespace {
+// Thread-name + buffer-cache thread locals.  The name is independent
+// of tracing state so a ThreadPool can name its workers once at spawn
+// whether or not a trace is running.
+thread_local std::string t_thread_name;
+thread_local ThreadBuffer* t_buffer = nullptr;
+thread_local std::uint64_t t_buffer_epoch = 0;
+}  // namespace
+
+}  // namespace detail
+
+using detail::Event;
+using detail::ThreadBuffer;
+
+struct Tracer::Impl {
+  std::mutex mutex;  // guards buffers/epoch/origin, NOT event appends
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint64_t epoch = 1;  // bumped by enable(); invalidates t_buffer
+  std::uint64_t origin_ns = 0;
+  std::size_t capacity = std::size_t{1} << 20;  // spans per thread
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->buffers.clear();  // registered threads re-register via epoch
+  ++impl_->epoch;
+  impl_->origin_ns = now_ns();
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_capacity(std::size_t spans) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->capacity = spans;
+}
+
+ThreadBuffer* Tracer::thread_buffer() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (detail::t_buffer != nullptr &&
+      detail::t_buffer_epoch == impl_->epoch) {
+    return detail::t_buffer;
+  }
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->cap = impl_->capacity;
+  buf->tid = static_cast<std::uint32_t>(impl_->buffers.size());
+  buf->name = detail::t_thread_name.empty()
+                  ? "thread-" + std::to_string(impl_->buffers.size())
+                  : detail::t_thread_name;
+  buf->events.reserve(256);
+  detail::t_buffer = buf.get();
+  detail::t_buffer_epoch = impl_->epoch;
+  impl_->buffers.push_back(std::move(buf));
+  return detail::t_buffer;
+}
+
+void set_thread_name(std::string name) {
+  // Copied into this thread's trace buffer at registration (first span
+  // of a trace) — name threads before they record, as ThreadPool and
+  // run_model do; a rename after that applies from the next enable().
+  detail::t_thread_name = std::move(name);
+}
+
+void Span::open(const char* name, std::uint64_t arg, bool has_arg) {
+  ThreadBuffer* buf = Tracer::instance().thread_buffer();
+  // The cap bounds B events; E appends below the matching B are always
+  // admitted (the vector may exceed cap by the open-span depth), so an
+  // exported buffer is balanced by construction.
+  if (buf->events.size() >= buf->cap) {
+    ++buf->dropped;
+    return;
+  }
+  buf->events.push_back({name, now_ns(), arg, has_arg, /*is_end=*/false});
+  buf_ = buf;
+  name_ = name;
+}
+
+void Span::close() {
+  buf_->events.push_back({name_, now_ns(), 0, false, /*is_end=*/true});
+}
+
+std::size_t Tracer::recorded_spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::size_t n = 0;
+  for (const auto& buf : impl_->buffers) n += buf->events.size();
+  return n / 2;
+}
+
+std::size_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::size_t n = 0;
+  for (const auto& buf : impl_->buffers) n += buf->dropped;
+  return n;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string out;
+  out.reserve(1 << 16);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : impl_->buffers) dropped += buf->dropped;
+  out += "{\"displayTimeUnit\": \"ms\", \"otherData\": {\"tool\": \"tigat\", "
+         "\"schema_version\": 1, \"dropped_spans\": ";
+  out += std::to_string(dropped);
+  out += "},\n\"traceEvents\": [\n";
+  out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+         "\"args\": {\"name\": \"tigat\"}}";
+  char num[64];
+  for (const auto& buf : impl_->buffers) {
+    out += ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": ";
+    out += std::to_string(buf->tid);
+    out += ", \"args\": {\"name\": \"";
+    append_json_escaped(out, buf->name);
+    out += "\"}}";
+    for (const Event& e : buf->events) {
+      out += ",\n{\"name\": \"";
+      append_json_escaped(out, e.name);
+      out += "\", \"ph\": \"";
+      out += e.is_end ? 'E' : 'B';
+      out += "\", \"pid\": 1, \"tid\": ";
+      out += std::to_string(buf->tid);
+      out += ", \"ts\": ";
+      // Chrome trace timestamps are microseconds; keep ns precision in
+      // the fraction.  Events before the origin (a span opened by a
+      // not-yet-reset buffer cannot happen — enable() clears buffers —
+      // but clamp defensively).
+      const std::uint64_t rel =
+          e.ts_ns >= impl_->origin_ns ? e.ts_ns - impl_->origin_ns : 0;
+      std::snprintf(num, sizeof num, "%llu.%03llu",
+                    static_cast<unsigned long long>(rel / 1000),
+                    static_cast<unsigned long long>(rel % 1000));
+      out += num;
+      if (e.has_arg) {
+        out += ", \"args\": {\"n\": ";
+        out += std::to_string(e.arg);
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace tigat::obs

@@ -1,0 +1,142 @@
+// Low-overhead span tracing for the solve → compile → serve pipeline.
+//
+// The pipeline runs at scales (LEP n = 6: minutes of wall time, 16
+// worker threads) where aggregate wall-clock numbers no longer explain
+// anything; what is the expand phase doing on worker 7 while the merge
+// stalls?  The tracer answers that with per-thread timelines: RAII
+// spans (`TIGAT_SPAN("explore.expand")`) record begin/end pairs with
+// steady-clock nanosecond timestamps into PER-THREAD buffers — no
+// locks, no allocation on the hot path once a buffer exists — and the
+// whole set exports as one Chrome trace-event JSON file that Perfetto
+// or chrome://tracing renders as a flame chart per worker thread.
+//
+// Cost model (the contract the solver's determinism relies on):
+//   * disabled (the default): every TIGAT_SPAN is ONE relaxed atomic
+//     load and a branch — no clock read, no buffer touch;
+//   * enabled: two steady_clock reads and two buffer appends per span.
+//     Spans never synchronize threads or alter control flow, so
+//     solver results are bit-identical with tracing on or off at any
+//     thread count (tests/solver_determinism_test.cpp covers this).
+//
+// Buffering: each thread owns one append-only buffer (registered with
+// the global tracer under a mutex ON FIRST SPAN ONLY, then lock-free).
+// A buffer that reaches its event cap stops opening NEW spans but
+// always records the E of a B it recorded — exported traces stay
+// balanced, and the drop count lands in the export metadata.  Buffers
+// are owned by the tracer, not the thread, so worker threads may exit
+// (ThreadPool teardown) before the trace is written.
+//
+// Lifecycle: enable() (re)starts a trace — clears all buffers, bumps
+// the registration epoch, re-zeroes the time origin; write_chrome_trace
+// exports everything recorded since.  enable/disable/export must not
+// race live spans: call them from the orchestrating thread between
+// parallel phases (run_model enables before solving and exports after).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tigat::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+struct ThreadBuffer;
+}  // namespace detail
+
+// The single per-site branch every disabled TIGAT_SPAN pays.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Steady-clock nanoseconds (arbitrary origin; the tracer subtracts its
+// enable() time at export).  Shared with the metrics layer's latency
+// histograms so one clock serves both.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Names the calling thread for trace metadata (and nothing else; OS
+// thread naming is the caller's job, see util::ThreadPool).  Cheap and
+// always safe to call — the name is stored thread-locally and copied
+// into the trace buffer when (if) this thread records its first span.
+void set_thread_name(std::string name);
+
+class Tracer {
+ public:
+  // Process-wide instance; all spans and exports go through it.
+  static Tracer& instance();
+
+  // Starts a fresh trace: drops previously recorded events, restarts
+  // the time origin, then flips the enabled flag.
+  void enable();
+  void disable();
+
+  // Chrome trace-event JSON of everything recorded since enable():
+  // one "B"/"E" pair per span, "M" thread_name/process_name metadata,
+  // timestamps in microseconds relative to enable().  Loadable in
+  // Perfetto / chrome://tracing as-is.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  // Writes chrome_trace_json() to `path`; false (with a note on
+  // stderr) on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  // Spans recorded / spans dropped to the buffer cap since enable().
+  [[nodiscard]] std::size_t recorded_spans() const;
+  [[nodiscard]] std::size_t dropped_spans() const;
+
+  // Per-thread span cap (B/E pairs).  Takes effect for buffers
+  // registered after the next enable().
+  void set_thread_capacity(std::size_t spans);
+
+ private:
+  friend class Span;
+  Tracer();
+
+  // The calling thread's buffer, registering one on first use (or
+  // after an enable() bumped the epoch).  Only called on enabled paths.
+  detail::ThreadBuffer* thread_buffer();
+
+  struct Impl;
+  Impl* impl_;  // never freed (process-lifetime singleton)
+};
+
+// RAII span: records B on construction and E on destruction when
+// tracing is enabled (decided at construction — a span started before
+// disable() still closes, keeping buffers balanced).  `name` must be a
+// string literal or otherwise outlive the tracer (it is stored by
+// pointer).  The optional arg lands in the event's "args" (e.g. the
+// fixpoint round number).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) open(name, 0, false);
+  }
+  Span(const char* name, std::uint64_t arg) {
+    if (trace_enabled()) open(name, arg, true);
+  }
+  ~Span() {
+    if (buf_ != nullptr) close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(const char* name, std::uint64_t arg, bool has_arg);
+  void close();
+
+  detail::ThreadBuffer* buf_ = nullptr;  // non-null iff a B was recorded
+  const char* name_ = nullptr;
+};
+
+#define TIGAT_OBS_CONCAT2(a, b) a##b
+#define TIGAT_OBS_CONCAT(a, b) TIGAT_OBS_CONCAT2(a, b)
+// One relaxed load + branch when tracing is off.
+#define TIGAT_SPAN(...) \
+  ::tigat::obs::Span TIGAT_OBS_CONCAT(tigat_span_, __LINE__) { __VA_ARGS__ }
+
+}  // namespace tigat::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
@@ -204,6 +206,7 @@ std::optional<std::pair<DiscreteKey, Dbm>> SymbolicGraph::apply(
 
 void SymbolicGraph::explore(util::ThreadPool* pool) {
   if (explored_) return;
+  TIGAT_SPAN("explore");
   const std::uint32_t dim = sys_->clock_count();
 
   // Initial symbolic state.
@@ -304,10 +307,13 @@ void SymbolicGraph::explore(util::ThreadPool* pool) {
   const util::Stopwatch watch;
   std::size_t zone_count = 1;
   std::size_t merged = 0;
+  std::uint64_t wave_index = 0;
   while (wave_count() != 0) {
+    ++wave_index;
     const std::size_t wave_size = wave_count();
     for (std::size_t base = 0; base < wave_size; base += kExpandBatch) {
       const std::size_t count = std::min(kExpandBatch, wave_size - base);
+      obs::progress().tick("explore", intern_.size(), zone_count, wave_index);
       const double batch_start = watch.seconds();
       expanded.assign(count, {});
       const auto expand = [&](std::size_t begin, std::size_t end) {
@@ -362,14 +368,19 @@ void SymbolicGraph::explore(util::ThreadPool* pool) {
         }
       };
       if (pool != nullptr) {
-        pool->parallel_for(count, 1, expand);
+        pool->parallel_for(count, 1, expand, "explore.expand");
       } else {
+        TIGAT_SPAN("explore.expand");
         expand(0, count);
       }
       const double expand_end = watch.seconds();
       expand_seconds_ += expand_end - batch_start;
 
-      seal_wave();
+      {
+        TIGAT_SPAN("explore.seal");
+        seal_wave();
+      }
+      TIGAT_SPAN("explore.merge");
       for (std::size_t li = 0; li < count; ++li) {
         const std::uint32_t k = wave_key_at(base + li);
         if (options_.deadline_seconds > 0.0 && (++merged & 1023u) == 0 &&
@@ -449,6 +460,7 @@ void SymbolicGraph::explore(util::ThreadPool* pool) {
   }
 
   {
+    TIGAT_SPAN("explore.index");
     const double t0 = watch.seconds();
     build_edge_index();
     merge_seconds_ += watch.seconds() - t0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/text.h"
 
@@ -50,6 +52,34 @@ TestExecutor::TestExecutor(const decision::DecisionSource& source,
       options_(options) {}
 
 TestReport TestExecutor::run() {
+  TIGAT_SPAN("executor.run");
+  TestReport report = run_impl();
+  if (obs::metrics_enabled()) {
+    auto& m = obs::metrics();
+    m.counter("executor.runs").add(1);
+    m.counter("executor.steps").add(report.steps);
+    std::uint64_t inputs = 0, outputs = 0, delays = 0;
+    for (const TraceEvent& e : report.trace) {
+      switch (e.kind) {
+        case TraceEvent::Kind::kInput: ++inputs; break;
+        case TraceEvent::Kind::kOutput: ++outputs; break;
+        case TraceEvent::Kind::kDelay: ++delays; break;
+      }
+    }
+    m.counter("executor.inputs").add(inputs);
+    m.counter("executor.outputs").add(outputs);
+    m.counter("executor.delays").add(delays);
+    const char* verdict = report.verdict == Verdict::kPass
+                              ? "executor.verdict.pass"
+                              : report.verdict == Verdict::kFail
+                                    ? "executor.verdict.fail"
+                                    : "executor.verdict.inconclusive";
+    m.counter(verdict).add(1);
+  }
+  return report;
+}
+
+TestReport TestExecutor::run_impl() {
   TestReport report;
   monitor_.reset();
   imp_->reset();
@@ -66,6 +96,7 @@ TestReport TestExecutor::run() {
   };
 
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
+    TIGAT_SPAN("executor.step");
     const game::Move move = source_->decide(monitor_.state(), scale_);
     switch (move.kind) {
       case game::MoveKind::kGoalReached:

@@ -81,10 +81,15 @@ class TestExecutor {
   TestExecutor(const TestExecutor&) = delete;
   TestExecutor& operator=(const TestExecutor&) = delete;
 
-  // One full test run (resets the IMP first).
+  // One full test run (resets the IMP first).  Traced as an
+  // "executor.run" span with per-decision "executor.step" child spans,
+  // and counted under "executor.*" metrics (runs, steps, trace events,
+  // verdicts) when the obs layer is enabled.
   [[nodiscard]] TestReport run();
 
  private:
+  [[nodiscard]] TestReport run_impl();
+
   // Set by the Strategy convenience constructor; source_ points at it.
   std::optional<decision::StrategySource> owned_source_;
   const decision::DecisionSource* source_;

@@ -1,8 +1,32 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
+#include "obs/trace.h"
 
 namespace tigat::util {
+
+namespace {
+
+// Names a worker for the obs trace, and at the OS level where
+// supported, so trace rows, TSan reports and `top -H` all agree on
+// which thread is which.
+void name_worker(unsigned index) {
+  char name[16];  // pthread limit: 15 chars + NUL
+  std::snprintf(name, sizeof name, "tigat-w%u", index);
+#ifdef __linux__
+  pthread_setname_np(pthread_self(), name);
+#endif
+  obs::set_thread_name(name);
+}
+
+}  // namespace
 
 unsigned ThreadPool::hardware_threads() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -13,7 +37,10 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = hardware_threads();
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      name_worker(i);
+      worker_loop();
+    });
   }
 }
 
@@ -45,6 +72,10 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_chunks() {
+  // One span per participating thread per job — the per-worker rows in
+  // the trace.  Chunks inside it are too fine-grained to record
+  // individually.
+  TIGAT_SPAN(label_ != nullptr ? label_ : "parallel_for");
   // Claim chunks until the cursor runs off the end.  After a body
   // exception the remaining chunks are still claimed but skipped, so
   // the range drains and the first exception reaches the caller.
@@ -66,16 +97,19 @@ void ThreadPool::run_chunks() {
 
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t)>& body,
+    const char* label) {
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
   if (workers_.empty() || n <= grain) {
+    TIGAT_SPAN(label != nullptr ? label : "parallel_for");
     body(0, n);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     body_ = &body;
+    label_ = label;
     n_ = n;
     grain_ = grain;
     cursor_.store(0, std::memory_order_relaxed);

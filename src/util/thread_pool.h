@@ -49,8 +49,12 @@ class ThreadPool {
   // Runs body(begin, end) over disjoint chunks covering [0, n), each at
   // most `grain` wide.  Blocks until every chunk completed.  Not
   // reentrant (the body must not call parallel_for on the same pool).
+  // `label` (a string literal, or nullptr for none) names the job in
+  // the obs trace: each participating thread records one span covering
+  // its share of the chunks.
   void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    const char* label = nullptr);
 
   [[nodiscard]] static unsigned hardware_threads() noexcept;
 
@@ -72,6 +76,7 @@ class ThreadPool {
   // the same mutex; parallel_for does not return (and thus cannot
   // repost) until every worker acked the epoch from inside the lock.
   const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  const char* label_ = nullptr;  // trace span name for the current job
   std::size_t n_ = 0;
   std::size_t grain_ = 1;
   std::atomic<std::size_t> cursor_{0};  // next unclaimed index

@@ -1,0 +1,398 @@
+// The observability layer's own contract (src/obs/):
+//
+//   * the exported trace is well-formed Chrome trace-event JSON whose
+//     B/E events balance per thread row, even under an 8-thread solve
+//     with worker threads that die before the export;
+//   * worker threads appear under their OS names ("tigat-w<i>") in the
+//     thread_name metadata;
+//   * the metric counters the solver publishes equal SolverStats
+//     EXACTLY — same integers, not approximations — at 1 and 8
+//     threads;
+//   * histogram bucket boundaries follow `v <= bound` semantics at the
+//     exact edges.
+//
+// (Solver bit-identity with tracing on/off lives in
+// solver_determinism_test.cpp, next to the other determinism
+// dimensions.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "game/solver.h"
+#include "models/lep.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace tigat::obs {
+namespace {
+
+// ---- a minimal JSON reader, enough to validate and walk the trace ----
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (++pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return false;
+            pos_ += 4;  // surrogate pairs not needed for these artifacts
+            out += '?';
+            break;
+          }
+          default: return false;
+        }
+        ++pos_;
+      } else {
+        out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      out.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') return ++pos_, true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        skip_ws();
+        JsonValue child;
+        if (!value(child)) return false;
+        out.object.emplace(std::move(key), std::move(child));
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') return ++pos_, true;
+        return false;
+      }
+    }
+    if (c == '[') {
+      out.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') return ++pos_, true;
+      for (;;) {
+        skip_ws();
+        JsonValue child;
+        if (!value(child)) return false;
+        out.array.push_back(std::move(child));
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') return ++pos_, true;
+        return false;
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.string);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    out.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.number = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::shared_ptr<const game::GameSolution> solve_lep(unsigned threads) {
+  models::Lep lep = models::make_lep({.nodes = 3});
+  game::SolverOptions options;
+  options.threads = threads;
+  game::GameSolver solver(
+      lep.system, tsystem::TestPurpose::parse(lep.system, models::lep_tp1()),
+      options);
+  return solver.solve();
+}
+
+TEST(ObsTrace, ChromeTraceBalancedUnderEightThreadSolve) {
+  Tracer::instance().enable();
+  const auto solution = solve_lep(8);
+  Tracer::instance().disable();
+  ASSERT_TRUE(solution->winning_from_initial());
+  EXPECT_GT(Tracer::instance().recorded_spans(), 0u);
+  EXPECT_EQ(Tracer::instance().dropped_spans(), 0u);
+
+  const std::string json = Tracer::instance().chrome_trace_json();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << "trace is not valid JSON";
+  const JsonValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  // Replay every duration event against a per-tid stack: B pushes,
+  // E must pop its own name, all stacks must drain.
+  std::map<double, std::vector<std::string>> stacks;
+  bool saw_named_worker = false;
+  std::size_t duration_events = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.get("ph");
+    const JsonValue* name = e.get("name");
+    const JsonValue* tid = e.get("tid");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(tid, nullptr);
+    if (ph->string == "M") {
+      if (name->string == "thread_name") {
+        const JsonValue* args = e.get("args");
+        ASSERT_NE(args, nullptr);
+        const JsonValue* tname = args->get("name");
+        ASSERT_NE(tname, nullptr);
+        if (tname->string.rfind("tigat-w", 0) == 0) saw_named_worker = true;
+      }
+      continue;
+    }
+    ++duration_events;
+    auto& stack = stacks[tid->number];
+    if (ph->string == "B") {
+      stack.push_back(name->string);
+    } else {
+      ASSERT_EQ(ph->string, "E");
+      ASSERT_FALSE(stack.empty()) << "E without a B on tid " << tid->number;
+      EXPECT_EQ(stack.back(), name->string);
+      stack.pop_back();
+    }
+  }
+  EXPECT_GT(duration_events, 0u);
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unbalanced spans on tid " << tid;
+  }
+  // An 8-thread solve must have recorded at least one named worker row.
+  EXPECT_TRUE(saw_named_worker);
+}
+
+TEST(ObsTrace, ReenableDropsOldEvents) {
+  Tracer::instance().enable();
+  { TIGAT_SPAN("stale"); }
+  Tracer::instance().enable();  // restart: the "stale" span must vanish
+  { TIGAT_SPAN("fresh"); }
+  Tracer::instance().disable();
+  EXPECT_EQ(Tracer::instance().recorded_spans(), 1u);
+  const std::string json = Tracer::instance().chrome_trace_json();
+  EXPECT_EQ(json.find("stale"), std::string::npos);
+  EXPECT_NE(json.find("fresh"), std::string::npos);
+}
+
+TEST(ObsMetrics, SolverCountersEqualSolverStatsExactly) {
+  for (const unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    enable_metrics();
+    metrics().reset();
+    const auto solution = solve_lep(threads);
+    disable_metrics();
+    const game::SolverStats& st = solution->stats();
+    EXPECT_EQ(metrics().counter("solver.keys").value(), st.keys);
+    EXPECT_EQ(metrics().counter("solver.reach_zones").value(),
+              st.reach_zones);
+    EXPECT_EQ(metrics().counter("solver.winning_zones").value(),
+              st.winning_zones);
+    EXPECT_EQ(metrics().counter("solver.edges").value(), st.edges);
+    EXPECT_EQ(metrics().counter("solver.rounds").value(), st.rounds);
+    // The per-round gain counters must account for every winning zone
+    // except round 0's goal seeds.
+    EXPECT_GT(metrics().counter("solver.fixpoint.gained_keys").value(), 0u);
+    EXPECT_LE(metrics().counter("solver.fixpoint.gained_zones").value(),
+              st.winning_zones);
+  }
+}
+
+TEST(ObsMetrics, SnapshotIsValidVersionedJson) {
+  enable_metrics();
+  metrics().reset();
+  metrics().counter("test.counter").add(3);
+  metrics().gauge("test.gauge").set(1.5);
+  metrics().histogram("test.hist", latency_buckets_ns()).record(17);
+  disable_metrics();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(metrics().snapshot_json()).parse(doc));
+  ASSERT_NE(doc.get("schema"), nullptr);
+  EXPECT_EQ(doc.get("schema")->string, "tigat.metrics");
+  ASSERT_NE(doc.get("version"), nullptr);
+  EXPECT_EQ(doc.get("version")->number, 1.0);
+  const JsonValue* counters = doc.get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->get("test.counter"), nullptr);
+  EXPECT_EQ(counters->get("test.counter")->number, 3.0);
+  const JsonValue* gauges = doc.get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->get("test.gauge")->number, 1.5);
+  const JsonValue* hists = doc.get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* hist = hists->get("test.hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->get("bounds"), nullptr);
+  ASSERT_NE(hist->get("counts"), nullptr);
+  EXPECT_EQ(hist->get("counts")->array.size(),
+            hist->get("bounds")->array.size() + 1);
+  EXPECT_EQ(hist->get("count")->number, 1.0);
+  EXPECT_EQ(hist->get("sum")->number, 17.0);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  const std::vector<std::uint64_t> bounds{10, 100, 1000};
+  // le semantics: bucket i counts v <= bounds[i]; the implicit last
+  // bucket counts the overflow.
+  EXPECT_EQ(Histogram::bucket_index(bounds, 0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(bounds, 9), 0u);
+  EXPECT_EQ(Histogram::bucket_index(bounds, 10), 0u);   // exact edge
+  EXPECT_EQ(Histogram::bucket_index(bounds, 11), 1u);
+  EXPECT_EQ(Histogram::bucket_index(bounds, 100), 1u);  // exact edge
+  EXPECT_EQ(Histogram::bucket_index(bounds, 101), 2u);
+  EXPECT_EQ(Histogram::bucket_index(bounds, 1000), 2u);
+  EXPECT_EQ(Histogram::bucket_index(bounds, 1001), 3u);  // overflow
+  EXPECT_EQ(Histogram::bucket_index(bounds, UINT64_MAX), 3u);
+
+  Histogram h(bounds);
+  h.record(10);
+  h.record(11);
+  h.record(5000);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 10u + 11u + 5000u);
+
+  // The shared latency vocabulary is strictly increasing powers of 2.
+  const auto latency = latency_buckets_ns();
+  ASSERT_FALSE(latency.empty());
+  EXPECT_EQ(latency.front(), 16u);
+  for (std::size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_EQ(latency[i], latency[i - 1] * 2);
+  }
+}
+
+TEST(ObsProgress, HeartbeatEmitsJsonLines) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  progress().enable(/*period_seconds=*/3600.0, tmp);
+  progress().tick("explore", 10, 20, 1);   // first tick: immediate
+  progress().tick("explore", 11, 21, 2);   // inside the period: dropped
+  progress().emit("done", 12, 22, 3);      // final line: unconditional
+  progress().disable();
+
+  std::rewind(tmp);
+  std::string content;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, tmp) != nullptr) content += buf;
+  std::fclose(tmp);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "unterminated heartbeat line";
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    JsonValue doc;
+    ASSERT_TRUE(JsonParser(line).parse(doc)) << line;
+    ASSERT_NE(doc.get("tigat_hb"), nullptr);
+    ASSERT_NE(doc.get("elapsed_s"), nullptr);
+    ASSERT_NE(doc.get("phase"), nullptr);
+    ASSERT_NE(doc.get("rss_mb"), nullptr);
+  }
+  JsonValue last;
+  ASSERT_TRUE(JsonParser(lines.back()).parse(last));
+  EXPECT_EQ(last.get("phase")->string, "done");
+  EXPECT_EQ(last.get("keys")->number, 12.0);
+  EXPECT_EQ(last.get("zones")->number, 22.0);
+  EXPECT_EQ(last.get("round")->number, 3.0);
+}
+
+}  // namespace
+}  // namespace tigat::obs

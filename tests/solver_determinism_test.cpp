@@ -19,6 +19,8 @@
 #include "game/strategy.h"
 #include "models/lep.h"
 #include "models/smart_light.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "testing/executor.h"
 #include "testing/simulated_imp.h"
 
@@ -108,6 +110,24 @@ TEST(SolverDeterminism, SmartLightAcrossThreadCounts) {
       EXPECT_EQ(Strategy(base).to_string(), Strategy(sol).to_string());
     }
   }
+}
+
+TEST(SolverDeterminism, TracedSolvesBitIdentical) {
+  // The obs layer promises pure observation: spans and counters never
+  // synchronize threads or alter control flow, so a fully instrumented
+  // solve equals the untraced baseline bit for bit at any thread count.
+  models::Lep lep = models::make_lep({.nodes = 4});
+  const auto base = solve_with_threads(lep.system, models::lep_tp1(), 1);
+  obs::Tracer::instance().enable();
+  obs::enable_metrics();
+  for (const unsigned threads : {1u, 8u}) {
+    const auto sol = solve_with_threads(lep.system, models::lep_tp1(), threads);
+    expect_same_solution(*base, *sol, threads);
+    EXPECT_EQ(Strategy(base).to_string(), Strategy(sol).to_string());
+  }
+  obs::Tracer::instance().disable();
+  obs::disable_metrics();
+  EXPECT_GT(obs::Tracer::instance().recorded_spans(), 0u);
 }
 
 TEST(SolverDeterminism, StrategyGuidedTracesIdentical) {

@@ -58,6 +58,21 @@ def check(name, ok, detail, warn_only=False):
         (warnings if warn_only else failures).append(f"{name}: {detail}")
 
 
+def info(name, detail):
+    # Carried into the summary table but never gated (machine-dependent
+    # figures like peak RSS).
+    checks.append((name, detail, "info"))
+
+
+def info_peak_rss(name, base, cur):
+    b, c = base.get("peak_rss_mb"), cur.get("peak_rss_mb")
+    if c is None:
+        return
+    detail = (f"baseline {b:.1f} MB -> current {c:.1f} MB"
+              if isinstance(b, (int, float)) else f"current {c:.1f} MB")
+    info(f"{name} peak_rss_mb", detail)
+
+
 def ratio_check(name, base, cur, max_ratio, warn_only=False):
     if base is None or cur is None:
         return
@@ -153,6 +168,7 @@ def gate_file(path_base, path_cur):
         gate_gbench(name, base, cur)
     else:
         gate_report(name, base, cur)
+    info_peak_rss(name, base, cur)
 
 
 def main():
@@ -207,7 +223,7 @@ def main():
         "|---|---|---|",
     ]
     for name, detail, verdict in checks:
-        icon = {"ok": "✅", "warn": "⚠️", "FAIL": "❌"}[verdict]
+        icon = {"ok": "✅", "warn": "⚠️", "FAIL": "❌", "info": "ℹ️"}[verdict]
         lines.append(f"| {name} | {detail} | {icon} {verdict} |")
     lines.append("")
     lines.append(f"**{len(failures)} regression(s), {len(warnings)} "
