@@ -52,7 +52,7 @@ int main() {
     testing::CooperativeExecutor exec(spec.system, plan, imp, kScale);
     const auto report = exec.run();
     std::printf("%-16s verdict: %-13s %s\n", label,
-                testing::to_string(report.verdict), report.reason.c_str());
+                testing::to_string(report.verdict), report.detail.c_str());
     std::printf("%-16s trace:   %s\n\n", "", report.trace_string().c_str());
   };
 
@@ -73,7 +73,7 @@ int main() {
     const auto report = exec.run();
     if (report.verdict == testing::Verdict::kFail) {
       std::printf("faulty light     verdict: fail          %s\n",
-                  report.reason.c_str());
+                  report.detail.c_str());
       std::printf("                 fault:   %s\n", m.description.c_str());
       break;
     }

@@ -57,7 +57,7 @@ int main() {
         if (report.verdict == testing::Verdict::kFail) {
           std::printf("fault:   %s (%s)\n", m.description.c_str(),
                       testing::to_string(m.kind));
-          std::printf("verdict: fail — %s\n", report.reason.c_str());
+          std::printf("verdict: fail — %s\n", report.detail.c_str());
           std::printf("trace:   %s\n\n", report.trace_string().c_str());
           ++shown;
           demonstrated = true;

@@ -91,7 +91,7 @@ int main() {
   const testing::TestReport report = executor.run();
 
   std::printf("verdict: %s (%s)\n", testing::to_string(report.verdict),
-              report.reason.c_str());
+              report.detail.c_str());
   std::printf("trace:   %s\n", report.trace_string().c_str());
   std::printf("elapsed: %lld ticks (%lld time units)\n",
               static_cast<long long>(report.total_ticks),

@@ -43,6 +43,24 @@
 //   --stats-json        print the metrics snapshot to stdout instead
 //                       of the human table (parse from the line
 //                       starting with {"schema").
+//
+// Test campaigns (see src/testing/campaign.h): solve the first purpose,
+// extract one process as the IUT (simulated), run it K times behind an
+// optionally fault-injected boundary, and emit the deterministic
+// campaign JSON:
+//
+//   run_model model.tg --runs=50 --faults="drop=0.05,delay=0..8" \
+//       --fault-seed=7 --run-deadline-ms=2000 --retries=2 \
+//       --campaign-out=campaign.json
+//   run_model model.tg --runs=20 --mutant=3   # test a mutated IUT
+//
+// Exit codes (stable; scripts may branch on them):
+//   0  all purposes winnable / campaign verdict PASS
+//   1  usage error, model error, or unwinnable purpose
+//   2  I/O error (cannot read model / write a requested artifact)
+//   3  solver resource limit hit (semantics::ExplorationLimit)
+//   4  campaign verdict FAIL (sound evidence of non-conformance)
+//   5  campaign verdict FLAKY or UNRESPONSIVE (inconclusive)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -59,12 +77,26 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "semantics/concrete.h"
+#include "semantics/symbolic.h"
+#include "testing/campaign.h"
+#include "testing/faults.h"
+#include "testing/mutants.h"
+#include "testing/simulated_imp.h"
+#include "tsystem/rebuild.h"
 #include "util/memory_meter.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 #include "util/text.h"
 
 namespace {
+
+// Exit taxonomy — documented in the header comment; keep both in sync.
+constexpr int kExitPass = 0;
+constexpr int kExitUsageOrModel = 1;
+constexpr int kExitIo = 2;
+constexpr int kExitSolverLimit = 3;
+constexpr int kExitFailVerdict = 4;
+constexpr int kExitInconclusive = 5;
 
 // Exports whatever telemetry was requested; called on every exit path
 // that completed the pipeline (solve and serve).  Returns false only
@@ -94,7 +126,7 @@ int serve_strategy(const tigat::lang::LoadedModel& model,
       return decision::load(path);
     } catch (const decision::SerializeError& e) {
       std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(), e.what());
-      std::exit(1);
+      std::exit(kExitIo);
     }
   }();
   if (!table.matches(model.system)) {
@@ -102,7 +134,7 @@ int serve_strategy(const tigat::lang::LoadedModel& model,
                  "'%s' was compiled for a different model (fingerprint "
                  "mismatch)\n",
                  path.c_str());
-    return 1;
+    return kExitUsageOrModel;
   }
   std::printf("loaded compiled strategy %s: %zu keys, %zu nodes, %zu arcs, "
               "%zu leaves, %zu zones (%.1f KiB resident)\n",
@@ -127,12 +159,10 @@ int serve_strategy(const tigat::lang::LoadedModel& model,
   const double ns = watch.seconds() * 1e9 / kReps;
   std::printf("compiled decide(): %.0f ns/decision (%d reps, checksum %lld)\n",
               ns, kReps, static_cast<long long>(sink));
-  return 0;
+  return kExitPass;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace tigat;
 
   std::string path;
@@ -145,6 +175,15 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   bool stats_json = false;
   double progress_secs = -1.0;  // < 0: heartbeat off
+  bool campaign_mode = false;   // set by --runs / --faults
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
+  long runs = 0;
+  long long run_deadline_ms = 0;
+  long retries = 0;
+  int mutant = -1;              // < 0: test the unmutated IUT
+  std::string iut_name = "IUT";
+  std::string campaign_out;
   lang::CompileOptions compile_options;
   std::vector<std::string> extra_purposes;
   const auto add_param = [&](const char* spec) {
@@ -156,7 +195,7 @@ int main(int argc, char** argv) {
         errno == ERANGE) {
       std::fprintf(stderr, "--param expects NAME=VALUE, got '%s'\n",
                    spec ? spec : "");
-      std::exit(2);
+      std::exit(kExitUsageOrModel);
     }
     compile_options.params.emplace_back(std::string(spec, eq),
                                         static_cast<std::int64_t>(value));
@@ -182,6 +221,24 @@ int main(int argc, char** argv) {
       progress_secs = 5.0;
     } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
       progress_secs = std::atof(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      fault_spec = argv[i] + 9;
+      campaign_mode = true;
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      fault_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+      runs = std::atol(argv[i] + 7);
+      campaign_mode = true;
+    } else if (std::strncmp(argv[i], "--run-deadline-ms=", 18) == 0) {
+      run_deadline_ms = std::atoll(argv[i] + 18);
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      retries = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--mutant=", 9) == 0) {
+      mutant = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--iut=", 6) == 0) {
+      iut_name = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--campaign-out=", 15) == 0) {
+      campaign_out = argv[i] + 15;
     } else if (std::strncmp(argv[i], "--param=", 8) == 0) {
       add_param(argv[i] + 8);
     } else if (std::strcmp(argv[i], "--param") == 0) {
@@ -200,8 +257,13 @@ int main(int argc, char** argv) {
                  "[--strategy-in=FILE.tgs] "
                  "[--trace-out=FILE] [--metrics-out=FILE] "
                  "[--progress[=SECS]] [--stats-json] "
-                 "[\"control: A<> ...\"]...\n");
-    return 2;
+                 "[--runs=K] [--faults=SPEC] [--fault-seed=N] "
+                 "[--run-deadline-ms=M] [--retries=R] [--iut=NAME] "
+                 "[--mutant=K] [--campaign-out=FILE] "
+                 "[\"control: A<> ...\"]...\n"
+                 "exit codes: 0 pass, 1 usage/model, 2 I/O, "
+                 "3 solver limit, 4 FAIL, 5 flaky/inconclusive\n");
+    return kExitUsageOrModel;
   }
 
   // Arm the requested telemetry before any pipeline work runs.
@@ -215,7 +277,7 @@ int main(int argc, char** argv) {
       return lang::load_model(path, compile_options);
     } catch (const lang::LangError& e) {
       std::fprintf(stderr, "%s\n", e.what());
-      std::exit(1);
+      std::exit(kExitUsageOrModel);
     }
   }();
 
@@ -229,7 +291,7 @@ int main(int argc, char** argv) {
   // Serving path: a compiled strategy replaces solving entirely.
   if (!strategy_in.empty()) {
     const int rc = serve_strategy(model, strategy_in);
-    if (!write_obs_artifacts(trace_out, metrics_out, stats_json)) return 1;
+    if (!write_obs_artifacts(trace_out, metrics_out, stats_json)) return kExitIo;
     return rc;
   }
 
@@ -239,10 +301,15 @@ int main(int argc, char** argv) {
       purposes.push_back(tsystem::TestPurpose::parse(model.system, text));
     } catch (const tsystem::ModelError& e) {
       std::fprintf(stderr, "bad purpose '%s': %s\n", text.c_str(), e.what());
-      return 1;
+      return kExitUsageOrModel;
     }
   }
   if (purposes.empty()) {
+    if (campaign_mode) {
+      std::fprintf(stderr, "campaign mode needs a test purpose (add "
+                   "'control: A<> ...;' to the model or pass one)\n");
+      return kExitUsageOrModel;
+    }
     std::printf("no test purposes (add 'control: A<> ...;' to the model "
                 "or pass one on the command line)\n");
     if (!strategy_out.empty()) {
@@ -250,9 +317,89 @@ int main(int argc, char** argv) {
                    "--strategy-out: nothing to compile, '%s' was not "
                    "written\n",
                    strategy_out.c_str());
-      return 1;
+      return kExitUsageOrModel;
     }
-    return 0;
+    return kExitPass;
+  }
+
+  // Campaign mode: solve the first purpose, run its strategy against a
+  // simulated IUT (one process of the model, optionally mutated) behind
+  // an optionally fault-injected boundary.
+  if (campaign_mode) {
+    if (runs <= 0) runs = 1;
+    game::SolverOptions options;
+    options.threads = threads;
+    options.compact_zones = compact_zones;
+    game::GameSolver solver(model.system, purposes.front(), options);
+    const auto solution = solver.solve();
+    if (!solution->winning_from_initial()) {
+      std::fprintf(stderr,
+                   "campaign: purpose '%s' is not winnable from the initial "
+                   "state — no sound strategy to execute\n",
+                   purposes.front().source.c_str());
+      return kExitUsageOrModel;
+    }
+    const game::Strategy strategy(solution);
+    const decision::StrategySource source(strategy);
+
+    tsystem::System plant = tsystem::extract_process(model.system, iut_name);
+    if (mutant >= 0) {
+      const auto mutants = testing::enumerate_mutants(plant);
+      if (static_cast<std::size_t>(mutant) >= mutants.size()) {
+        std::fprintf(stderr, "--mutant=%d out of range (%zu mutants)\n",
+                     mutant, mutants.size());
+        return kExitUsageOrModel;
+      }
+      plant = testing::apply_mutant(plant, mutants[mutant]);
+    }
+    constexpr std::int64_t kScale = 16;
+    testing::SimulatedImplementation imp(plant, kScale);
+
+    testing::CampaignOptions copts;
+    copts.runs = static_cast<std::size_t>(runs);
+    copts.retries = static_cast<std::size_t>(retries);
+    copts.run_deadline_ms = run_deadline_ms;
+    copts.backoff_base_ms = 25;
+    copts.fault_spec = fault_spec;
+    copts.fault_seed = fault_seed;
+    const testing::CampaignReport report = [&] {
+      try {
+        return testing::campaign_run(source, model.system, imp, kScale, copts);
+      } catch (const testing::FaultSpecError& e) {
+        std::fprintf(stderr, "--faults: %s\n", e.what());
+        std::exit(kExitUsageOrModel);
+      }
+    }();
+
+    const std::string json = report.to_json();
+    if (!campaign_out.empty()) {
+      std::FILE* f = std::fopen(campaign_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write campaign report to %s\n",
+                     campaign_out.c_str());
+        return kExitIo;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    }
+    std::fprintf(stderr,
+                 "campaign: %s (%zu runs: %zu pass, %zu fail, "
+                 "%zu inconclusive; %zu attempts, %zu deadline hits)\n",
+                 testing::to_string(report.verdict), report.runs,
+                 report.passes, report.fails, report.inconclusive,
+                 report.attempts, report.deadline_hits);
+    if (!write_obs_artifacts(trace_out, metrics_out, stats_json)) {
+      return kExitIo;
+    }
+    switch (report.verdict) {
+      case testing::CampaignVerdict::kPass: return kExitPass;
+      case testing::CampaignVerdict::kFail: return kExitFailVerdict;
+      case testing::CampaignVerdict::kFlaky:
+      case testing::CampaignVerdict::kUnresponsive: return kExitInconclusive;
+    }
+    return kExitInconclusive;
   }
 
   util::TablePrinter table({"purpose", "controllable", "states", "rounds",
@@ -308,8 +455,25 @@ int main(int argc, char** argv) {
                  "--strategy-out: no purpose was solved, '%s' was not "
                  "written\n",
                  strategy_out.c_str());
-    return 1;
+    return kExitUsageOrModel;
   }
-  if (!obs_ok) return 1;
-  return all_winning ? 0 : 1;
+  if (!obs_ok) return kExitIo;
+  return all_winning ? kExitPass : kExitUsageOrModel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const tigat::semantics::ExplorationLimit& e) {
+    std::fprintf(stderr, "solver limit: %s\n", e.what());
+    return kExitSolverLimit;
+  } catch (const tigat::tsystem::ModelError& e) {
+    std::fprintf(stderr, "model error: %s\n", e.what());
+    return kExitUsageOrModel;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsageOrModel;
+  }
 }

@@ -48,6 +48,17 @@ std::span<const std::uint64_t> latency_buckets_ns() {
   return bounds;
 }
 
+std::span<const std::uint64_t> duration_buckets_ms() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t v = 1; v <= (std::uint64_t{1} << 16); v <<= 1) {
+      b.push_back(v);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
 // std::map keeps iteration sorted for the snapshot and never moves
 // mapped values, so references handed out by counter()/gauge()/
 // histogram() stay stable across later registrations.

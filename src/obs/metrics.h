@@ -122,6 +122,11 @@ class Histogram {
 // to µs; anything past 16 ms is pathological and lands in overflow).
 [[nodiscard]] std::span<const std::uint64_t> latency_buckets_ns();
 
+// Power-of-two millisecond bounds, 1 ms .. 2^16 ms (~65 s) — the shared
+// vocabulary for run-duration histograms (a test-campaign run takes
+// milliseconds to tens of seconds; past that it hit its deadline).
+[[nodiscard]] std::span<const std::uint64_t> duration_buckets_ms();
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& instance();

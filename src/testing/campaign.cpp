@@ -1,0 +1,266 @@
+#include "testing/campaign.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testing/cooperative_executor.h"
+#include "testing/faults.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/text.h"
+
+namespace tigat::testing {
+
+const char* to_string(CampaignVerdict v) {
+  switch (v) {
+    case CampaignVerdict::kPass: return "pass";
+    case CampaignVerdict::kFail: return "fail";
+    case CampaignVerdict::kFlaky: return "flaky";
+    case CampaignVerdict::kUnresponsive: return "unresponsive";
+  }
+  return "?";
+}
+
+std::uint64_t campaign_attempt_seed(std::uint64_t fault_seed, std::size_t run,
+                                    std::size_t attempt) {
+  // One splitmix step over a mix keyed by (run, attempt): adjacent
+  // attempts get uncorrelated schedules, and the map is stable across
+  // platforms (part of the byte-identical-report contract).
+  util::Rng rng(fault_seed ^
+                (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(run + 1)) ^
+                (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(attempt)));
+  return rng.next();
+}
+
+namespace {
+
+// True for final outcomes that mean "the IUT/harness never answered":
+// the silence class behind the UNRESPONSIVE campaign verdict.  A
+// kHarnessFault outcome is corruption, not silence — a set of those
+// classifies FLAKY.
+bool is_unresponsive(ReasonCode c) {
+  return c == ReasonCode::kImpCrash || c == ReasonCode::kHarnessHang ||
+         c == ReasonCode::kRunDeadlineExceeded;
+}
+
+std::vector<std::string> uncontrollable_channels(const tsystem::System& spec) {
+  std::vector<std::string> out;
+  for (const auto& chan : spec.channels()) {
+    if (chan.control == tsystem::Controllability::kUncontrollable) {
+      out.push_back(chan.name);
+    }
+  }
+  return out;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += util::format("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+// The engine shared by the plain and cooperative entry points:
+// `attempt` runs one executor attempt and returns its report.
+CampaignReport run_campaign(const std::function<TestReport()>& attempt,
+                            FaultInjector* injector, util::Deadline& deadline,
+                            const CampaignOptions& opts,
+                            const FaultSpec& spec) {
+  TIGAT_SPAN("campaign.run");
+  CampaignReport out;
+  out.runs = opts.runs;
+  out.fault_spec = spec.to_string();
+  out.fault_seed = opts.fault_seed;
+  out.run_deadline_ms = opts.run_deadline_ms;
+  out.retries = opts.retries;
+
+  for (std::size_t run = 0; run < opts.runs; ++run) {
+    RunOutcome outcome;
+    outcome.run = run;
+    for (std::size_t att = 0;; ++att) {
+      if (att > 0 && opts.backoff_base_ms > 0) {
+        const std::int64_t sleep_ms =
+            std::min<std::int64_t>(opts.backoff_base_ms << (att - 1), 1000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+      const std::uint64_t seed =
+          campaign_attempt_seed(opts.fault_seed, run, att);
+      if (injector) injector->reseed(seed);
+      if (opts.run_deadline_ms > 0) {
+        deadline.arm_ms(opts.run_deadline_ms);
+      } else {
+        deadline.disarm();
+      }
+
+      util::Stopwatch watch;
+      outcome.report = attempt();
+      outcome.seed = seed;
+      outcome.attempts = att + 1;
+      outcome.attempt_codes.push_back(outcome.report.code);
+      ++out.attempts;
+      if (att > 0) ++out.retries_used;
+      if (outcome.report.code == ReasonCode::kHarnessHang ||
+          outcome.report.code == ReasonCode::kRunDeadlineExceeded) {
+        ++out.deadline_hits;
+      }
+      if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        m.counter("campaign.attempts").add(1);
+        if (att > 0) m.counter("campaign.retries").add(1);
+        if (injector) {
+          m.counter("campaign.faults_injected")
+              .add(injector->harness_faults());
+        }
+        if (outcome.report.code == ReasonCode::kHarnessHang ||
+            outcome.report.code == ReasonCode::kRunDeadlineExceeded) {
+          m.counter("campaign.deadline_hits").add(1);
+        }
+        m.histogram("campaign.run_ms", obs::duration_buckets_ms())
+            .record(static_cast<std::uint64_t>(watch.milliseconds()));
+      }
+      if (outcome.report.verdict != Verdict::kInconclusive ||
+          att >= opts.retries) {
+        break;
+      }
+    }
+    switch (outcome.report.verdict) {
+      case Verdict::kPass: ++out.passes; break;
+      case Verdict::kFail: ++out.fails; break;
+      case Verdict::kInconclusive: ++out.inconclusive; break;
+    }
+    out.outcomes.push_back(std::move(outcome));
+  }
+  deadline.disarm();
+
+  if (out.fails > 0) {
+    out.verdict = CampaignVerdict::kFail;
+  } else if (out.inconclusive == 0) {
+    out.verdict = CampaignVerdict::kPass;
+  } else {
+    bool all_silent = out.passes == 0;
+    for (const RunOutcome& o : out.outcomes) {
+      if (o.report.verdict == Verdict::kInconclusive &&
+          !is_unresponsive(o.report.code)) {
+        all_silent = false;
+      }
+    }
+    out.verdict = all_silent ? CampaignVerdict::kUnresponsive
+                             : CampaignVerdict::kFlaky;
+  }
+  if (obs::metrics_enabled()) {
+    auto& m = obs::metrics();
+    m.counter("campaign.runs").add(out.runs);
+    m.counter(std::string("campaign.verdict.") + to_string(out.verdict))
+        .add(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CampaignReport::to_json() const {
+  std::string out = "{\"schema\": \"tigat.campaign\", \"version\": 1";
+  out += util::format(", \"verdict\": \"%s\"", to_string(verdict));
+  out += util::format(", \"runs\": %zu", runs);
+  out += util::format(", \"passes\": %zu", passes);
+  out += util::format(", \"fails\": %zu", fails);
+  out += util::format(", \"inconclusive\": %zu", inconclusive);
+  out += util::format(", \"attempts\": %zu", attempts);
+  out += util::format(", \"retries_used\": %zu", retries_used);
+  out += util::format(", \"deadline_hits\": %zu", deadline_hits);
+  out += ", \"fault_spec\": ";
+  append_escaped(out, fault_spec);
+  out += util::format(", \"fault_seed\": %llu",
+                      static_cast<unsigned long long>(fault_seed));
+  out += util::format(", \"run_deadline_ms\": %lld",
+                      static_cast<long long>(run_deadline_ms));
+  out += util::format(", \"retries\": %zu", retries);
+  out += ", \"outcomes\": [";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const RunOutcome& o = outcomes[i];
+    if (i > 0) out += ", ";
+    out += util::format("{\"run\": %zu, \"attempts\": %zu", o.run,
+                        o.attempts);
+    out += util::format(", \"seed\": %llu",
+                        static_cast<unsigned long long>(o.seed));
+    out += util::format(", \"verdict\": \"%s\"", to_string(o.report.verdict));
+    out += util::format(", \"code\": \"%s\"", to_string(o.report.code));
+    out += ", \"detail\": ";
+    append_escaped(out, o.report.detail);
+    out += util::format(", \"steps\": %zu", o.report.steps);
+    out += util::format(", \"total_ticks\": %lld",
+                        static_cast<long long>(o.report.total_ticks));
+    out += util::format(
+        ", \"harness_faults\": %llu",
+        static_cast<unsigned long long>(o.report.harness_faults));
+    out += ", \"trace\": ";
+    append_escaped(out, o.report.trace_string());
+    out += ", \"attempt_codes\": [";
+    for (std::size_t a = 0; a < o.attempt_codes.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += util::format("\"%s\"", to_string(o.attempt_codes[a]));
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+CampaignReport campaign_run(const decision::DecisionSource& source,
+                            const tsystem::System& spec, Implementation& imp,
+                            std::int64_t scale, const CampaignOptions& opts) {
+  const FaultSpec fault_spec = FaultSpec::parse(opts.fault_spec);
+  util::Deadline deadline;
+  ExecutorOptions exec_opts = opts.executor;
+  exec_opts.deadline = &deadline;
+
+  if (fault_spec.any()) {
+    FaultInjector injector(imp, fault_spec, opts.fault_seed,
+                           uncontrollable_channels(spec), &deadline);
+    TestExecutor exec(source, spec, injector, scale, exec_opts);
+    return run_campaign([&] { return exec.run(); }, &injector, deadline, opts,
+                        fault_spec);
+  }
+  TestExecutor exec(source, spec, imp, scale, exec_opts);
+  return run_campaign([&] { return exec.run(); }, nullptr, deadline, opts,
+                      fault_spec);
+}
+
+CampaignReport campaign_run_cooperative(const tsystem::System& original,
+                                        const decision::DecisionSource& source,
+                                        Implementation& imp,
+                                        std::int64_t scale,
+                                        const CampaignOptions& opts) {
+  const FaultSpec fault_spec = FaultSpec::parse(opts.fault_spec);
+  util::Deadline deadline;
+  ExecutorOptions exec_opts = opts.executor;
+  exec_opts.deadline = &deadline;
+
+  if (fault_spec.any()) {
+    FaultInjector injector(imp, fault_spec, opts.fault_seed,
+                           uncontrollable_channels(original), &deadline);
+    CooperativeExecutor exec(original, source, injector, scale, exec_opts);
+    return run_campaign([&] { return exec.run(); }, &injector, deadline, opts,
+                        fault_spec);
+  }
+  CooperativeExecutor exec(original, source, imp, scale, exec_opts);
+  return run_campaign([&] { return exec.run(); }, nullptr, deadline, opts,
+                      fault_spec);
+}
+
+}  // namespace tigat::testing

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/text.h"
 
@@ -33,14 +34,59 @@ CooperativeExecutor::CooperativeExecutor(const tsystem::System& original,
       options_(options) {}
 
 TestReport CooperativeExecutor::run() {
+  TIGAT_SPAN("executor.run");
+  TestReport report = run_impl();
+  report.harness_faults = imp_->harness_faults();
+  record_run_metrics(report);
+  return report;
+}
+
+TestReport CooperativeExecutor::run_impl() {
   TestReport report;
   monitor_.reset();
   imp_->reset();
 
-  const auto finish = [&](Verdict v, std::string reason) {
-    report.verdict = v;
-    report.reason = std::move(reason);
+  const auto inconclusive = [&](ReasonCode code, std::string detail) {
+    report.verdict = Verdict::kInconclusive;
+    report.code = code;
+    report.detail = std::move(detail);
     return report;
+  };
+  // Same soundness-under-faults rule as TestExecutor::run_impl: a FAIL
+  // survives only if the observation channel was clean all run.
+  const auto fail = [&](ReasonCode code, std::string detail) {
+    if (imp_->harness_faults() > 0) {
+      return inconclusive(
+          ReasonCode::kHarnessFault,
+          "would-be FAIL (" + std::string(to_string(code)) +
+              ") suppressed: " + imp_->harness_fault_summary());
+    }
+    report.verdict = Verdict::kFail;
+    report.code = code;
+    report.detail = std::move(detail);
+    return report;
+  };
+
+  // Boundary calls may hang (cancelled by the deadline), crash or
+  // report harness faults; classify instead of propagating.
+  struct BoundaryError {
+    ReasonCode code;
+    std::string detail;
+  };
+  std::optional<BoundaryError> boundary_error;
+  const auto guarded_advance =
+      [&](std::int64_t wait) -> std::optional<ObservedOutput> {
+    try {
+      return imp_->advance(wait);
+    } catch (const HarnessHangError& e) {
+      boundary_error = {ReasonCode::kHarnessHang, e.what()};
+    } catch (const HarnessFaultError& e) {
+      boundary_error = {ReasonCode::kHarnessFault, e.what()};
+    } catch (const std::exception& e) {
+      boundary_error = {ReasonCode::kImpCrash,
+                        std::string("IMP crashed in advance: ") + e.what()};
+    }
+    return std::nullopt;
   };
 
   // Handles an observed output: FAIL on tioco violation, otherwise the
@@ -57,14 +103,21 @@ TestReport CooperativeExecutor::run() {
   };
 
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
+    if (options_.deadline && options_.deadline->expired()) {
+      return inconclusive(ReasonCode::kRunDeadlineExceeded,
+                          "run wall-clock budget expired");
+    }
     const game::Move move = source_->decide(monitor_.state(), scale_);
     switch (move.kind) {
       case game::MoveKind::kGoalReached:
-        return finish(Verdict::kPass, "test purpose reached (cooperatively)");
+        report.verdict = Verdict::kPass;
+        report.code = ReasonCode::kPurposeReached;
+        report.detail = "test purpose reached (cooperatively)";
+        return report;
 
       case game::MoveKind::kUnwinnable:
-        return finish(Verdict::kInconclusive,
-                      "the SUT drifted off the cooperative plan");
+        return inconclusive(ReasonCode::kSutDeclined,
+                            "the SUT drifted off the cooperative plan");
 
       case game::MoveKind::kAction: {
         const auto& inst = source_->edge_instance(*move.edge);
@@ -82,7 +135,17 @@ TestReport CooperativeExecutor::run() {
             TIGAT_ASSERT(ok, "SPEC rejected a planned tau move");
             break;
           }
-          imp_->offer_input(*chan);
+          try {
+            imp_->offer_input(*chan);
+          } catch (const HarnessHangError& e) {
+            return inconclusive(ReasonCode::kHarnessHang, e.what());
+          } catch (const HarnessFaultError& e) {
+            return inconclusive(ReasonCode::kHarnessFault, e.what());
+          } catch (const std::exception& e) {
+            return inconclusive(ReasonCode::kImpCrash,
+                                std::string("IMP crashed in offer_input: ") +
+                                    e.what());
+          }
           const bool ok = monitor_.apply_input(*chan);
           TIGAT_ASSERT(ok, "SPEC rejected a planned input");
           report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
@@ -94,39 +157,55 @@ TestReport CooperativeExecutor::run() {
         const std::int64_t deadline = monitor_.allowed_delay();
         const std::int64_t wait =
             std::min<std::int64_t>(deadline, options_.idle_wait_cap);
-        const auto obs = imp_->advance(wait);
+        const auto obs = guarded_advance(wait);
+        if (boundary_error) {
+          return inconclusive(boundary_error->code, boundary_error->detail);
+        }
         if (!obs) {
           if (wait == deadline && deadline < options_.idle_wait_cap) {
-            return finish(Verdict::kFail,
-                          "quiescence violation while hoping for '" + *chan +
-                              "'");
+            return fail(ReasonCode::kQuiescenceViolation,
+                        "quiescence violation while hoping for '" + *chan +
+                            "'");
           }
-          return finish(Verdict::kInconclusive,
-                        "the SUT declined to produce '" + *chan +
-                            "' (within its rights)");
+          return inconclusive(ReasonCode::kSutDeclined,
+                              "the SUT declined to produce '" + *chan +
+                                  "' (within its rights)");
         }
         if (!absorb_output(*obs)) {
-          return finish(Verdict::kFail,
-                        "unexpected output '" + obs->channel +
-                            "': not in Out(s After sigma)");
+          return fail(ReasonCode::kUnexpectedOutput,
+                      "unexpected output '" + obs->channel +
+                          "': not in Out(s After sigma)");
         }
         break;
       }
 
       case game::MoveKind::kDelay: {
         std::int64_t wait = options_.idle_wait_cap;
+        bool wait_bounded = false;
         if (move.next_decision_ticks < game::Move::kNoDecision) {
           wait = move.next_decision_ticks;
+          wait_bounded = true;
         }
         const std::int64_t deadline = monitor_.allowed_delay();
         if (deadline < semantics::ConcreteSemantics::kNoDeadline) {
           wait = std::min(wait, deadline);
+          wait_bounded = true;
         }
-        const auto obs = imp_->advance(wait);
+        const auto obs = guarded_advance(wait);
+        if (boundary_error) {
+          return inconclusive(boundary_error->code, boundary_error->detail);
+        }
         if (!obs) {
           if (wait == 0) {
-            return finish(Verdict::kFail,
-                          "quiescence violation: output deadline expired");
+            return fail(ReasonCode::kQuiescenceViolation,
+                        "quiescence violation: output deadline expired");
+          }
+          if (!wait_bounded) {
+            return inconclusive(
+                ReasonCode::kUnboundedWait,
+                util::format("no deadline from plan or SPEC; quiescent for "
+                             "the whole %lld-tick cap",
+                             static_cast<long long>(wait)));
           }
           const bool ok = monitor_.apply_delay(wait);
           TIGAT_ASSERT(ok, "delay within the deadline rejected");
@@ -135,15 +214,16 @@ TestReport CooperativeExecutor::run() {
           break;
         }
         if (!absorb_output(*obs)) {
-          return finish(Verdict::kFail,
-                        "unexpected output '" + obs->channel +
-                            "': not in Out(s After sigma)");
+          return fail(ReasonCode::kUnexpectedOutput,
+                      "unexpected output '" + obs->channel +
+                          "': not in Out(s After sigma)");
         }
         break;
       }
     }
   }
-  return finish(Verdict::kInconclusive, "step budget exhausted");
+  return inconclusive(ReasonCode::kStepBudgetExhausted,
+                      "step budget exhausted");
 }
 
 }  // namespace tigat::testing

@@ -42,9 +42,13 @@ class CooperativeExecutor {
   CooperativeExecutor(const CooperativeExecutor&) = delete;
   CooperativeExecutor& operator=(const CooperativeExecutor&) = delete;
 
+  // Same wrapper contract as TestExecutor::run — "executor.run" span,
+  // "executor.*" metrics, harness-fault count in the report.
   [[nodiscard]] TestReport run();
 
  private:
+  [[nodiscard]] TestReport run_impl();
+
   const tsystem::System* original_;
   std::optional<decision::StrategySource> owned_source_;
   const decision::DecisionSource* source_;

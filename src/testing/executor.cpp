@@ -18,6 +18,36 @@ const char* to_string(Verdict v) {
   return "?";
 }
 
+const char* to_string(ReasonCode c) {
+  switch (c) {
+    case ReasonCode::kNone: return "none";
+    case ReasonCode::kPurposeReached: return "purpose-reached";
+    case ReasonCode::kQuiescenceViolation: return "quiescence-violation";
+    case ReasonCode::kUnexpectedOutput: return "unexpected-output";
+    case ReasonCode::kOutsideWinningRegion: return "outside-winning-region";
+    case ReasonCode::kStepBudgetExhausted: return "step-budget-exhausted";
+    case ReasonCode::kUnboundedWait: return "unbounded-wait";
+    case ReasonCode::kSutDeclined: return "sut-declined";
+    case ReasonCode::kHarnessFault: return "harness-fault";
+    case ReasonCode::kImpCrash: return "imp-crash";
+    case ReasonCode::kHarnessHang: return "harness-hang";
+    case ReasonCode::kRunDeadlineExceeded: return "run-deadline-exceeded";
+  }
+  return "?";
+}
+
+bool is_harness_level(ReasonCode c) {
+  switch (c) {
+    case ReasonCode::kHarnessFault:
+    case ReasonCode::kImpCrash:
+    case ReasonCode::kHarnessHang:
+    case ReasonCode::kRunDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string TestReport::trace_string() const {
   std::string out;
   for (const TraceEvent& e : trace) {
@@ -31,6 +61,33 @@ std::string TestReport::trace_string() const {
     }
   }
   return out;
+}
+
+void record_run_metrics(const TestReport& report) {
+  if (!obs::metrics_enabled()) return;
+  auto& m = obs::metrics();
+  m.counter("executor.runs").add(1);
+  m.counter("executor.steps").add(report.steps);
+  std::uint64_t inputs = 0, outputs = 0, delays = 0;
+  for (const TraceEvent& e : report.trace) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kInput: ++inputs; break;
+      case TraceEvent::Kind::kOutput: ++outputs; break;
+      case TraceEvent::Kind::kDelay: ++delays; break;
+    }
+  }
+  m.counter("executor.inputs").add(inputs);
+  m.counter("executor.outputs").add(outputs);
+  m.counter("executor.delays").add(delays);
+  const char* verdict = report.verdict == Verdict::kPass
+                            ? "executor.verdict.pass"
+                            : report.verdict == Verdict::kFail
+                                  ? "executor.verdict.fail"
+                                  : "executor.verdict.inconclusive";
+  m.counter(verdict).add(1);
+  if (is_harness_level(report.code)) {
+    m.counter("executor.harness_level_outcomes").add(1);
+  }
 }
 
 TestExecutor::TestExecutor(const game::Strategy& strategy, Implementation& imp,
@@ -54,28 +111,8 @@ TestExecutor::TestExecutor(const decision::DecisionSource& source,
 TestReport TestExecutor::run() {
   TIGAT_SPAN("executor.run");
   TestReport report = run_impl();
-  if (obs::metrics_enabled()) {
-    auto& m = obs::metrics();
-    m.counter("executor.runs").add(1);
-    m.counter("executor.steps").add(report.steps);
-    std::uint64_t inputs = 0, outputs = 0, delays = 0;
-    for (const TraceEvent& e : report.trace) {
-      switch (e.kind) {
-        case TraceEvent::Kind::kInput: ++inputs; break;
-        case TraceEvent::Kind::kOutput: ++outputs; break;
-        case TraceEvent::Kind::kDelay: ++delays; break;
-      }
-    }
-    m.counter("executor.inputs").add(inputs);
-    m.counter("executor.outputs").add(outputs);
-    m.counter("executor.delays").add(delays);
-    const char* verdict = report.verdict == Verdict::kPass
-                              ? "executor.verdict.pass"
-                              : report.verdict == Verdict::kFail
-                                    ? "executor.verdict.fail"
-                                    : "executor.verdict.inconclusive";
-    m.counter(verdict).add(1);
-  }
+  report.harness_faults = imp_->harness_faults();
+  record_run_metrics(report);
   return report;
 }
 
@@ -84,31 +121,50 @@ TestReport TestExecutor::run_impl() {
   monitor_.reset();
   imp_->reset();
 
-  const auto fail = [&](std::string reason) {
-    report.verdict = Verdict::kFail;
-    report.reason = std::move(reason);
+  const auto inconclusive = [&](ReasonCode code, std::string detail) {
+    report.verdict = Verdict::kInconclusive;
+    report.code = code;
+    report.detail = std::move(detail);
     return report;
   };
-  const auto inconclusive = [&](std::string reason) {
-    report.verdict = Verdict::kInconclusive;
-    report.reason = std::move(reason);
+  // FAIL is only sound over a clean observation channel: if the
+  // boundary reported corruption at any point of this run, what we
+  // observed may not be what the IUT did, and the verdict degrades to
+  // INCONCLUSIVE / kHarnessFault (soundness over completeness — a
+  // retry with a fresh fault schedule can still earn the real FAIL).
+  const auto fail = [&](ReasonCode code, std::string detail) {
+    if (imp_->harness_faults() > 0) {
+      return inconclusive(
+          ReasonCode::kHarnessFault,
+          "would-be FAIL (" + std::string(to_string(code)) +
+              ") suppressed: " + imp_->harness_fault_summary());
+    }
+    report.verdict = Verdict::kFail;
+    report.code = code;
+    report.detail = std::move(detail);
     return report;
   };
 
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
     TIGAT_SPAN("executor.step");
+    if (options_.deadline && options_.deadline->expired()) {
+      return inconclusive(ReasonCode::kRunDeadlineExceeded,
+                          "run wall-clock budget expired");
+    }
     const game::Move move = source_->decide(monitor_.state(), scale_);
     switch (move.kind) {
       case game::MoveKind::kGoalReached:
         report.verdict = Verdict::kPass;
-        report.reason = "test purpose reached";
+        report.code = ReasonCode::kPurposeReached;
+        report.detail = "test purpose reached";
         return report;
 
       case game::MoveKind::kUnwinnable:
         // A winning strategy never leaves its winning region on
         // conforming behaviour; landing here means the purpose was not
         // controllable from the start (caller error).
-        return inconclusive("state outside the winning region");
+        return inconclusive(ReasonCode::kOutsideWinningRegion,
+                            "state outside the winning region");
 
       case game::MoveKind::kAction: {
         const auto& inst = source_->edge_instance(*move.edge);
@@ -121,9 +177,19 @@ TestReport TestExecutor::run_impl() {
           TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed tau move");
           break;
         }
-        imp_->offer_input(*chan);  // mutants may ignore it; that alone
-                                   // is not observable — the missing
-                                   // consequences will be.
+        try {
+          imp_->offer_input(*chan);  // mutants may ignore it; that alone
+                                     // is not observable — the missing
+                                     // consequences will be.
+        } catch (const HarnessHangError& e) {
+          return inconclusive(ReasonCode::kHarnessHang, e.what());
+        } catch (const HarnessFaultError& e) {
+          return inconclusive(ReasonCode::kHarnessFault, e.what());
+        } catch (const std::exception& e) {
+          return inconclusive(ReasonCode::kImpCrash,
+                              std::string("IMP crashed in offer_input: ") +
+                                  e.what());
+        }
         const bool ok = monitor_.apply_input(*chan);
         TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed input");
         report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
@@ -136,21 +202,46 @@ TestReport TestExecutor::run_impl() {
         // must have produced something), whichever is earlier.  A wait
         // of 0 means the SUT must act at this very instant.
         std::int64_t wait = options_.idle_wait_cap;
+        bool wait_bounded = false;  // by the strategy or the SPEC
         if (move.next_decision_ticks < game::Move::kNoDecision) {
           wait = move.next_decision_ticks;
+          wait_bounded = true;
         }
         const std::int64_t deadline = monitor_.allowed_delay();
         if (deadline < semantics::ConcreteSemantics::kNoDeadline) {
           wait = std::min(wait, deadline);
+          wait_bounded = true;
         }
         TIGAT_ASSERT(wait >= 0, "negative waiting time");
 
-        const auto obs = imp_->advance(wait);
+        std::optional<ObservedOutput> obs;
+        try {
+          obs = imp_->advance(wait);
+        } catch (const HarnessHangError& e) {
+          return inconclusive(ReasonCode::kHarnessHang, e.what());
+        } catch (const HarnessFaultError& e) {
+          return inconclusive(ReasonCode::kHarnessFault, e.what());
+        } catch (const std::exception& e) {
+          return inconclusive(ReasonCode::kImpCrash,
+                              std::string("IMP crashed in advance: ") +
+                                  e.what());
+        }
         if (!obs) {
           if (wait == 0) {
-            return fail(
-                "quiescence violation: output deadline expired with no "
-                "output");
+            return fail(ReasonCode::kQuiescenceViolation,
+                        "quiescence violation: output deadline expired with "
+                        "no output");
+          }
+          if (!wait_bounded) {
+            // Defensive path: the strategy offered no decision point and
+            // the SPEC no invariant deadline, so nothing bounds this
+            // wait.  Silently sleeping idle_wait_cap and looping would
+            // just burn the step budget — surface the cause instead.
+            return inconclusive(
+                ReasonCode::kUnboundedWait,
+                util::format("no deadline from strategy or SPEC; quiescent "
+                             "for the whole %lld-tick cap",
+                             static_cast<long long>(wait)));
           }
           // Quiescent for the whole window (allowed: wait ≤ deadline).
           const bool ok = monitor_.apply_delay(wait);
@@ -169,18 +260,20 @@ TestReport TestExecutor::run_impl() {
               {TraceEvent::Kind::kDelay, "", obs->after_ticks});
         }
         if (!monitor_.apply_output(obs->channel)) {
-          return fail(util::format(
-              "unexpected output '%s' after %lld ticks: not in "
-              "Out(s After sigma)",
-              obs->channel.c_str(),
-              static_cast<long long>(obs->after_ticks)));
+          return fail(ReasonCode::kUnexpectedOutput,
+                      util::format(
+                          "unexpected output '%s' after %lld ticks: not in "
+                          "Out(s After sigma)",
+                          obs->channel.c_str(),
+                          static_cast<long long>(obs->after_ticks)));
         }
         report.trace.push_back({TraceEvent::Kind::kOutput, obs->channel, 0});
         break;
       }
     }
   }
-  return inconclusive("step budget exhausted");
+  return inconclusive(ReasonCode::kStepBudgetExhausted,
+                      "step budget exhausted");
 }
 
 }  // namespace tigat::testing

@@ -17,6 +17,17 @@
 // non-conformance.  Partial completeness (Theorem 11) appears as the
 // mutation experiments: IMPs that break conformance along the strategy
 // are driven into a failing run.
+//
+// Soundness under harness faults: Theorem 10 assumes a perfect
+// observation channel.  When the channel itself drops/garbles events
+// (see testing/faults.h and Implementation::harness_faults), a
+// "forbidden" observation may be the harness's fault, not the IUT's —
+// so the executor downgrades any would-be FAIL to INCONCLUSIVE /
+// kHarnessFault whenever the boundary reported corruption during the
+// run, catches exceptions escaping the IMP (kImpCrash / kHarnessHang),
+// and honours a cooperative wall-clock deadline checked once per step
+// (kRunDeadlineExceeded).  FAIL therefore still implies evidence of
+// non-conformance observed over a clean channel.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +39,7 @@
 #include "game/strategy.h"
 #include "testing/implementation.h"
 #include "testing/monitor.h"
+#include "util/cancel.h"
 
 namespace tigat::testing {
 
@@ -39,6 +51,37 @@ enum class Verdict : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Verdict v);
 
+// Machine-readable cause behind a verdict.  The campaign layer and CI
+// branch on these; the free-text TestReport::detail only amplifies.
+enum class ReasonCode : std::uint8_t {
+  kNone = 0,
+  // PASS
+  kPurposeReached,
+  // FAIL — evidence of non-conformance (sound, Theorem 10)
+  kQuiescenceViolation,  // promised output never came
+  kUnexpectedOutput,     // o ∉ Out(s After σ)
+  // INCONCLUSIVE — no verdict either way
+  kOutsideWinningRegion,  // purpose uncontrollable from the start
+  kStepBudgetExhausted,   // ExecutorOptions::max_steps hit
+  kUnboundedWait,         // neither strategy nor SPEC bounded the wait
+                          // (idle_wait_cap defensive path)
+  kSutDeclined,           // cooperative: IUT legally left the plan
+  // INCONCLUSIVE — the harness, not the IUT (unresponsive class except
+  // kHarnessFault, which is corruption rather than silence)
+  kHarnessFault,         // observation channel corrupted mid-run
+  kImpCrash,             // an exception escaped the IMP boundary
+  kHarnessHang,          // boundary hang cancelled by the deadline
+  kRunDeadlineExceeded,  // per-run wall-clock budget expired
+};
+
+[[nodiscard]] const char* to_string(ReasonCode c);
+
+// True for causes that mean "the run infrastructure failed", i.e. a
+// retry with a fresh schedule could succeed: the harness class above
+// plus nothing else.  Campaigns retry these and classify run sets that
+// only ever produce them as UNRESPONSIVE.
+[[nodiscard]] bool is_harness_level(ReasonCode c);
+
 struct TraceEvent {
   enum class Kind : std::uint8_t { kInput, kOutput, kDelay };
   Kind kind;
@@ -48,10 +91,15 @@ struct TraceEvent {
 
 struct TestReport {
   Verdict verdict = Verdict::kInconclusive;
-  std::string reason;
+  ReasonCode code = ReasonCode::kNone;
+  std::string detail;  // human amplification of `code`; never branch on it
   std::vector<TraceEvent> trace;
   std::int64_t total_ticks = 0;
   std::size_t steps = 0;
+  // Boundary corruption count at the end of the run (see
+  // Implementation::harness_faults).  Always 0 on a FAIL verdict —
+  // that is the soundness-under-faults invariant.
+  std::uint64_t harness_faults = 0;
 
   [[nodiscard]] std::string trace_string() const;
 };
@@ -60,7 +108,13 @@ struct ExecutorOptions {
   std::size_t max_steps = 10000;
   // Cap for a single wait when neither the strategy nor the invariants
   // provide a deadline (defensive; a winning strategy always does).
+  // Quiescence across a whole uncapped window yields INCONCLUSIVE /
+  // kUnboundedWait — never a silent max-length wait.
   std::int64_t idle_wait_cap = 1 << 20;
+  // Cooperative wall-clock budget, polled once per step; nullptr or an
+  // unarmed Deadline means no budget.  The campaign layer arms one per
+  // run and shares it with the FaultInjector so simulated hangs end.
+  const util::Deadline* deadline = nullptr;
 };
 
 class TestExecutor {
@@ -98,5 +152,8 @@ class TestExecutor {
   std::int64_t scale_;
   ExecutorOptions options_;
 };
+
+// Shared by both executors: per-run verdict/trace metrics (obs layer).
+void record_run_metrics(const TestReport& report);
 
 }  // namespace tigat::testing

@@ -1,0 +1,305 @@
+#include "testing/faults.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/assert.h"
+#include "util/text.h"
+
+namespace tigat::testing {
+
+namespace {
+
+// One clause of the spec string, already split on ','.
+struct Clause {
+  std::string key;    // "drop", "delay", "hang@step", ...
+  std::string value;  // text right of '='
+};
+
+Clause split_clause(const std::string& text) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == text.size()) {
+    throw FaultSpecError("fault spec clause '" + text +
+                         "' is not KEY=VALUE");
+  }
+  return {text.substr(0, eq), text.substr(eq + 1)};
+}
+
+double parse_prob(const Clause& c) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(c.value.c_str(), &end);
+  if (end == c.value.c_str() || *end != '\0' || errno == ERANGE || v < 0.0 ||
+      v > 1.0) {
+    throw FaultSpecError("fault spec '" + c.key + "=" + c.value +
+                         "': expected a probability in [0,1]");
+  }
+  return v;
+}
+
+std::int64_t parse_int(const Clause& c, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE || v < 0) {
+    throw FaultSpecError("fault spec '" + c.key + "=" + c.value +
+                         "': expected a non-negative integer, got '" + text +
+                         "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string raw = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? text.size() : comma + 1;
+    if (raw.empty()) continue;
+
+    const Clause c = split_clause(raw);
+    if (c.key == "drop") {
+      spec.drop = parse_prob(c);
+    } else if (c.key == "dup") {
+      spec.dup = parse_prob(c);
+    } else if (c.key == "spurious") {
+      spec.spurious = parse_prob(c);
+    } else if (c.key == "reject") {
+      spec.reject = parse_prob(c);
+    } else if (c.key == "delay") {
+      const auto dots = c.value.find("..");
+      if (dots == std::string::npos) {
+        throw FaultSpecError("fault spec 'delay=" + c.value +
+                             "': expected LO..HI ticks");
+      }
+      spec.delay_lo = parse_int(c, c.value.substr(0, dots));
+      spec.delay_hi = parse_int(c, c.value.substr(dots + 2));
+      if (spec.delay_lo > spec.delay_hi) {
+        throw FaultSpecError("fault spec 'delay=" + c.value +
+                             "': LO exceeds HI");
+      }
+    } else if (c.key == "hang@step") {
+      const std::int64_t n = parse_int(c, c.value);
+      if (n < 1) throw FaultSpecError("hang@step counts from 1");
+      spec.hang_at_step = static_cast<std::uint64_t>(n);
+    } else if (c.key == "crash@step") {
+      const std::int64_t n = parse_int(c, c.value);
+      if (n < 1) throw FaultSpecError("crash@step counts from 1");
+      spec.crash_at_step = static_cast<std::uint64_t>(n);
+    } else {
+      throw FaultSpecError(
+          "unknown fault spec clause '" + c.key +
+          "' (known: drop dup spurious reject delay hang@step crash@step)");
+    }
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string out;
+  const auto clause = [&](const std::string& text) {
+    if (!out.empty()) out += ',';
+    out += text;
+  };
+  if (drop > 0) clause(util::format("drop=%g", drop));
+  if (dup > 0) clause(util::format("dup=%g", dup));
+  if (spurious > 0) clause(util::format("spurious=%g", spurious));
+  if (reject > 0) clause(util::format("reject=%g", reject));
+  if (delay_hi > 0) {
+    clause(util::format("delay=%lld..%lld", static_cast<long long>(delay_lo),
+                        static_cast<long long>(delay_hi)));
+  }
+  if (hang_at_step != kNever) {
+    clause(util::format("hang@step=%llu",
+                        static_cast<unsigned long long>(hang_at_step)));
+  }
+  if (crash_at_step != kNever) {
+    clause(util::format("crash@step=%llu",
+                        static_cast<unsigned long long>(crash_at_step)));
+  }
+  return out;
+}
+
+bool FaultSpec::any() const {
+  return drop > 0 || dup > 0 || spurious > 0 || reject > 0 || delay_hi > 0 ||
+         hang_at_step != kNever || crash_at_step != kNever;
+}
+
+FaultInjector::FaultInjector(Implementation& inner, FaultSpec spec,
+                             std::uint64_t seed,
+                             std::vector<std::string> spurious_channels,
+                             const util::Deadline* deadline)
+    : inner_(&inner),
+      spec_(spec),
+      seed_(seed),
+      spurious_channels_(std::move(spurious_channels)),
+      deadline_(deadline) {
+  reset();
+}
+
+void FaultInjector::reset() {
+  inner_->reset();
+  rng_ = util::Rng(seed_);
+  calls_ = 0;
+  counters_ = {};
+  last_fault_.clear();
+  in_flight_.clear();
+}
+
+std::uint64_t FaultInjector::harness_faults() const {
+  return counters_.total();
+}
+
+std::string FaultInjector::harness_fault_summary() const {
+  if (counters_.total() == 0) return {};
+  std::string out = util::format(
+      "%llu injected fault(s):",
+      static_cast<unsigned long long>(counters_.total()));
+  const auto item = [&](std::uint64_t n, const char* label) {
+    if (n > 0) {
+      out += util::format(" %s x%llu", label,
+                          static_cast<unsigned long long>(n));
+    }
+  };
+  item(counters_.drops, "drop");
+  item(counters_.delays, "delay");
+  item(counters_.dups, "dup");
+  item(counters_.spurious, "spurious");
+  item(counters_.rejects, "reject");
+  item(counters_.hangs, "hang");
+  item(counters_.crashes, "crash");
+  out += " (last: " + last_fault_ + ")";
+  return out;
+}
+
+void FaultInjector::count(std::uint64_t Counters::* field, const char* label) {
+  ++(counters_.*field);
+  last_fault_ = label;
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter(std::string("faults.") + label).add(1);
+  }
+}
+
+void FaultInjector::on_boundary_call() {
+  ++calls_;
+  if (calls_ == spec_.crash_at_step) {
+    count(&Counters::crashes, "crash");
+    throw InjectedCrash(util::format(
+        "injected crash at boundary call %llu",
+        static_cast<unsigned long long>(calls_)));
+  }
+  if (calls_ == spec_.hang_at_step) {
+    count(&Counters::hangs, "hang");
+    if (!deadline_ || !deadline_->armed()) {
+      // Blocking forever with nothing to cancel us would wedge the
+      // harness we exist to test — surface the hang immediately.
+      throw HarnessHangError(
+          "injected hang with no armed deadline (refusing to block)");
+    }
+    while (!deadline_->expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    throw HarnessHangError(util::format(
+        "injected hang at boundary call %llu cancelled by the run deadline",
+        static_cast<unsigned long long>(calls_)));
+  }
+}
+
+void FaultInjector::age_in_flight(std::int64_t ticks) {
+  for (InFlight& f : in_flight_) {
+    f.due = f.due > ticks ? f.due - ticks : 0;
+  }
+}
+
+void FaultInjector::enqueue_in_flight(std::string channel, std::int64_t due) {
+  // Keep sorted by due; ties deliver in enqueue order.
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end() && it->due <= due) ++it;
+  in_flight_.insert(it, InFlight{std::move(channel), due});
+}
+
+std::optional<ObservedOutput> FaultInjector::advance(std::int64_t ticks) {
+  on_boundary_call();
+
+  // A spurious output materialises at the very start of the window —
+  // the simplest deterministic placement, and the nastiest for the
+  // executor (zero warning).
+  if (spec_.spurious > 0 && !spurious_channels_.empty() &&
+      rng_.uniform01() < spec_.spurious) {
+    count(&Counters::spurious, "spurious");
+    const auto& chan =
+        spurious_channels_[rng_.next() % spurious_channels_.size()];
+    return ObservedOutput{chan, 0};
+  }
+
+  std::int64_t remaining = ticks;
+  std::int64_t offset = 0;  // virtual time consumed inside this call
+
+  // Each hop advances the inner IUT to the next event: a fresh output,
+  // an in-flight (delayed/duplicated) delivery, or the window end.
+  // Bounded defensively: a mutant stuck in an instantaneous output
+  // loop whose outputs keep being dropped would otherwise spin here.
+  constexpr int kMaxHops = 4096;
+  for (int hop = 0; hop < kMaxHops; ++hop) {
+    const bool have_wire = !in_flight_.empty();
+    const std::int64_t horizon =
+        have_wire ? std::min(in_flight_.front().due, remaining) : remaining;
+
+    const auto obs = inner_->advance(horizon);
+    if (!obs) {
+      // Quiescent up to the horizon.
+      offset += horizon;
+      remaining -= horizon;
+      age_in_flight(horizon);
+      if (have_wire && in_flight_.front().due == 0) {
+        InFlight f = std::move(in_flight_.front());
+        in_flight_.pop_front();
+        return ObservedOutput{std::move(f.channel), offset};
+      }
+      return std::nullopt;  // whole window passed (remaining == 0)
+    }
+
+    // Fresh output after obs->after_ticks ≤ horizon.
+    offset += obs->after_ticks;
+    remaining -= obs->after_ticks;
+    age_in_flight(obs->after_ticks);
+
+    if (spec_.drop > 0 && rng_.uniform01() < spec_.drop) {
+      count(&Counters::drops, "drop");
+      continue;  // swallowed by the channel
+    }
+    std::int64_t pad = 0;
+    if (spec_.delay_hi > 0) pad = rng_.range(spec_.delay_lo, spec_.delay_hi);
+    if (pad > 0) {
+      count(&Counters::delays, "delay");
+      enqueue_in_flight(obs->channel, pad);
+      continue;  // still in the wire; maybe due within this window
+    }
+    if (spec_.dup > 0 && rng_.uniform01() < spec_.dup) {
+      count(&Counters::dups, "dup");
+      enqueue_in_flight(obs->channel, 0);  // echoes right behind
+    }
+    return ObservedOutput{obs->channel, offset};
+  }
+  throw HarnessFaultError(
+      "fault channel livelock: >4096 instantaneous events in one window");
+}
+
+bool FaultInjector::offer_input(const std::string& channel) {
+  on_boundary_call();
+  if (spec_.reject > 0 && rng_.uniform01() < spec_.reject) {
+    count(&Counters::rejects, "reject");
+    return false;  // the adapter ate it; the IUT never saw the input
+  }
+  return inner_->offer_input(channel);
+}
+
+}  // namespace tigat::testing

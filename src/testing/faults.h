@@ -1,0 +1,157 @@
+// Deterministic fault injection at the IUT boundary.
+//
+// The paper's soundness theorem assumes the tester observes exactly
+// what the IUT does.  A real harness does not get that luxury: the
+// observation channel drops, delays and duplicates outputs, adapters
+// emit garbage or swallow inputs, the IUT process wedges or dies.
+// FaultInjector is a decorator over any Implementation that simulates
+// precisely those failures — *deterministically*, from a seeded
+// util::Rng, so every chaotic run is replayable bit for bit from
+// (spec string, seed).
+//
+// Fault-spec grammar (compact, comma-separated, order-free):
+//
+//   drop=P        P ∈ [0,1]  each real output is swallowed w.p. P
+//   dup=P                    each delivered output is re-delivered
+//                            immediately after w.p. P
+//   spurious=P               each advance() window starts with a fake
+//                            output w.p. P (channel drawn from the
+//                            uncontrollable alphabet)
+//   reject=P                 each offer_input is discarded w.p. P
+//   delay=LO..HI             each output's latency is padded by a draw
+//                            from [LO,HI] ticks (0 pad = no fault)
+//   hang@step=N              the N-th boundary call blocks until the
+//                            shared util::Deadline expires, then
+//                            raises HarnessHangError
+//   crash@step=N             the N-th boundary call raises an
+//                            InjectedCrash (a plain runtime_error —
+//                            executors classify it kImpCrash)
+//
+//   e.g. "drop=0.05,delay=0..8,dup=0.01,hang@step=40,crash@step=120"
+//
+// Every injected corruption increments harness_faults(); executors use
+// that count to refuse FAIL verdicts over a dirty channel (see
+// executor.h), which is what makes the chaos suite's "no false FAIL"
+// guarantee provable.  A schedule that never fires leaves the injector
+// an exact pass-through: same inner calls, same observations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "testing/implementation.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+
+namespace tigat::testing {
+
+class FaultSpecError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// The injected mid-run death of the IUT process.  Deliberately NOT a
+// HarnessFaultError: executors must contain *any* exception escaping
+// the boundary, so the crash travels as the generic kind.
+class InjectedCrash : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultSpec {
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  double drop = 0.0;
+  double dup = 0.0;
+  double spurious = 0.0;
+  double reject = 0.0;
+  std::int64_t delay_lo = 0, delay_hi = 0;  // extra output latency, ticks
+  std::uint64_t hang_at_step = kNever;      // boundary-call ordinal, from 1
+  std::uint64_t crash_at_step = kNever;
+
+  // Parses the grammar above; throws FaultSpecError with the offending
+  // clause on malformed input.  The empty string is the empty spec.
+  [[nodiscard]] static FaultSpec parse(const std::string& text);
+
+  // Canonical spec string: parse(to_string()) round-trips, and equal
+  // specs stringify identically (campaign reports embed it).
+  [[nodiscard]] std::string to_string() const;
+
+  // True iff some clause can ever fire.
+  [[nodiscard]] bool any() const;
+};
+
+class FaultInjector final : public Implementation {
+ public:
+  // Wraps `inner` (kept by reference; must outlive the injector).
+  // `spurious_channels` is the alphabet for spurious=: typically the
+  // SPEC's uncontrollable channel names; with an empty list the
+  // spurious clause never fires.  `deadline` bounds injected hangs —
+  // without an armed deadline a hang raises HarnessHangError
+  // immediately instead of blocking forever.
+  FaultInjector(Implementation& inner, FaultSpec spec, std::uint64_t seed,
+                std::vector<std::string> spurious_channels = {},
+                const util::Deadline* deadline = nullptr);
+
+  void reset() override;
+  std::optional<ObservedOutput> advance(std::int64_t ticks) override;
+  bool offer_input(const std::string& channel) override;
+
+  [[nodiscard]] std::uint64_t harness_faults() const override;
+  [[nodiscard]] std::string harness_fault_summary() const override;
+
+  // The schedule the NEXT reset() starts (campaigns derive one seed
+  // per attempt, so retried runs see fresh fault timing).
+  void reseed(std::uint64_t seed) { seed_ = seed; }
+  void set_deadline(const util::Deadline* deadline) { deadline_ = deadline; }
+
+  // Injection counters since reset(), by fault kind (metrics mirror
+  // these under "faults.*" when the obs layer is enabled).
+  struct Counters {
+    std::uint64_t drops = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t dups = 0;
+    std::uint64_t spurious = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t hangs = 0;
+    std::uint64_t crashes = 0;
+
+    [[nodiscard]] std::uint64_t total() const {
+      return drops + delays + dups + spurious + rejects + hangs + crashes;
+    }
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] std::uint64_t boundary_calls() const { return calls_; }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+ private:
+  // An output already emitted by the inner IUT (or synthesised) but
+  // still "in the wire": delivered when its residual latency elapses.
+  struct InFlight {
+    std::string channel;
+    std::int64_t due = 0;  // ticks from the current instant
+  };
+
+  void age_in_flight(std::int64_t ticks);
+  void enqueue_in_flight(std::string channel, std::int64_t due);
+  // crash/hang bookkeeping shared by both boundary calls.
+  void on_boundary_call();
+  void count(std::uint64_t Counters::* field, const char* label);
+
+  Implementation* inner_;
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::vector<std::string> spurious_channels_;
+  const util::Deadline* deadline_;
+
+  util::Rng rng_{0};
+  std::uint64_t calls_ = 0;  // boundary calls since reset, 1-based
+  Counters counters_;
+  std::string last_fault_;
+  // Sorted by due (stable for ties: earlier enqueue delivers first).
+  std::deque<InFlight> in_flight_;
+};
+
+}  // namespace tigat::testing

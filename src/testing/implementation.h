@@ -4,10 +4,26 @@
 // The tester can do exactly two things, matching Fig. 1 / Fig. 4:
 // offer an input now, and let (virtual) time pass while watching for
 // outputs.  Nothing about the IMP's internals is visible.
+//
+// The boundary is also where a real test harness fails: outputs get
+// dropped, delayed or duplicated by the observation channel, inputs
+// get rejected by a wedged adapter, the IUT process hangs or dies.
+// This header therefore defines the *failure vocabulary* of the
+// boundary too, so executors can keep Theorem 10 honest:
+//
+//   * harness_faults() lets a decorator that KNOWS it corrupted the
+//     channel (testing/faults.h injects such corruption
+//     deterministically) say so — executors refuse to turn a corrupted
+//     observation into a FAIL verdict and return INCONCLUSIVE instead;
+//   * HarnessFaultError / HarnessHangError mark mid-call harness
+//     failures; executors catch them (and any other exception escaping
+//     the IMP) and convert them into machine-readable INCONCLUSIVE
+//     reason codes rather than letting a run die.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 namespace tigat::testing {
@@ -15,6 +31,19 @@ namespace tigat::testing {
 struct ObservedOutput {
   std::string channel;
   std::int64_t after_ticks = 0;  // offset from when advance() started
+};
+
+// The harness (not the IUT) failed in the middle of a boundary call:
+// observation channel wedged, adapter lost the session, ...  Executors
+// map this to Verdict::kInconclusive / ReasonCode::kHarnessFault.
+class HarnessFaultError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// A hang at the boundary that a cooperative util::Deadline cancelled.
+// Mapped to ReasonCode::kHarnessHang — the "unresponsive IUT" class.
+class HarnessHangError : public HarnessFaultError {
+  using HarnessFaultError::HarnessFaultError;
 };
 
 class Implementation {
@@ -34,6 +63,19 @@ class Implementation {
   // implementation ignores it (a correct strongly input-enabled IMP
   // always accepts; mutants may not).
   virtual bool offer_input(const std::string& channel) = 0;
+
+  // How many times the observation channel has been corrupted since
+  // reset() — dropped/delayed/duplicated/spurious outputs, rejected
+  // inputs.  Only a harness-side decorator can know this; a real IUT
+  // (and the honest simulators) report 0.  A FAIL is only sound when
+  // the count never moved during the run.
+  [[nodiscard]] virtual std::uint64_t harness_faults() const { return 0; }
+
+  // Human-readable amplification of harness_faults() for reports
+  // ("3 faults: drop x2, dup x1").  Empty when the channel is clean.
+  [[nodiscard]] virtual std::string harness_fault_summary() const {
+    return {};
+  }
 };
 
 }  // namespace tigat::testing

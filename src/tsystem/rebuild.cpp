@@ -4,11 +4,11 @@
 
 namespace tigat::tsystem {
 
-System rebuild_system(const System& source, const EdgeRebuildHook& edge_hook,
-                      const InvariantRebuildHook& invariant_hook,
-                      const std::string& name_suffix) {
-  TIGAT_ASSERT(source.finalized(), "rebuild requires a finalized system");
-  System out(source.name() + name_suffix);
+namespace {
+
+// Clocks, channels, data — the declaration prefix every rebuilt
+// variant shares with its source.
+void copy_declarations(const System& source, System& out) {
   for (std::uint32_t c = 1; c < source.clock_count(); ++c) {
     out.add_clock(source.clock_names()[c]);
   }
@@ -23,40 +23,56 @@ System rebuild_system(const System& source, const EdgeRebuildHook& edge_hook,
       out.data().add_scalar(decl.name, decl.lo, decl.hi, decl.init);
     }
   }
+}
+
+void copy_process(const System& source, std::uint32_t p, System& out,
+                  const EdgeRebuildHook& edge_hook,
+                  const InvariantRebuildHook& invariant_hook) {
+  const Process& sp = source.processes()[p];
+  Process& tp = out.add_process(sp.name(), sp.default_control());
+  for (LocId l = 0; l < sp.locations().size(); ++l) {
+    const auto& loc = sp.locations()[l];
+    tp.add_location(loc.name, loc.kind);
+    std::vector<ClockConstraint> inv = loc.invariant;
+    if (invariant_hook) invariant_hook(p, l, inv);
+    for (const auto& c : inv) tp.set_invariant(l, c);
+  }
+  tp.set_initial(sp.initial());
+  for (std::uint32_t ei = 0; ei < sp.edges().size(); ++ei) {
+    Edge copy = sp.edges()[ei];
+    if (edge_hook && !edge_hook(p, ei, copy)) continue;  // dropped
+    auto builder = tp.add_edge(copy.src, copy.dst);
+    if (copy.sync == SyncKind::kSend) builder.send(copy.channel);
+    if (copy.sync == SyncKind::kReceive) builder.receive(copy.channel);
+    for (const auto& g : copy.guard) builder.guard(g);
+    if (!copy.data_guard.is_null()) builder.provided(copy.data_guard);
+    for (const auto& r : copy.resets) {
+      builder.reset(Clock{r.clock}, r.value);
+    }
+    for (const auto& a : copy.assignments) {
+      if (a.index.is_null()) {
+        builder.assign(a.var, a.rhs);
+      } else {
+        builder.assign_elem(a.var, a.index, a.rhs);
+      }
+    }
+    if (copy.controllable_override) {
+      builder.controllable(*copy.controllable_override);
+    }
+    if (!copy.comment.empty()) builder.comment(copy.comment);
+  }
+}
+
+}  // namespace
+
+System rebuild_system(const System& source, const EdgeRebuildHook& edge_hook,
+                      const InvariantRebuildHook& invariant_hook,
+                      const std::string& name_suffix) {
+  TIGAT_ASSERT(source.finalized(), "rebuild requires a finalized system");
+  System out(source.name() + name_suffix);
+  copy_declarations(source, out);
   for (std::uint32_t p = 0; p < source.processes().size(); ++p) {
-    const Process& sp = source.processes()[p];
-    Process& tp = out.add_process(sp.name(), sp.default_control());
-    for (LocId l = 0; l < sp.locations().size(); ++l) {
-      const auto& loc = sp.locations()[l];
-      tp.add_location(loc.name, loc.kind);
-      std::vector<ClockConstraint> inv = loc.invariant;
-      if (invariant_hook) invariant_hook(p, l, inv);
-      for (const auto& c : inv) tp.set_invariant(l, c);
-    }
-    tp.set_initial(sp.initial());
-    for (std::uint32_t ei = 0; ei < sp.edges().size(); ++ei) {
-      Edge copy = sp.edges()[ei];
-      if (edge_hook && !edge_hook(p, ei, copy)) continue;  // dropped
-      auto builder = tp.add_edge(copy.src, copy.dst);
-      if (copy.sync == SyncKind::kSend) builder.send(copy.channel);
-      if (copy.sync == SyncKind::kReceive) builder.receive(copy.channel);
-      for (const auto& g : copy.guard) builder.guard(g);
-      if (!copy.data_guard.is_null()) builder.provided(copy.data_guard);
-      for (const auto& r : copy.resets) {
-        builder.reset(Clock{r.clock}, r.value);
-      }
-      for (const auto& a : copy.assignments) {
-        if (a.index.is_null()) {
-          builder.assign(a.var, a.rhs);
-        } else {
-          builder.assign_elem(a.var, a.index, a.rhs);
-        }
-      }
-      if (copy.controllable_override) {
-        builder.controllable(*copy.controllable_override);
-      }
-      if (!copy.comment.empty()) builder.comment(copy.comment);
-    }
+    copy_process(source, p, out, edge_hook, invariant_hook);
   }
   out.finalize();
   return out;
@@ -74,6 +90,21 @@ System relax_all_controllable(const System& source) {
         return true;
       },
       nullptr, "__coop");
+}
+
+System extract_process(const System& source,
+                       const std::string& process_name) {
+  TIGAT_ASSERT(source.finalized(), "extract requires a finalized system");
+  for (std::uint32_t p = 0; p < source.processes().size(); ++p) {
+    if (source.processes()[p].name() != process_name) continue;
+    System out(source.name() + "__plant_" + process_name);
+    copy_declarations(source, out);
+    copy_process(source, p, out, nullptr, nullptr);
+    out.finalize();
+    return out;
+  }
+  throw ModelError("no process named '" + process_name +
+                   "' in system '" + source.name() + "'");
 }
 
 }  // namespace tigat::tsystem

@@ -34,4 +34,12 @@ using InvariantRebuildHook = std::function<void(
 // one-player relaxation used by cooperative test generation.
 [[nodiscard]] System relax_all_controllable(const System& source);
 
+// The single-process subsystem containing only `process_name` (same
+// clocks, channels and data; location ids preserved) — the plant a
+// SimulatedImplementation interprets when a composed model names its
+// IUT, e.g. `run_model --runs` deriving an IMP from a .tg file.
+// Throws ModelError when no process has that name.
+[[nodiscard]] System extract_process(const System& source,
+                                     const std::string& process_name);
+
 }  // namespace tigat::tsystem

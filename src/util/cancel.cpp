@@ -1,0 +1,46 @@
+#include "util/cancel.h"
+
+#include <chrono>
+
+namespace tigat::util {
+
+std::int64_t Deadline::now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Deadline::arm_ms(std::int64_t budget_ms) noexcept {
+  cancelled_.store(false, std::memory_order_relaxed);
+  deadline_ns_.store(now_ns() + budget_ms * 1'000'000,
+                     std::memory_order_relaxed);
+}
+
+void Deadline::disarm() noexcept {
+  cancelled_.store(false, std::memory_order_relaxed);
+  deadline_ns_.store(kUnarmed, std::memory_order_relaxed);
+}
+
+void Deadline::cancel() noexcept {
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+bool Deadline::armed() const noexcept {
+  return deadline_ns_.load(std::memory_order_relaxed) != kUnarmed;
+}
+
+bool Deadline::expired() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  const std::int64_t t = deadline_ns_.load(std::memory_order_relaxed);
+  return t != kUnarmed && now_ns() >= t;
+}
+
+std::int64_t Deadline::remaining_ms() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) return 0;
+  const std::int64_t t = deadline_ns_.load(std::memory_order_relaxed);
+  if (t == kUnarmed) return kUnarmed / 1'000'000;
+  const std::int64_t left = t - now_ns();
+  return left > 0 ? left / 1'000'000 : 0;
+}
+
+}  // namespace tigat::util

@@ -1,0 +1,60 @@
+// Cooperative cancellation for test runs: a re-armable wall-clock
+// deadline plus a manual trip wire, shared by everything on one run's
+// critical path (the executor's step loop, a FaultInjector's simulated
+// hang, a campaign watchdog).
+//
+// Nothing here preempts anything — holders must poll expired() at
+// their own granularity (the executors check once per step, the fault
+// injector once per sleep slice).  That is deliberate: preemptive
+// cancellation of a thread in the middle of monitor/DBM updates would
+// corrupt state; polling keeps every exit path an ordinary return.
+//
+// expired() is two relaxed atomic loads and a steady_clock read; cheap
+// enough for per-step use.  An unarmed Deadline never expires, so a
+// nullptr-or-unarmed deadline is the "no budget" configuration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tigat::util {
+
+class Deadline {
+ public:
+  Deadline() = default;
+
+  Deadline(const Deadline&) = delete;
+  Deadline& operator=(const Deadline&) = delete;
+
+  // Starts (or restarts) a wall-clock budget of `budget_ms` from now
+  // and clears any previous cancel().  A budget of 0 expires
+  // immediately (useful for tests of the expiry path).
+  void arm_ms(std::int64_t budget_ms) noexcept;
+
+  // Back to the never-expires state.
+  void disarm() noexcept;
+
+  // Manual trip: expired() is true until the next arm_ms/disarm,
+  // regardless of the clock.  Safe from any thread (e.g. a signal
+  // handler shim or a campaign-level abort).
+  void cancel() noexcept;
+
+  [[nodiscard]] bool armed() const noexcept;
+
+  // True iff cancelled, or armed and past the budget.
+  [[nodiscard]] bool expired() const noexcept;
+
+  // Milliseconds left before expiry; 0 when expired, a large positive
+  // value when unarmed.  Pollers use it to size sleep slices.
+  [[nodiscard]] std::int64_t remaining_ms() const noexcept;
+
+ private:
+  [[nodiscard]] static std::int64_t now_ns() noexcept;
+
+  static constexpr std::int64_t kUnarmed = std::int64_t{1} << 62;
+
+  std::atomic<std::int64_t> deadline_ns_{kUnarmed};  // steady_clock epoch
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace tigat::util

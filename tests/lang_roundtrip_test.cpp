@@ -106,8 +106,8 @@ TEST(LangRoundtrip, SmartLightStrategyExecutionMatchesCppBuilder) {
     const testing::TestReport report_b = exec_b.run();
 
     EXPECT_EQ(report_a.verdict, report_b.verdict)
-        << report_a.reason << " vs " << report_b.reason;
-    EXPECT_EQ(report_a.verdict, testing::Verdict::kPass) << report_a.reason;
+        << report_a.detail << " vs " << report_b.detail;
+    EXPECT_EQ(report_a.verdict, testing::Verdict::kPass) << report_a.detail;
     EXPECT_EQ(report_a.trace_string(), report_b.trace_string());
   }
 }

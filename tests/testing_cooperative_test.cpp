@@ -71,7 +71,7 @@ TEST(Cooperative, PatientImpCooperatesToPass) {
                               ImpPolicy{2 * kScale, {}});
   CooperativeExecutor exec(spec.system, plan, imp, kScale);
   const TestReport report = exec.run();
-  EXPECT_EQ(report.verdict, Verdict::kPass) << report.reason;
+  EXPECT_EQ(report.verdict, Verdict::kPass) << report.detail;
 }
 
 TEST(Cooperative, EagerImpYieldsInconclusiveNotFail) {
@@ -86,7 +86,7 @@ TEST(Cooperative, EagerImpYieldsInconclusiveNotFail) {
   SimulatedImplementation imp(plant.system, kScale, ImpPolicy{0, {}});
   CooperativeExecutor exec(spec.system, plan, imp, kScale);
   const TestReport report = exec.run();
-  EXPECT_EQ(report.verdict, Verdict::kInconclusive) << report.reason;
+  EXPECT_EQ(report.verdict, Verdict::kInconclusive) << report.detail;
 }
 
 TEST(Cooperative, SoundnessStillFailsBrokenImp) {
@@ -130,7 +130,7 @@ TEST(Cooperative, CooperativeExecutorOnWinnablePurposeAlsoPasses) {
   SimulatedImplementation imp(plant.system, kScale, ImpPolicy{kScale, {}});
   CooperativeExecutor exec(spec.system, plan, imp, kScale);
   const TestReport report = exec.run();
-  EXPECT_NE(report.verdict, Verdict::kFail) << report.reason;
+  EXPECT_NE(report.verdict, Verdict::kFail) << report.detail;
 }
 
 }  // namespace

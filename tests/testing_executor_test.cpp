@@ -46,7 +46,7 @@ TEST_F(ExecutorTest, PassesAgainstOutputUrgentImp) {
   SimulatedImplementation imp(plant_.system, kScale, ImpPolicy{0, {}});
   TestExecutor exec(strat, imp, kScale);
   const TestReport report = exec.run();
-  EXPECT_EQ(report.verdict, Verdict::kPass) << report.reason << "\n"
+  EXPECT_EQ(report.verdict, Verdict::kPass) << report.detail << "\n"
                                             << report.trace_string();
   EXPECT_FALSE(report.trace.empty());
 }
@@ -59,7 +59,7 @@ TEST_F(ExecutorTest, PassesAgainstLazyImp) {
                               ImpPolicy{2 * kScale, {}});
   TestExecutor exec(strat, imp, kScale);
   const TestReport report = exec.run();
-  EXPECT_EQ(report.verdict, Verdict::kPass) << report.reason;
+  EXPECT_EQ(report.verdict, Verdict::kPass) << report.detail;
 }
 
 TEST_F(ExecutorTest, PassesForAllLatenciesAndPreferences) {
@@ -78,7 +78,7 @@ TEST_F(ExecutorTest, PassesForAllLatenciesAndPreferences) {
       const TestReport report = exec.run();
       EXPECT_EQ(report.verdict, Verdict::kPass)
           << "latency " << latency << " pref " << pref[0] << ": "
-          << report.reason << "\ntrace: " << report.trace_string();
+          << report.detail << "\ntrace: " << report.trace_string();
     }
   }
 }
@@ -143,8 +143,8 @@ TEST_F(ExecutorTest, DetectsLateOutputs) {
     const TestReport report = exec.run();
     if (report.verdict == Verdict::kFail) {
       found = true;
-      EXPECT_NE(report.reason.find("quiescence"), std::string::npos)
-          << report.reason;
+      EXPECT_EQ(report.code, ReasonCode::kQuiescenceViolation)
+          << report.detail;
     }
   }
   EXPECT_TRUE(found) << "no invariant-widening mutant was caught";
@@ -163,7 +163,7 @@ TEST_F(ExecutorTest, DetectsWrongOutput) {
     const TestReport report = exec.run();
     if (report.verdict == Verdict::kFail) {
       found = true;
-      EXPECT_NE(report.reason.find("unexpected output"), std::string::npos);
+      EXPECT_EQ(report.code, ReasonCode::kUnexpectedOutput) << report.detail;
     }
   }
   EXPECT_TRUE(found) << "no output-swap mutant was caught";

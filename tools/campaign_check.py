@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate tigat campaign reports (src/testing/campaign.h).
+
+For every FILE given, checks:
+  * schema "tigat.campaign" version 1, all required fields present;
+  * the counts add up: len(outcomes) == runs,
+    passes + fails + inconclusive == runs, attempts >= runs,
+    attempts <= runs * (1 + retries);
+  * verdict consistency: fail <=> fails > 0; pass <=> all runs passed;
+    unresponsive only over crash/hang/deadline finals with zero passes;
+  * soundness under faults: every FAIL outcome has harness_faults == 0
+    (a FAIL verdict over a corrupted channel is the bug the executors
+    exist to prevent);
+  * per-outcome shape: attempts == len(attempt_codes), every retried
+    attempt (all but the last) was inconclusive-class.
+
+Flags:
+  --expect-verdict V   additionally require every FILE's verdict == V
+  --identical          require all FILEs to be byte-identical (the
+                       determinism check: same seed+spec => same bytes)
+
+Exit code 0 = every file validated, 1 = any failure.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+failures = []
+
+FAIL_CODES = {"quiescence-violation", "unexpected-output"}
+UNRESPONSIVE_CODES = {"imp-crash", "harness-hang", "run-deadline-exceeded"}
+
+
+def check(name, ok, detail=""):
+    if ok:
+        print(f"  ok: {name}")
+    else:
+        failures.append(f"{name}: {detail}")
+        print(f"  FAIL: {name}: {detail}")
+
+
+def check_report(path):
+    print(f"campaign {path}")
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        check("report parses as JSON", False, str(e))
+        return None
+
+    check("schema is tigat.campaign v1",
+          doc.get("schema") == "tigat.campaign" and doc.get("version") == 1,
+          f"schema={doc.get('schema')} version={doc.get('version')}")
+    for field in ("verdict", "runs", "passes", "fails", "inconclusive",
+                  "attempts", "retries_used", "deadline_hits", "fault_spec",
+                  "fault_seed", "run_deadline_ms", "retries", "outcomes"):
+        if field not in doc:
+            check(f"field '{field}' present", False, "missing")
+            return None
+
+    runs, outcomes = doc["runs"], doc["outcomes"]
+    check("one outcome per run", len(outcomes) == runs,
+          f"{len(outcomes)} outcomes for {runs} runs")
+    check("verdict counts add up",
+          doc["passes"] + doc["fails"] + doc["inconclusive"] == runs,
+          f"{doc['passes']}+{doc['fails']}+{doc['inconclusive']} != {runs}")
+    check("attempts within the retry budget",
+          runs <= doc["attempts"] <= runs * (1 + doc["retries"]),
+          f"attempts={doc['attempts']} runs={runs} retries={doc['retries']}")
+
+    verdicts = [o.get("verdict") for o in outcomes]
+    codes = [o.get("code") for o in outcomes]
+    verdict = doc["verdict"]
+    check("fail verdict iff some run failed",
+          (verdict == "fail") == (doc["fails"] > 0),
+          f"verdict={verdict} fails={doc['fails']}")
+    check("pass verdict iff every run passed",
+          (verdict == "pass") == (doc["passes"] == runs),
+          f"verdict={verdict} passes={doc['passes']}")
+    if verdict == "unresponsive":
+        check("unresponsive has no passes", doc["passes"] == 0,
+              f"passes={doc['passes']}")
+        bad = [c for v, c in zip(verdicts, codes)
+               if v == "inconclusive" and c not in UNRESPONSIVE_CODES]
+        check("unresponsive finals are all crash/hang/deadline", not bad,
+              f"non-silent codes {bad}")
+
+    for o in outcomes:
+        run = o.get("run")
+        if o.get("verdict") == "fail":
+            check(f"run {run}: FAIL over a clean channel",
+                  o.get("harness_faults") == 0,
+                  f"harness_faults={o.get('harness_faults')} — "
+                  "possible false FAIL from injected faults")
+            check(f"run {run}: FAIL code is a conformance violation",
+                  o.get("code") in FAIL_CODES, f"code={o.get('code')}")
+        history = o.get("attempt_codes", [])
+        check(f"run {run}: attempt history length matches",
+              len(history) == o.get("attempts"),
+              f"{len(history)} codes for {o.get('attempts')} attempts")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument("--expect-verdict",
+                        choices=["pass", "fail", "flaky", "unresponsive"])
+    parser.add_argument("--identical", action="store_true")
+    args = parser.parse_args()
+
+    for path in args.files:
+        doc = check_report(path)
+        if doc is not None and args.expect_verdict is not None:
+            check(f"{path}: verdict is {args.expect_verdict}",
+                  doc["verdict"] == args.expect_verdict,
+                  f"got {doc['verdict']}")
+
+    if args.identical and len(args.files) > 1:
+        first = Path(args.files[0]).read_bytes()
+        for path in args.files[1:]:
+            check(f"{path} is byte-identical to {args.files[0]}",
+                  Path(path).read_bytes() == first,
+                  "reports differ — determinism broken")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nall campaign checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
