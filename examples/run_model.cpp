@@ -49,10 +49,23 @@
 // optionally fault-injected boundary, and emit the deterministic
 // campaign JSON:
 //
-//   run_model model.tg --runs=50 --faults="drop=0.05,delay=0..8" \
-//       --fault-seed=7 --run-deadline-ms=2000 --retries=2 \
+//   run_model model.tg --runs=50 --faults="drop=0.05,delay=0..8"
+//       --fault-seed=7 --run-deadline-ms=2000 --retries=2
 //       --campaign-out=campaign.json
 //   run_model model.tg --runs=20 --mutant=3   # test a mutated IUT
+//
+// Flight recorder + post-mortems (src/obs/recorder.h, explain.h):
+// every non-PASS attempt's full step journal becomes a replayable,
+// self-explaining artifact.
+//
+//   --ledger-out=DIR    write runR_attemptA.ledger.jsonl (tigat.ledger
+//                       v1) and the matching .explain.json
+//                       (tigat.explain v1) for every non-PASS attempt;
+//                       validate with tools/explain_check.py --dir DIR.
+//   --explain           print a human post-mortem per non-PASS attempt
+//                       to stderr (stdout keeps the campaign JSON).
+//
+// Both flags imply campaign mode (default --runs=1).
 //
 // Exit codes (stable; scripts may branch on them):
 //   0  all purposes winnable / campaign verdict PASS
@@ -65,7 +78,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "decision/compiler.h"
@@ -73,8 +88,10 @@
 #include "game/solver.h"
 #include "game/strategy.h"
 #include "lang/lang.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "semantics/concrete.h"
 #include "semantics/symbolic.h"
@@ -184,6 +201,8 @@ int run_main(int argc, char** argv) {
   int mutant = -1;              // < 0: test the unmutated IUT
   std::string iut_name = "IUT";
   std::string campaign_out;
+  std::string ledger_out;       // directory for ledger + explain files
+  bool explain = false;         // human post-mortems on stderr
   lang::CompileOptions compile_options;
   std::vector<std::string> extra_purposes;
   const auto add_param = [&](const char* spec) {
@@ -239,6 +258,12 @@ int run_main(int argc, char** argv) {
       iut_name = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--campaign-out=", 15) == 0) {
       campaign_out = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--ledger-out=", 13) == 0) {
+      ledger_out = argv[i] + 13;
+      campaign_mode = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+      campaign_mode = true;
     } else if (std::strncmp(argv[i], "--param=", 8) == 0) {
       add_param(argv[i] + 8);
     } else if (std::strcmp(argv[i], "--param") == 0) {
@@ -260,6 +285,7 @@ int run_main(int argc, char** argv) {
                  "[--runs=K] [--faults=SPEC] [--fault-seed=N] "
                  "[--run-deadline-ms=M] [--retries=R] [--iut=NAME] "
                  "[--mutant=K] [--campaign-out=FILE] "
+                 "[--ledger-out=DIR] [--explain] "
                  "[\"control: A<> ...\"]...\n"
                  "exit codes: 0 pass, 1 usage/model, 2 I/O, "
                  "3 solver limit, 4 FAIL, 5 flaky/inconclusive\n");
@@ -362,6 +388,7 @@ int run_main(int argc, char** argv) {
     copts.backoff_base_ms = 25;
     copts.fault_spec = fault_spec;
     copts.fault_seed = fault_seed;
+    copts.record_ledgers = !ledger_out.empty() || explain;
     const testing::CampaignReport report = [&] {
       try {
         return testing::campaign_run(source, model.system, imp, kScale, copts);
@@ -383,6 +410,53 @@ int run_main(int argc, char** argv) {
       std::fclose(f);
     } else {
       std::fwrite(json.data(), 1, json.size(), stdout);
+    }
+    // Flight-recorder artifacts: one ledger + explain JSON per
+    // non-PASS attempt, named runR_attemptA so a campaign directory is
+    // self-describing.
+    if (!ledger_out.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(ledger_out, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create ledger directory %s: %s\n",
+                     ledger_out.c_str(), ec.message().c_str());
+        return kExitIo;
+      }
+      const auto write_file = [&](const std::string& file,
+                                  const std::string& body) {
+        std::FILE* f = std::fopen(file.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot write %s\n", file.c_str());
+          return false;
+        }
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        return true;
+      };
+      std::size_t written = 0;
+      for (const testing::RunOutcome& o : report.outcomes) {
+        for (const obs::RunLedger& led : o.ledgers) {
+          const std::string stem = util::format(
+              "%s/run%zu_attempt%zu", ledger_out.c_str(), led.run,
+              led.attempt);
+          if (!write_file(stem + ".ledger.jsonl", led.to_jsonl()) ||
+              !write_file(stem + ".explain.json",
+                          obs::explain(led).to_json())) {
+            return kExitIo;
+          }
+          ++written;
+        }
+      }
+      std::fprintf(stderr, "ledger-out: %zu non-PASS attempt(s) -> %s\n",
+                   written, ledger_out.c_str());
+    }
+    if (explain) {
+      for (const testing::RunOutcome& o : report.outcomes) {
+        for (const obs::RunLedger& led : o.ledgers) {
+          const std::string text = obs::explain(led).to_text();
+          std::fwrite(text.data(), 1, text.size(), stderr);
+        }
+      }
     }
     std::fprintf(stderr,
                  "campaign: %s (%zu runs: %zu pass, %zu fail, "

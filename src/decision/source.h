@@ -29,6 +29,12 @@ class DecisionSource {
   // The transition behind a Move::edge value returned by decide().
   [[nodiscard]] virtual const semantics::TransitionInstance& edge_instance(
       std::uint32_t edge) const = 0;
+
+  // Decision provenance: a short stable identifier of who answered
+  // decide(), recorded in run ledgers (obs/recorder.h) so a post-
+  // mortem names the backend that prescribed each step.  Custom test
+  // sources keep the default.
+  [[nodiscard]] virtual const char* backend_name() const { return "custom"; }
 };
 
 // The federation-walking backend: forwards to game::Strategy.
@@ -45,6 +51,10 @@ class StrategySource final : public DecisionSource {
   [[nodiscard]] const semantics::TransitionInstance& edge_instance(
       std::uint32_t edge) const override {
     return strategy_->solution().graph().edges()[edge].inst;
+  }
+
+  [[nodiscard]] const char* backend_name() const override {
+    return "strategy-walk";
   }
 
   [[nodiscard]] const game::Strategy& strategy() const { return *strategy_; }

@@ -136,6 +136,10 @@ class DecisionTable final : public DecisionSource {
   [[nodiscard]] const semantics::TransitionInstance& edge_instance(
       std::uint32_t edge) const override;
 
+  [[nodiscard]] const char* backend_name() const override {
+    return "compiled-table";
+  }
+
   // True when the table was compiled against (a system structurally
   // identical to) `system`; callers should check before serving.
   [[nodiscard]] bool matches(const tsystem::System& system) const {

@@ -1,0 +1,236 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/text.h"
+
+namespace tigat::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += util::format("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+// One journal event as a single human-readable line (no trailing \n).
+std::string render_event(const LedgerEvent& e) {
+  using Kind = LedgerEvent::Kind;
+  switch (e.kind) {
+    case Kind::kDecision: {
+      std::string line = util::format(
+          "step %llu t=%lld  decide -> %s",
+          static_cast<unsigned long long>(e.step),
+          static_cast<long long>(e.t), e.move.c_str());
+      if (!e.channel.empty()) line += " '" + e.channel + "'";
+      if (e.move == "delay") {
+        line += e.bound >= 0
+                    ? util::format(" (bound %lld)",
+                                   static_cast<long long>(e.bound))
+                    : " (unbounded)";
+      }
+      if (e.rank >= 0) {
+        line += util::format(" rank %lld", static_cast<long long>(e.rank));
+      }
+      line += "  at " + e.state;
+      return line;
+    }
+    case Kind::kInput:
+      return util::format("step %llu t=%lld  input '%s' offered",
+                          static_cast<unsigned long long>(e.step),
+                          static_cast<long long>(e.t), e.channel.c_str());
+    case Kind::kOutput:
+      return util::format("step %llu t=%lld  output '%s' observed",
+                          static_cast<unsigned long long>(e.step),
+                          static_cast<long long>(e.t), e.channel.c_str());
+    case Kind::kDelay:
+      return util::format("step %llu t=%lld  delay %lld ticks",
+                          static_cast<unsigned long long>(e.step),
+                          static_cast<long long>(e.t),
+                          static_cast<long long>(e.ticks));
+    case Kind::kFault:
+      return util::format("step %llu        FAULT %s injected (boundary "
+                          "call %llu)",
+                          static_cast<unsigned long long>(e.step),
+                          e.fault.c_str(),
+                          static_cast<unsigned long long>(e.call));
+    case Kind::kVerdict:
+      return util::format("step %llu t=%lld  verdict %s (%s)",
+                          static_cast<unsigned long long>(e.step),
+                          static_cast<long long>(e.t), e.verdict.c_str(),
+                          e.code.c_str());
+  }
+  return "?";
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& s : items) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace
+
+Explanation explain(const RunLedger& ledger) {
+  Explanation ex;
+  ex.model = ledger.model;
+  ex.backend = ledger.backend;
+  ex.run = ledger.run;
+  ex.attempt = ledger.attempt;
+  ex.seed = ledger.seed;
+  ex.fault_spec = ledger.fault_spec;
+
+  for (const LedgerEvent& e : ledger.events) {
+    switch (e.kind) {
+      case LedgerEvent::Kind::kDecision: ++ex.decisions; break;
+      case LedgerEvent::Kind::kInput: ++ex.inputs; break;
+      case LedgerEvent::Kind::kOutput: ++ex.outputs; break;
+      case LedgerEvent::Kind::kDelay: ++ex.delays; break;
+      case LedgerEvent::Kind::kFault:
+        ex.faults.push_back({e.fault, e.call, e.step});
+        break;
+      case LedgerEvent::Kind::kVerdict: break;
+    }
+  }
+
+  const LedgerEvent* verdict = ledger.verdict_event();
+  if (verdict == nullptr) {
+    ex.truncated = true;
+  } else {
+    ex.verdict = verdict->verdict;
+    ex.code = verdict->code;
+    ex.detail = verdict->detail;
+    ex.failing_step = verdict->step;
+    ex.failing_t = verdict->t;
+    ex.expected = verdict->expected;
+    ex.observed = verdict->observed;
+  }
+
+  // The tail: the last kExplainTailEvents events before the verdict.
+  const std::size_t body =
+      ledger.events.size() - (verdict != nullptr ? 1 : 0);
+  const std::size_t first =
+      body > kExplainTailEvents ? body - kExplainTailEvents : 0;
+  for (std::size_t i = first; i < body; ++i) {
+    ex.tail.push_back(render_event(ledger.events[i]));
+  }
+  return ex;
+}
+
+std::string Explanation::to_text() const {
+  std::string out;
+  out += util::format("post-mortem: run %zu attempt %zu", run, attempt);
+  if (truncated) {
+    out += " — ledger truncated (no verdict event)\n";
+  } else {
+    std::string upper = verdict;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    out += util::format(" — %s (%s)\n", upper.c_str(), code.c_str());
+  }
+  out += util::format("  model '%s', backend %s, seed %llu", model.c_str(),
+                      backend.c_str(),
+                      static_cast<unsigned long long>(seed));
+  out += fault_spec.empty() ? ", clean boundary\n"
+                            : ", faults \"" + fault_spec + "\"\n";
+
+  if (!truncated) {
+    out += util::format("  verdict earned at step %llu, t=%lld ticks: ",
+                        static_cast<unsigned long long>(failing_step),
+                        static_cast<long long>(failing_t));
+    out += detail + "\n";
+    out += "  expected outputs there: ";
+    out += expected.empty() ? "{} (none enabled)" : "{" + join(expected) + "}";
+    out += "   observed: ";
+    out += observed.empty() ? "nothing (silence)" : "'" + observed + "'";
+    out += "\n";
+  }
+
+  out += util::format(
+      "  journal: %zu decisions, %zu inputs, %zu outputs, %zu delays, "
+      "%zu injected fault(s)\n",
+      decisions, inputs, outputs, delays, faults.size());
+  if (!faults.empty()) {
+    out += "  fault interleaving:";
+    for (const Fault& f : faults) {
+      out += util::format(" %s@call%llu(step %llu)", f.kind.c_str(),
+                          static_cast<unsigned long long>(f.call),
+                          static_cast<unsigned long long>(f.step));
+    }
+    out += "\n";
+  }
+  if (!tail.empty()) {
+    out += "  last events before the verdict:\n";
+    for (const std::string& line : tail) out += "    " + line + "\n";
+  }
+  return out;
+}
+
+std::string Explanation::to_json() const {
+  std::string out = "{\"schema\": \"tigat.explain\", \"version\": 1";
+  out += ", \"model\": ";
+  append_escaped(out, model);
+  out += ", \"backend\": ";
+  append_escaped(out, backend);
+  out += util::format(", \"run\": %zu, \"attempt\": %zu, \"seed\": %llu", run,
+                      attempt, static_cast<unsigned long long>(seed));
+  out += ", \"fault_spec\": ";
+  append_escaped(out, fault_spec);
+  out += util::format(", \"truncated\": %s", truncated ? "true" : "false");
+  out += ", \"verdict\": ";
+  append_escaped(out, verdict);
+  out += ", \"code\": ";
+  append_escaped(out, code);
+  out += ", \"detail\": ";
+  append_escaped(out, detail);
+  out += util::format(", \"failing_step\": %llu, \"failing_t\": %lld",
+                      static_cast<unsigned long long>(failing_step),
+                      static_cast<long long>(failing_t));
+  out += ", \"expected\": [";
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_escaped(out, expected[i]);
+  }
+  out += "], \"observed\": ";
+  append_escaped(out, observed);
+  out += util::format(
+      ", \"counts\": {\"decisions\": %zu, \"inputs\": %zu, \"outputs\": %zu, "
+      "\"delays\": %zu, \"faults\": %zu}",
+      decisions, inputs, outputs, delays, faults.size());
+  out += ", \"faults\": [";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"kind\": ";
+    append_escaped(out, faults[i].kind);
+    out += util::format(", \"call\": %llu, \"step\": %llu}",
+                        static_cast<unsigned long long>(faults[i].call),
+                        static_cast<unsigned long long>(faults[i].step));
+  }
+  out += "], \"tail\": [";
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_escaped(out, tail[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace tigat::obs

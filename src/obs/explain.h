@@ -1,0 +1,75 @@
+// Post-mortem explain pass over a RunLedger: turns the raw event
+// journal into the two artifacts a human debugging a campaign actually
+// wants — a readable post-mortem naming the exact step where the
+// verdict was earned (where quiescence broke, where the unexpected
+// output arrived), the expected-vs-observed output sets at that
+// moment, and the injected-fault interleaving of a chaos run; and the
+// same facts as machine JSON (`tigat.explain` v1) for dashboards and
+// tools/explain_check.py.
+//
+// explain() is a pure function of the ledger — no clocks, no globals —
+// so explain output inherits the ledger's byte-determinism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace tigat::obs {
+
+// The distilled post-mortem.  `tail` holds the last few journal lines
+// before the verdict, pre-rendered ("step 17 t=352 decision delay ...")
+// — the "what led up to it" context both renderings share.
+struct Explanation {
+  // Header facts, copied from the ledger.
+  std::string model;
+  std::string backend;
+  std::size_t run = 0;
+  std::size_t attempt = 0;
+  std::uint64_t seed = 0;
+  std::string fault_spec;
+
+  // The verdict and where it was earned.  `truncated` marks a ledger
+  // with no terminal verdict event (a crash before the executor could
+  // classify, or a cut-off file) — the step/code fields are then empty.
+  bool truncated = false;
+  std::string verdict;
+  std::string code;
+  std::string detail;
+  std::uint64_t failing_step = 0;
+  std::int64_t failing_t = 0;
+  std::vector<std::string> expected;  // Out(s After sigma) at the end
+  std::string observed;               // offending channel; "" = silence
+
+  // Journal census.
+  std::size_t decisions = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t delays = 0;
+
+  // The chaos interleaving: every injected fault, in journal order.
+  struct Fault {
+    std::string kind;
+    std::uint64_t call = 0;   // boundary-call ordinal
+    std::uint64_t step = 0;   // executor step it landed inside
+  };
+  std::vector<Fault> faults;
+
+  // Last journal events before the verdict, oldest first.
+  std::vector<std::string> tail;
+
+  // Human post-mortem, multi-line, ends in '\n'.
+  [[nodiscard]] std::string to_text() const;
+
+  // `tigat.explain` v1 machine JSON (single object, ends in '\n').
+  [[nodiscard]] std::string to_json() const;
+};
+
+// How many pre-verdict events to keep in Explanation::tail.
+inline constexpr std::size_t kExplainTailEvents = 8;
+
+[[nodiscard]] Explanation explain(const RunLedger& ledger);
+
+}  // namespace tigat::obs

@@ -37,6 +37,24 @@ std::uint64_t Histogram::count() const noexcept {
   return n;
 }
 
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The rank of the requested quantile, 1-based; q=0 asks for the
+  // first recorded value's bucket.
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
 std::span<const std::uint64_t> latency_buckets_ns() {
   static const std::vector<std::uint64_t> bounds = [] {
     std::vector<std::uint64_t> b;

@@ -110,6 +110,14 @@ class Histogram {
     return sum_.load(std::memory_order_relaxed);
   }
 
+  // Approximate quantile from the bucket counts: the smallest bound
+  // whose cumulative count reaches q * count() (so an upper bound on
+  // the true quantile, off by at most one bucket — a factor of 2 with
+  // the power-of-two bounds).  Values in the overflow bucket saturate
+  // to bounds().back().  Returns 0 on an empty histogram.  q is
+  // clamped to [0, 1].
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
  private:
   friend class MetricsRegistry;
   std::vector<std::uint64_t> bounds_;  // strictly increasing

@@ -72,4 +72,35 @@ void Progress::emit(const char* phase, std::uint64_t keys,
   std::fflush(impl_->out);
 }
 
+void Progress::tick_campaign(std::uint64_t runs_done, std::uint64_t runs_total,
+                             std::uint64_t retries, std::uint64_t fails,
+                             std::uint64_t inconclusive) {
+  if (!enabled()) return;
+  if (now_ns() < impl_->next_emit_ns.load(std::memory_order_relaxed)) return;
+  emit_campaign("campaign", runs_done, runs_total, retries, fails,
+                inconclusive);
+}
+
+void Progress::emit_campaign(const char* phase, std::uint64_t runs_done,
+                             std::uint64_t runs_total, std::uint64_t retries,
+                             std::uint64_t fails, std::uint64_t inconclusive) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint64_t now = now_ns();
+  impl_->next_emit_ns.store(now + impl_->period_ns, std::memory_order_relaxed);
+  const double elapsed = static_cast<double>(now - impl_->start_ns) * 1e-9;
+  const double rss_mb = util::to_mebibytes(util::peak_rss_bytes());
+  std::fprintf(impl_->out,
+               "{\"tigat_hb\": %llu, \"elapsed_s\": %.3f, \"phase\": \"%s\", "
+               "\"runs\": %llu, \"total\": %llu, \"retries\": %llu, "
+               "\"fails\": %llu, \"inconclusive\": %llu, \"rss_mb\": %.1f}\n",
+               static_cast<unsigned long long>(impl_->seq++), elapsed, phase,
+               static_cast<unsigned long long>(runs_done),
+               static_cast<unsigned long long>(runs_total),
+               static_cast<unsigned long long>(retries),
+               static_cast<unsigned long long>(fails),
+               static_cast<unsigned long long>(inconclusive), rss_mb);
+  std::fflush(impl_->out);
+}
+
 }  // namespace tigat::obs

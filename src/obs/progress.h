@@ -48,6 +48,24 @@ class Progress {
   void emit(const char* phase, std::uint64_t keys, std::uint64_t zones,
             std::uint64_t round);
 
+  // Campaign-phase heartbeat: same stream, same rate limit, but the
+  // figures a long `--runs=N` campaign cares about — runs completed,
+  // retries spent and the running verdict tallies:
+  //
+  //   {"tigat_hb": 7, "elapsed_s": 41.1, "phase": "campaign",
+  //    "runs": 120, "total": 500, "retries": 3, "fails": 1,
+  //    "inconclusive": 2, "rss_mb": 96.4}
+  //
+  // The campaign engine ticks after every run and emits one final
+  // "campaign-done" record, mirroring the solver's contract that an
+  // enabled heartbeat always produces at least one line.
+  void tick_campaign(std::uint64_t runs_done, std::uint64_t runs_total,
+                     std::uint64_t retries, std::uint64_t fails,
+                     std::uint64_t inconclusive);
+  void emit_campaign(const char* phase, std::uint64_t runs_done,
+                     std::uint64_t runs_total, std::uint64_t retries,
+                     std::uint64_t fails, std::uint64_t inconclusive);
+
  private:
   Progress();
   struct Impl;

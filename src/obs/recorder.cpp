@@ -1,0 +1,203 @@
+#include "obs/recorder.h"
+
+#include "util/text.h"
+
+namespace tigat::obs {
+
+namespace {
+
+// Same escaping rules as the campaign JSON writer: the ledger holds
+// rendered states and human detail strings, both of which may carry
+// quotes from model names.
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += util::format("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_event(std::string& out, const LedgerEvent& e) {
+  using Kind = LedgerEvent::Kind;
+  switch (e.kind) {
+    case Kind::kDecision:
+      out += util::format("{\"ev\": \"decision\", \"step\": %llu, \"t\": %lld",
+                          static_cast<unsigned long long>(e.step),
+                          static_cast<long long>(e.t));
+      out += ", \"move\": ";
+      append_escaped(out, e.move);
+      out += util::format(", \"rank\": %lld", static_cast<long long>(e.rank));
+      if (!e.channel.empty()) {
+        out += ", \"channel\": ";
+        append_escaped(out, e.channel);
+      }
+      if (e.move == "delay") {
+        out += util::format(", \"bound\": %lld",
+                            static_cast<long long>(e.bound));
+      }
+      out += ", \"state\": ";
+      append_escaped(out, e.state);
+      out += "}";
+      break;
+    case Kind::kInput:
+    case Kind::kOutput:
+      out += util::format("{\"ev\": \"%s\", \"step\": %llu, \"t\": %lld",
+                          e.kind == Kind::kInput ? "input" : "output",
+                          static_cast<unsigned long long>(e.step),
+                          static_cast<long long>(e.t));
+      out += ", \"channel\": ";
+      append_escaped(out, e.channel);
+      out += "}";
+      break;
+    case Kind::kDelay:
+      out += util::format(
+          "{\"ev\": \"delay\", \"step\": %llu, \"t\": %lld, \"ticks\": %lld}",
+          static_cast<unsigned long long>(e.step), static_cast<long long>(e.t),
+          static_cast<long long>(e.ticks));
+      break;
+    case Kind::kFault:
+      out += "{\"ev\": \"fault\", \"kind\": ";
+      append_escaped(out, e.fault);
+      out += util::format(", \"call\": %llu}",
+                          static_cast<unsigned long long>(e.call));
+      break;
+    case Kind::kVerdict:
+      out += util::format("{\"ev\": \"verdict\", \"step\": %llu, \"t\": %lld",
+                          static_cast<unsigned long long>(e.step),
+                          static_cast<long long>(e.t));
+      out += ", \"verdict\": ";
+      append_escaped(out, e.verdict);
+      out += ", \"code\": ";
+      append_escaped(out, e.code);
+      out += ", \"detail\": ";
+      append_escaped(out, e.detail);
+      out += ", \"expected\": [";
+      for (std::size_t i = 0; i < e.expected.size(); ++i) {
+        if (i > 0) out += ", ";
+        append_escaped(out, e.expected[i]);
+      }
+      out += "], \"observed\": ";
+      append_escaped(out, e.observed);
+      out += "}";
+      break;
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string RunLedger::to_jsonl() const {
+  std::string out;
+  out.reserve(256 + events.size() * 96);
+  out += "{\"schema\": \"tigat.ledger\", \"version\": 1, \"model\": ";
+  append_escaped(out, model);
+  out += ", \"backend\": ";
+  append_escaped(out, backend);
+  out += util::format(", \"scale\": %lld, \"run\": %zu, \"attempt\": %zu",
+                      static_cast<long long>(scale), run, attempt);
+  out += util::format(", \"seed\": %llu",
+                      static_cast<unsigned long long>(seed));
+  out += ", \"fault_spec\": ";
+  append_escaped(out, fault_spec);
+  out += "}\n";
+  for (const LedgerEvent& e : events) append_event(out, e);
+  return out;
+}
+
+const LedgerEvent* RunLedger::verdict_event() const {
+  if (events.empty() || events.back().kind != LedgerEvent::Kind::kVerdict) {
+    return nullptr;
+  }
+  return &events.back();
+}
+
+void RunRecorder::decision(std::uint64_t step, std::int64_t t,
+                           std::string move, std::int64_t rank,
+                           std::string state, std::string channel,
+                           std::int64_t bound) {
+  LedgerEvent e;
+  e.kind = LedgerEvent::Kind::kDecision;
+  e.step = step;
+  e.t = t;
+  e.move = std::move(move);
+  e.rank = rank;
+  e.state = std::move(state);
+  e.channel = std::move(channel);
+  e.bound = bound;
+  ledger_.events.push_back(std::move(e));
+}
+
+void RunRecorder::input(std::uint64_t step, std::int64_t t,
+                        std::string channel) {
+  LedgerEvent e;
+  e.kind = LedgerEvent::Kind::kInput;
+  e.step = step;
+  e.t = t;
+  e.channel = std::move(channel);
+  ledger_.events.push_back(std::move(e));
+}
+
+void RunRecorder::output(std::uint64_t step, std::int64_t t,
+                         std::string channel) {
+  LedgerEvent e;
+  e.kind = LedgerEvent::Kind::kOutput;
+  e.step = step;
+  e.t = t;
+  e.channel = std::move(channel);
+  ledger_.events.push_back(std::move(e));
+}
+
+void RunRecorder::delay(std::uint64_t step, std::int64_t t,
+                        std::int64_t ticks) {
+  LedgerEvent e;
+  e.kind = LedgerEvent::Kind::kDelay;
+  e.step = step;
+  e.t = t;
+  e.ticks = ticks;
+  ledger_.events.push_back(std::move(e));
+}
+
+void RunRecorder::fault(const char* kind, std::uint64_t call) {
+  LedgerEvent e;
+  e.kind = LedgerEvent::Kind::kFault;
+  if (!ledger_.events.empty()) {
+    // Faults are journaled where they happen: mid-step, between the
+    // decision and whatever the boundary returned.  Carry the current
+    // step/t forward so the interleaving stays readable.
+    e.step = ledger_.events.back().step;
+    e.t = ledger_.events.back().t;
+  }
+  e.fault = kind;
+  e.call = call;
+  ledger_.events.push_back(std::move(e));
+}
+
+void RunRecorder::verdict(std::uint64_t step, std::int64_t t,
+                          std::string verdict, std::string code,
+                          std::string detail,
+                          std::vector<std::string> expected,
+                          std::string observed) {
+  LedgerEvent e;
+  e.kind = LedgerEvent::Kind::kVerdict;
+  e.step = step;
+  e.t = t;
+  e.verdict = std::move(verdict);
+  e.code = std::move(code);
+  e.detail = std::move(detail);
+  e.expected = std::move(expected);
+  e.observed = std::move(observed);
+  ledger_.events.push_back(std::move(e));
+}
+
+}  // namespace tigat::obs

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "testing/cooperative_executor.h"
 #include "testing/faults.h"
@@ -75,12 +77,22 @@ void append_escaped(std::string& out, const std::string& s) {
   out += '"';
 }
 
+// Header facts every attempt's ledger starts from; the per-attempt
+// run/attempt/seed fields are filled in by the engine loop.
+struct LedgerContext {
+  obs::RunRecorder* recorder = nullptr;  // nullptr = not recording
+  std::string model;
+  const char* backend = "";
+  std::int64_t scale = 0;
+};
+
 // The engine shared by the plain and cooperative entry points:
 // `attempt` runs one executor attempt and returns its report.
 CampaignReport run_campaign(const std::function<TestReport()>& attempt,
                             FaultInjector* injector, util::Deadline& deadline,
                             const CampaignOptions& opts,
-                            const FaultSpec& spec) {
+                            const FaultSpec& spec,
+                            const LedgerContext& ledgers) {
   TIGAT_SPAN("campaign.run");
   CampaignReport out;
   out.runs = opts.runs;
@@ -105,6 +117,17 @@ CampaignReport run_campaign(const std::function<TestReport()>& attempt,
         deadline.arm_ms(opts.run_deadline_ms);
       } else {
         deadline.disarm();
+      }
+      if (ledgers.recorder != nullptr) {
+        obs::RunLedger header;
+        header.model = ledgers.model;
+        header.backend = ledgers.backend;
+        header.scale = ledgers.scale;
+        header.run = run;
+        header.attempt = att;
+        header.seed = seed;
+        header.fault_spec = out.fault_spec;
+        ledgers.recorder->begin(std::move(header));
       }
 
       util::Stopwatch watch;
@@ -133,6 +156,14 @@ CampaignReport run_campaign(const std::function<TestReport()>& attempt,
         m.histogram("campaign.run_ms", obs::duration_buckets_ms())
             .record(static_cast<std::uint64_t>(watch.milliseconds()));
       }
+      if (ledgers.recorder != nullptr) {
+        // Every non-PASS attempt keeps its ledger (the whole point of
+        // the flight recorder); PASS ledgers are dropped on the floor.
+        obs::RunLedger led = ledgers.recorder->take();
+        if (outcome.report.verdict != Verdict::kPass) {
+          outcome.ledgers.push_back(std::move(led));
+        }
+      }
       if (outcome.report.verdict != Verdict::kInconclusive ||
           att >= opts.retries) {
         break;
@@ -144,8 +175,12 @@ CampaignReport run_campaign(const std::function<TestReport()>& attempt,
       case Verdict::kInconclusive: ++out.inconclusive; break;
     }
     out.outcomes.push_back(std::move(outcome));
+    obs::progress().tick_campaign(run + 1, opts.runs, out.retries_used,
+                                  out.fails, out.inconclusive);
   }
   deadline.disarm();
+  obs::progress().emit_campaign("campaign-done", opts.runs, opts.runs,
+                                out.retries_used, out.fails, out.inconclusive);
 
   if (out.fails > 0) {
     out.verdict = CampaignVerdict::kFail;
@@ -167,6 +202,23 @@ CampaignReport run_campaign(const std::function<TestReport()>& attempt,
     m.counter("campaign.runs").add(out.runs);
     m.counter(std::string("campaign.verdict.") + to_string(out.verdict))
         .add(1);
+    // Percentile aggregates for the campaign JSON.  These summarise
+    // the process-wide histograms (cumulative across campaigns in one
+    // process) and carry wall-clock content, so they are attached only
+    // under metrics — the metrics-off JSON stays byte-deterministic.
+    const auto summarise = [](const obs::Histogram& h) {
+      CampaignReport::TimingSummary s;
+      s.count = h.count();
+      s.p50 = h.percentile(0.50);
+      s.p90 = h.percentile(0.90);
+      s.p99 = h.percentile(0.99);
+      return s;
+    };
+    out.run_ms =
+        summarise(m.histogram("campaign.run_ms", obs::duration_buckets_ms()));
+    out.decide_ns =
+        summarise(m.histogram("decide.latency_ns", obs::latency_buckets_ns()));
+    out.has_timing = true;
   }
   return out;
 }
@@ -217,7 +269,25 @@ std::string CampaignReport::to_json() const {
     }
     out += "]}";
   }
-  out += "]}\n";
+  out += "]";
+  if (has_timing) {
+    const auto block = [&](const char* name,
+                           const TimingSummary& s) {
+      out += util::format(
+          "\"%s\": {\"count\": %llu, \"p50\": %llu, \"p90\": %llu, "
+          "\"p99\": %llu}",
+          name, static_cast<unsigned long long>(s.count),
+          static_cast<unsigned long long>(s.p50),
+          static_cast<unsigned long long>(s.p90),
+          static_cast<unsigned long long>(s.p99));
+    };
+    out += ", \"timing\": {";
+    block("run_ms", run_ms);
+    out += ", ";
+    block("decide_latency_ns", decide_ns);
+    out += "}";
+  }
+  out += "}\n";
   return out;
 }
 
@@ -229,16 +299,32 @@ CampaignReport campaign_run(const decision::DecisionSource& source,
   ExecutorOptions exec_opts = opts.executor;
   exec_opts.deadline = &deadline;
 
+  obs::RunRecorder recorder;
+  LedgerContext ledgers;
+  if (opts.record_ledgers) {
+    ledgers.recorder = &recorder;
+    ledgers.model = spec.name();
+    ledgers.backend = source.backend_name();
+    ledgers.scale = scale;
+    exec_opts.recorder = &recorder;
+  }
+
   if (fault_spec.any()) {
     FaultInjector injector(imp, fault_spec, opts.fault_seed,
                            uncontrollable_channels(spec), &deadline);
+    if (opts.record_ledgers) {
+      injector.set_fault_sink([&recorder](const char* kind,
+                                          std::uint64_t call) {
+        recorder.fault(kind, call);
+      });
+    }
     TestExecutor exec(source, spec, injector, scale, exec_opts);
     return run_campaign([&] { return exec.run(); }, &injector, deadline, opts,
-                        fault_spec);
+                        fault_spec, ledgers);
   }
   TestExecutor exec(source, spec, imp, scale, exec_opts);
   return run_campaign([&] { return exec.run(); }, nullptr, deadline, opts,
-                      fault_spec);
+                      fault_spec, ledgers);
 }
 
 CampaignReport campaign_run_cooperative(const tsystem::System& original,
@@ -251,16 +337,32 @@ CampaignReport campaign_run_cooperative(const tsystem::System& original,
   ExecutorOptions exec_opts = opts.executor;
   exec_opts.deadline = &deadline;
 
+  obs::RunRecorder recorder;
+  LedgerContext ledgers;
+  if (opts.record_ledgers) {
+    ledgers.recorder = &recorder;
+    ledgers.model = original.name();
+    ledgers.backend = source.backend_name();
+    ledgers.scale = scale;
+    exec_opts.recorder = &recorder;
+  }
+
   if (fault_spec.any()) {
     FaultInjector injector(imp, fault_spec, opts.fault_seed,
                            uncontrollable_channels(original), &deadline);
+    if (opts.record_ledgers) {
+      injector.set_fault_sink([&recorder](const char* kind,
+                                          std::uint64_t call) {
+        recorder.fault(kind, call);
+      });
+    }
     CooperativeExecutor exec(original, source, injector, scale, exec_opts);
     return run_campaign([&] { return exec.run(); }, &injector, deadline, opts,
-                        fault_spec);
+                        fault_spec, ledgers);
   }
   CooperativeExecutor exec(original, source, imp, scale, exec_opts);
   return run_campaign([&] { return exec.run(); }, nullptr, deadline, opts,
-                      fault_spec);
+                      fault_spec, ledgers);
 }
 
 }  // namespace tigat::testing

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "decision/source.h"
+#include "obs/recorder.h"
 #include "testing/executor.h"
 #include "tsystem/system.h"
 
@@ -62,6 +63,12 @@ struct CampaignOptions {
   // base seed.  Empty spec = clean boundary, no decorator.
   std::string fault_spec;
   std::uint64_t fault_seed = 1;
+  // Flight recorder: when true every attempt runs with an attached
+  // obs::RunRecorder, and the ledgers of non-PASS attempts are kept in
+  // RunOutcome::ledgers (PASS ledgers are discarded — the interesting
+  // runs explain themselves, the boring ones stay free).  Recording
+  // never changes verdicts, reports or solver counters.
+  bool record_ledgers = false;
   ExecutorOptions executor;
 };
 
@@ -72,6 +79,10 @@ struct RunOutcome {
   std::uint64_t seed = 0;         // fault schedule of the final attempt
   TestReport report;              // final attempt
   std::vector<ReasonCode> attempt_codes;  // every attempt, in order
+  // With CampaignOptions::record_ledgers: one flight-recorder ledger
+  // per non-PASS attempt of this run, in attempt order (each carries
+  // its own run/attempt/seed header).  Feed to obs::explain.
+  std::vector<obs::RunLedger> ledgers;
 };
 
 struct CampaignReport {
@@ -89,9 +100,28 @@ struct CampaignReport {
   std::size_t retries = 0;        // configured bound
   std::vector<RunOutcome> outcomes;
 
+  // Percentile summary of one metrics histogram (upper-bucket-bound
+  // approximation; see obs::Histogram::percentile).
+  struct TimingSummary {
+    std::uint64_t count = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+  };
+  // Wall-clock aggregates, filled ONLY when the obs metrics registry
+  // is enabled (they summarise the process-wide "campaign.run_ms" and
+  // "decide.latency_ns" histograms).  Deliberately opt-in: the default
+  // campaign JSON stays free of wall-clock values, preserving the
+  // byte-identical-report determinism contract that CI asserts.
+  bool has_timing = false;
+  TimingSummary run_ms;     // campaign.run_ms, milliseconds
+  TimingSummary decide_ns;  // decide.latency_ns, nanoseconds
+
   // Versioned, deterministic JSON ({"schema":"tigat.campaign", ...}):
-  // fixed field order, sorted-by-run outcomes, no wall-clock values —
-  // identical (seed, spec, model) inputs serialise byte-identically.
+  // fixed field order, sorted-by-run outcomes, no wall-clock values
+  // unless metrics were enabled (then a trailing "timing" object
+  // carries the percentile aggregates above) — identical (seed, spec,
+  // model) inputs serialise byte-identically with metrics off.
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -45,16 +45,27 @@ TestReport CooperativeExecutor::run_impl() {
   TestReport report;
   monitor_.reset();
   imp_->reset();
+  obs::RunRecorder* const rec = options_.recorder;
+  obs::Histogram* const step_hist = step_latency_histogram();
 
+  const auto record_verdict = [&](const std::string& observed = {}) {
+    if (rec != nullptr) {
+      rec->verdict(report.steps, report.total_ticks,
+                   to_string(report.verdict), to_string(report.code),
+                   report.detail, monitor_.expected_outputs(), observed);
+    }
+  };
   const auto inconclusive = [&](ReasonCode code, std::string detail) {
     report.verdict = Verdict::kInconclusive;
     report.code = code;
     report.detail = std::move(detail);
+    record_verdict();
     return report;
   };
   // Same soundness-under-faults rule as TestExecutor::run_impl: a FAIL
   // survives only if the observation channel was clean all run.
-  const auto fail = [&](ReasonCode code, std::string detail) {
+  const auto fail = [&](ReasonCode code, std::string detail,
+                        const std::string& observed = {}) {
     if (imp_->harness_faults() > 0) {
       return inconclusive(
           ReasonCode::kHarnessFault,
@@ -64,6 +75,7 @@ TestReport CooperativeExecutor::run_impl() {
     report.verdict = Verdict::kFail;
     report.code = code;
     report.detail = std::move(detail);
+    record_verdict(observed);
     return report;
   };
 
@@ -96,23 +108,35 @@ TestReport CooperativeExecutor::run_impl() {
       if (!monitor_.apply_delay(obs.after_ticks)) return false;
       report.total_ticks += obs.after_ticks;
       report.trace.push_back({TraceEvent::Kind::kDelay, "", obs.after_ticks});
+      if (rec != nullptr) {
+        rec->delay(report.steps, report.total_ticks, obs.after_ticks);
+      }
     }
     if (!monitor_.apply_output(obs.channel)) return false;
     report.trace.push_back({TraceEvent::Kind::kOutput, obs.channel, 0});
+    if (rec != nullptr) {
+      rec->output(report.steps, report.total_ticks, obs.channel);
+    }
     return true;
   };
 
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
+    const StepTimer step_timer(step_hist);
     if (options_.deadline && options_.deadline->expired()) {
       return inconclusive(ReasonCode::kRunDeadlineExceeded,
                           "run wall-clock budget expired");
     }
     const game::Move move = source_->decide(monitor_.state(), scale_);
+    if (rec != nullptr) {
+      record_decision(*rec, report.steps, report.total_ticks, monitor_, move,
+                      *source_);
+    }
     switch (move.kind) {
       case game::MoveKind::kGoalReached:
         report.verdict = Verdict::kPass;
         report.code = ReasonCode::kPurposeReached;
         report.detail = "test purpose reached (cooperatively)";
+        record_verdict();
         return report;
 
       case game::MoveKind::kUnwinnable:
@@ -149,6 +173,9 @@ TestReport CooperativeExecutor::run_impl() {
           const bool ok = monitor_.apply_input(*chan);
           TIGAT_ASSERT(ok, "SPEC rejected a planned input");
           report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
+          if (rec != nullptr) {
+            rec->input(report.steps, report.total_ticks, *chan);
+          }
           break;
         }
 
@@ -174,7 +201,8 @@ TestReport CooperativeExecutor::run_impl() {
         if (!absorb_output(*obs)) {
           return fail(ReasonCode::kUnexpectedOutput,
                       "unexpected output '" + obs->channel +
-                          "': not in Out(s After sigma)");
+                          "': not in Out(s After sigma)",
+                      obs->channel);
         }
         break;
       }
@@ -211,12 +239,16 @@ TestReport CooperativeExecutor::run_impl() {
           TIGAT_ASSERT(ok, "delay within the deadline rejected");
           report.total_ticks += wait;
           report.trace.push_back({TraceEvent::Kind::kDelay, "", wait});
+          if (rec != nullptr) {
+            rec->delay(report.steps, report.total_ticks, wait);
+          }
           break;
         }
         if (!absorb_output(*obs)) {
           return fail(ReasonCode::kUnexpectedOutput,
                       "unexpected output '" + obs->channel +
-                          "': not in Out(s After sigma)");
+                          "': not in Out(s After sigma)",
+                      obs->channel);
         }
         break;
       }

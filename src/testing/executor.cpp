@@ -90,6 +90,54 @@ void record_run_metrics(const TestReport& report) {
   }
 }
 
+obs::Histogram* step_latency_histogram() {
+  if (!obs::metrics_enabled()) return nullptr;
+  return &obs::metrics().histogram("executor.step_ns",
+                                   obs::latency_buckets_ns());
+}
+
+StepTimer::StepTimer(obs::Histogram* hist)
+    : hist_(hist), t0_(hist != nullptr ? obs::now_ns() : 0) {}
+
+StepTimer::~StepTimer() {
+  if (hist_ != nullptr) hist_->record(obs::now_ns() - t0_);
+}
+
+void record_decision(obs::RunRecorder& rec, std::uint64_t step,
+                     std::int64_t t, const SpecMonitor& monitor,
+                     const game::Move& move,
+                     const decision::DecisionSource& source) {
+  const char* kind = "unwinnable";
+  std::string channel;
+  std::int64_t bound = -1;
+  switch (move.kind) {
+    case game::MoveKind::kGoalReached:
+      kind = "goal";
+      break;
+    case game::MoveKind::kAction: {
+      kind = "action";
+      if (move.edge) {
+        const auto chan = source.edge_instance(*move.edge)
+                              .channel_name(monitor.semantics().system());
+        if (chan) channel = *chan;
+      }
+      break;
+    }
+    case game::MoveKind::kDelay:
+      kind = "delay";
+      if (move.next_decision_ticks < game::Move::kNoDecision) {
+        bound = move.next_decision_ticks;
+      }
+      break;
+    case game::MoveKind::kUnwinnable:
+      break;
+  }
+  rec.decision(step, t, kind,
+               move.rank ? static_cast<std::int64_t>(*move.rank) : -1,
+               monitor.semantics().to_string(monitor.state()),
+               std::move(channel), bound);
+}
+
 TestExecutor::TestExecutor(const game::Strategy& strategy, Implementation& imp,
                            std::int64_t scale, ExecutorOptions options)
     : owned_source_(strategy),
@@ -120,11 +168,25 @@ TestReport TestExecutor::run_impl() {
   TestReport report;
   monitor_.reset();
   imp_->reset();
+  obs::RunRecorder* const rec = options_.recorder;
+  obs::Histogram* const step_hist = step_latency_histogram();
 
+  // Journals the final report into the ledger with the monitor still
+  // live — the expected-output set is Out(s After σ) at the instant
+  // the verdict was earned.  `observed` is the offending channel on an
+  // unexpected-output FAIL, empty for silence-class verdicts.
+  const auto record_verdict = [&](const std::string& observed = {}) {
+    if (rec != nullptr) {
+      rec->verdict(report.steps, report.total_ticks,
+                   to_string(report.verdict), to_string(report.code),
+                   report.detail, monitor_.expected_outputs(), observed);
+    }
+  };
   const auto inconclusive = [&](ReasonCode code, std::string detail) {
     report.verdict = Verdict::kInconclusive;
     report.code = code;
     report.detail = std::move(detail);
+    record_verdict();
     return report;
   };
   // FAIL is only sound over a clean observation channel: if the
@@ -132,7 +194,8 @@ TestReport TestExecutor::run_impl() {
   // observed may not be what the IUT did, and the verdict degrades to
   // INCONCLUSIVE / kHarnessFault (soundness over completeness — a
   // retry with a fresh fault schedule can still earn the real FAIL).
-  const auto fail = [&](ReasonCode code, std::string detail) {
+  const auto fail = [&](ReasonCode code, std::string detail,
+                        const std::string& observed = {}) {
     if (imp_->harness_faults() > 0) {
       return inconclusive(
           ReasonCode::kHarnessFault,
@@ -142,21 +205,28 @@ TestReport TestExecutor::run_impl() {
     report.verdict = Verdict::kFail;
     report.code = code;
     report.detail = std::move(detail);
+    record_verdict(observed);
     return report;
   };
 
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
     TIGAT_SPAN("executor.step");
+    const StepTimer step_timer(step_hist);
     if (options_.deadline && options_.deadline->expired()) {
       return inconclusive(ReasonCode::kRunDeadlineExceeded,
                           "run wall-clock budget expired");
     }
     const game::Move move = source_->decide(monitor_.state(), scale_);
+    if (rec != nullptr) {
+      record_decision(*rec, report.steps, report.total_ticks, monitor_, move,
+                      *source_);
+    }
     switch (move.kind) {
       case game::MoveKind::kGoalReached:
         report.verdict = Verdict::kPass;
         report.code = ReasonCode::kPurposeReached;
         report.detail = "test purpose reached";
+        record_verdict();
         return report;
 
       case game::MoveKind::kUnwinnable:
@@ -193,6 +263,7 @@ TestReport TestExecutor::run_impl() {
         const bool ok = monitor_.apply_input(*chan);
         TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed input");
         report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
+        if (rec != nullptr) rec->input(report.steps, report.total_ticks, *chan);
         break;
       }
 
@@ -248,6 +319,9 @@ TestReport TestExecutor::run_impl() {
           TIGAT_ASSERT(ok, "delay within the deadline rejected");
           report.total_ticks += wait;
           report.trace.push_back({TraceEvent::Kind::kDelay, "", wait});
+          if (rec != nullptr) {
+            rec->delay(report.steps, report.total_ticks, wait);
+          }
           break;
         }
 
@@ -258,6 +332,9 @@ TestReport TestExecutor::run_impl() {
           report.total_ticks += obs->after_ticks;
           report.trace.push_back(
               {TraceEvent::Kind::kDelay, "", obs->after_ticks});
+          if (rec != nullptr) {
+            rec->delay(report.steps, report.total_ticks, obs->after_ticks);
+          }
         }
         if (!monitor_.apply_output(obs->channel)) {
           return fail(ReasonCode::kUnexpectedOutput,
@@ -265,9 +342,13 @@ TestReport TestExecutor::run_impl() {
                           "unexpected output '%s' after %lld ticks: not in "
                           "Out(s After sigma)",
                           obs->channel.c_str(),
-                          static_cast<long long>(obs->after_ticks)));
+                          static_cast<long long>(obs->after_ticks)),
+                      obs->channel);
         }
         report.trace.push_back({TraceEvent::Kind::kOutput, obs->channel, 0});
+        if (rec != nullptr) {
+          rec->output(report.steps, report.total_ticks, obs->channel);
+        }
         break;
       }
     }

@@ -37,6 +37,8 @@
 
 #include "decision/source.h"
 #include "game/strategy.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "testing/implementation.h"
 #include "testing/monitor.h"
 #include "util/cancel.h"
@@ -115,6 +117,13 @@ struct ExecutorOptions {
   // unarmed Deadline means no budget.  The campaign layer arms one per
   // run and shares it with the FaultInjector so simulated hangs end.
   const util::Deadline* deadline = nullptr;
+  // Run flight recorder (obs/recorder.h): when set, every decision,
+  // boundary event and the final verdict of the run are journaled into
+  // its RunLedger.  nullptr (the default) costs one pointer null-check
+  // branch per recording site — the recorder analogue of the
+  // trace/metrics cost contract.  Recording never changes behaviour:
+  // recorded runs are bit-identical to unrecorded ones.
+  obs::RunRecorder* recorder = nullptr;
 };
 
 class TestExecutor {
@@ -155,5 +164,34 @@ class TestExecutor {
 
 // Shared by both executors: per-run verdict/trace metrics (obs layer).
 void record_run_metrics(const TestReport& report);
+
+// The "executor.step_ns" histogram, or nullptr when metrics are off —
+// fetched once per run so the per-step cost is a null check, not a
+// registry lookup.  Splits serving-path time between decide() (the
+// existing "decide.latency_ns") and everything around it.
+[[nodiscard]] obs::Histogram* step_latency_histogram();
+
+// RAII step timer for the executor loops: records into `hist` on scope
+// exit (covering early returns), measures nothing when hist == nullptr.
+class StepTimer {
+ public:
+  explicit StepTimer(obs::Histogram* hist);
+  ~StepTimer();
+  StepTimer(const StepTimer&) = delete;
+  StepTimer& operator=(const StepTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  std::uint64_t t0_ = 0;
+};
+
+// Journals one decide() answer into the run ledger: the move kind and
+// rank, the rendered SPEC state (the decision key), the prescribed
+// channel for actions and the strategy's wait bound for delays.
+// Shared by both executors so their ledgers render identically.
+void record_decision(obs::RunRecorder& rec, std::uint64_t step,
+                     std::int64_t t, const SpecMonitor& monitor,
+                     const game::Move& move,
+                     const decision::DecisionSource& source);
 
 }  // namespace tigat::testing

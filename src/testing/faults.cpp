@@ -183,6 +183,7 @@ std::string FaultInjector::harness_fault_summary() const {
 void FaultInjector::count(std::uint64_t Counters::* field, const char* label) {
   ++(counters_.*field);
   last_fault_ = label;
+  if (sink_) sink_(label, calls_);
   if (obs::metrics_enabled()) {
     obs::metrics().counter(std::string("faults.") + label).add(1);
   }

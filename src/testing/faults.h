@@ -38,9 +38,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "testing/implementation.h"
@@ -107,6 +109,15 @@ class FaultInjector final : public Implementation {
   void reseed(std::uint64_t seed) { seed_ = seed; }
   void set_deadline(const util::Deadline* deadline) { deadline_ = deadline; }
 
+  // Observer for every injected fault, called as sink(kind, call) with
+  // the fault label ("drop", "dup", ...) and the 1-based boundary-call
+  // ordinal it fired inside.  The campaign layer points this at the
+  // run ledger (obs/recorder.h) so chaos post-mortems show the exact
+  // fault interleaving.  Persists across reset(); pass {} to detach.
+  // The sink must not call back into the injector.
+  using FaultSink = std::function<void(const char* kind, std::uint64_t call)>;
+  void set_fault_sink(FaultSink sink) { sink_ = std::move(sink); }
+
   // Injection counters since reset(), by fault kind (metrics mirror
   // these under "faults.*" when the obs layer is enabled).
   struct Counters {
@@ -150,6 +161,7 @@ class FaultInjector final : public Implementation {
   std::uint64_t calls_ = 0;  // boundary calls since reset, 1-based
   Counters counters_;
   std::string last_fault_;
+  FaultSink sink_;
   // Sorted by due (stable for ties: earlier enqueue delivers first).
   std::deque<InFlight> in_flight_;
 };

@@ -1,5 +1,7 @@
 #include "testing/monitor.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace tigat::testing {
@@ -50,6 +52,18 @@ bool SpecMonitor::apply_instance(const semantics::TransitionInstance& t) {
   if (!sem_.enabled(state_, t)) return false;
   sem_.fire(state_, t);
   return true;
+}
+
+std::vector<std::string> SpecMonitor::expected_outputs() const {
+  std::vector<std::string> out;
+  for (const auto& t : sem_.enabled_instances(state_)) {
+    if (t.controllable) continue;
+    const auto chan = t.channel_name(sem_.system());
+    if (chan) out.push_back(*chan);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace tigat::testing

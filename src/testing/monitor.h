@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "semantics/concrete.h"
 
@@ -53,6 +54,13 @@ class SpecMonitor {
   // internal moves the strategy prescribes, which have no channel and
   // never touch the IMP).  Returns false when it is not enabled.
   [[nodiscard]] bool apply_instance(const semantics::TransitionInstance& t);
+
+  // Out(s After σ) at the current instant: the sorted, deduplicated
+  // channel names of every enabled uncontrollable instance.  This is
+  // the "expected" half of an expected-vs-observed post-mortem — an
+  // output outside this set is exactly the Algorithm 3.1 fail
+  // condition apply_output rejects.
+  [[nodiscard]] std::vector<std::string> expected_outputs() const;
 
  private:
   // Unique enabled instance on `channel` with the given direction.

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Validate tigat run ledgers and explain post-mortems.
+
+Ledgers (src/obs/recorder.h, `tigat.ledger` v1, JSONL):
+  * header line: schema/version plus model, backend, scale, run,
+    attempt, seed, fault_spec;
+  * every event line has a known "ev" kind with that kind's fields;
+  * step and t are non-decreasing across stepped events; fault calls
+    are non-decreasing (boundary-call ordinals);
+  * exactly one verdict event, and it is the last line;
+  * verdict/code belong to the executor taxonomy, FAIL codes only ever
+    come from the sound pair (quiescence-violation, unexpected-output),
+    and a quiescence-violation observed nothing while an
+    unexpected-output names the offending channel.
+
+Explain JSON (src/obs/explain.h, `tigat.explain` v1):
+  * schema/version and all required fields;
+  * counts are internally consistent with the fault list.
+
+When a ledger and its explain file are checked as a pair (--dir pairs
+them by filename stem), the verdict, code, failing step and fault count
+must agree between the two.
+
+Usage:
+  explain_check.py LEDGER.jsonl...          validate ledgers
+  explain_check.py --explain EXPLAIN.json   validate explain JSON
+  explain_check.py --dir DIR                validate every
+                                            *.ledger.jsonl +
+                                            *.explain.json pair in DIR
+  --expect-code C    additionally require every ledger's verdict code
+                     to be C (e.g. unexpected-output)
+  --min-ledgers N    with --dir: require at least N ledgers (default 0;
+                     guards CI legs that expect non-PASS artifacts)
+
+Exit code 0 = everything validated, 1 = any failure.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+failures = []
+
+VERDICTS = {"pass", "fail", "inconclusive"}
+CODES = {
+    "none", "purpose-reached", "quiescence-violation", "unexpected-output",
+    "outside-winning-region", "step-budget-exhausted", "unbounded-wait",
+    "sut-declined", "harness-fault", "imp-crash", "harness-hang",
+    "run-deadline-exceeded",
+}
+FAIL_CODES = {"quiescence-violation", "unexpected-output"}
+EVENT_KINDS = {"decision", "input", "output", "delay", "fault", "verdict"}
+MOVES = {"goal", "action", "delay", "unwinnable"}
+FAULT_KINDS = {"drop", "delay", "dup", "spurious", "reject", "hang", "crash"}
+
+LEDGER_HEADER_FIELDS = ("model", "backend", "scale", "run", "attempt",
+                        "seed", "fault_spec")
+EXPLAIN_FIELDS = ("model", "backend", "run", "attempt", "seed", "fault_spec",
+                  "truncated", "verdict", "code", "detail", "failing_step",
+                  "failing_t", "expected", "observed", "counts", "faults",
+                  "tail")
+
+
+def check(name, ok, detail=""):
+    if ok:
+        print(f"  ok: {name}")
+    else:
+        failures.append(f"{name}: {detail}")
+        print(f"  FAIL: {name}: {detail}")
+
+
+def check_ledger(path):
+    """Returns the verdict event dict (or None) for pair cross-checks."""
+    print(f"ledger {path}")
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as e:
+        check("ledger readable", False, str(e))
+        return None
+    if not lines:
+        check("ledger non-empty", False, "no lines")
+        return None
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        check("header parses as JSON", False, str(e))
+        return None
+    check("header is tigat.ledger v1",
+          header.get("schema") == "tigat.ledger" and header.get("version") == 1,
+          f"schema={header.get('schema')} version={header.get('version')}")
+    missing = [f for f in LEDGER_HEADER_FIELDS if f not in header]
+    check("header fields present", not missing, f"missing {missing}")
+
+    events = []
+    for n, line in enumerate(lines[1:], start=2):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            check(f"line {n} parses as JSON", False, str(e))
+            return None
+    check("ledger has events", bool(events), "header only")
+    if not events:
+        return None
+
+    bad_kinds = [e.get("ev") for e in events if e.get("ev") not in EVENT_KINDS]
+    check("event kinds are known", not bad_kinds, f"unknown {bad_kinds}")
+
+    steps = [e["step"] for e in events if "step" in e]
+    check("steps non-decreasing",
+          all(a <= b for a, b in zip(steps, steps[1:])), f"steps {steps}")
+    ts = [e["t"] for e in events if "t" in e]
+    check("symbolic time non-decreasing",
+          all(a <= b for a, b in zip(ts, ts[1:])), f"t {ts}")
+
+    decisions = [e for e in events if e.get("ev") == "decision"]
+    check("at least one decision", bool(decisions), "no decision events")
+    bad_moves = [d.get("move") for d in decisions if d.get("move") not in MOVES]
+    check("decision moves are known", not bad_moves, f"unknown {bad_moves}")
+    no_state = [d for d in decisions if not d.get("state")]
+    check("every decision carries its state key", not no_state,
+          f"{len(no_state)} without state")
+
+    faults = [e for e in events if e.get("ev") == "fault"]
+    calls = [f.get("call", 0) for f in faults]
+    check("fault calls non-decreasing",
+          all(a <= b for a, b in zip(calls, calls[1:])), f"calls {calls}")
+    bad_faults = [f.get("kind") for f in faults
+                  if f.get("kind") not in FAULT_KINDS]
+    check("fault kinds are known", not bad_faults, f"unknown {bad_faults}")
+
+    verdicts = [e for e in events if e.get("ev") == "verdict"]
+    check("exactly one verdict event", len(verdicts) == 1,
+          f"{len(verdicts)} verdict events")
+    if not verdicts:
+        return None
+    verdict = verdicts[0]
+    check("verdict event is the last line", events[-1] is verdict,
+          "events after the verdict")
+    check("verdict value is known", verdict.get("verdict") in VERDICTS,
+          f"verdict={verdict.get('verdict')}")
+    check("reason code is known", verdict.get("code") in CODES,
+          f"code={verdict.get('code')}")
+    check("expected is a list", isinstance(verdict.get("expected"), list),
+          f"expected={verdict.get('expected')}")
+    if verdict.get("verdict") == "fail":
+        check("FAIL code is a conformance violation",
+              verdict.get("code") in FAIL_CODES, f"code={verdict.get('code')}")
+        check("FAIL over a clean channel (no fault events)", not faults,
+              f"{len(faults)} injected faults in a FAIL ledger")
+        if verdict.get("code") == "unexpected-output":
+            check("unexpected-output names the offending channel",
+                  bool(verdict.get("observed")), "observed is empty")
+        if verdict.get("code") == "quiescence-violation":
+            check("quiescence violation observed silence",
+                  not verdict.get("observed"),
+                  f"observed={verdict.get('observed')}")
+    verdict["_fault_count"] = len(faults)
+    return verdict
+
+
+def check_explain(path):
+    """Returns the explain doc for pair cross-checks."""
+    print(f"explain {path}")
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        check("explain parses as JSON", False, str(e))
+        return None
+    check("explain is tigat.explain v1",
+          doc.get("schema") == "tigat.explain" and doc.get("version") == 1,
+          f"schema={doc.get('schema')} version={doc.get('version')}")
+    missing = [f for f in EXPLAIN_FIELDS if f not in doc]
+    check("explain fields present", not missing, f"missing {missing}")
+    if missing:
+        return None
+    counts = doc["counts"]
+    check("fault count matches fault list",
+          counts.get("faults") == len(doc["faults"]),
+          f"counts.faults={counts.get('faults')} len={len(doc['faults'])}")
+    if not doc["truncated"]:
+        check("verdict value is known", doc["verdict"] in VERDICTS,
+              f"verdict={doc['verdict']}")
+        check("reason code is known", doc["code"] in CODES,
+              f"code={doc['code']}")
+    return doc
+
+
+def cross_check(ledger_verdict, explain_doc, stem):
+    if ledger_verdict is None or explain_doc is None:
+        return
+    check(f"{stem}: verdicts agree",
+          ledger_verdict.get("verdict") == explain_doc.get("verdict"),
+          f"ledger={ledger_verdict.get('verdict')} "
+          f"explain={explain_doc.get('verdict')}")
+    check(f"{stem}: codes agree",
+          ledger_verdict.get("code") == explain_doc.get("code"),
+          f"ledger={ledger_verdict.get('code')} "
+          f"explain={explain_doc.get('code')}")
+    check(f"{stem}: failing steps agree",
+          ledger_verdict.get("step") == explain_doc.get("failing_step"),
+          f"ledger={ledger_verdict.get('step')} "
+          f"explain={explain_doc.get('failing_step')}")
+    check(f"{stem}: fault counts agree",
+          ledger_verdict.get("_fault_count")
+          == explain_doc["counts"].get("faults"),
+          f"ledger={ledger_verdict.get('_fault_count')} "
+          f"explain={explain_doc['counts'].get('faults')}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ledgers", nargs="*", metavar="LEDGER")
+    parser.add_argument("--explain", action="append", default=[],
+                        metavar="EXPLAIN")
+    parser.add_argument("--dir", metavar="DIR")
+    parser.add_argument("--expect-code", metavar="CODE")
+    parser.add_argument("--min-ledgers", type=int, default=0)
+    args = parser.parse_args()
+
+    ledger_verdicts = []
+    for path in args.ledgers:
+        ledger_verdicts.append(check_ledger(path))
+    for path in args.explain:
+        check_explain(path)
+
+    if args.dir:
+        root = Path(args.dir)
+        ledger_files = sorted(root.glob("*.ledger.jsonl"))
+        print(f"dir {root}: {len(ledger_files)} ledger(s)")
+        check(f"at least {args.min_ledgers} ledger(s)",
+              len(ledger_files) >= args.min_ledgers,
+              f"found {len(ledger_files)}")
+        for ledger_path in ledger_files:
+            stem = ledger_path.name[:-len(".ledger.jsonl")]
+            verdict = check_ledger(ledger_path)
+            ledger_verdicts.append(verdict)
+            explain_path = root / f"{stem}.explain.json"
+            check(f"{stem}: explain file exists", explain_path.exists(),
+                  f"missing {explain_path}")
+            if explain_path.exists():
+                cross_check(verdict, check_explain(explain_path), stem)
+
+    if args.expect_code is not None:
+        codes = [v.get("code") for v in ledger_verdicts if v is not None]
+        check(f"some ledger has code {args.expect_code}",
+              args.expect_code in codes, f"codes {codes}")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nall ledger/explain checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

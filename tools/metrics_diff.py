@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff two tigat.metrics snapshots (run_model --metrics-out).
+
+Prints every counter, gauge and histogram whose value differs between
+snapshot A and snapshot B, as `name: a -> b (delta)` lines.  Histograms
+compare total count and sum (bucket-level drift always moves one of
+those).  Metrics present in only one snapshot are reported as added or
+removed.
+
+The motivating CI use: run the SAME campaign twice — once with the
+flight recorder attached, once without — snapshot metrics after each,
+and require `metrics_diff.py --only solver. --fail-on-diff A B` to
+exit 0.  Recording a run must not change what the solver computed;
+any solver-counter drift means the recorder leaked into behaviour.
+
+Flags:
+  --only PREFIX     restrict the diff to metric names starting with
+                    PREFIX (repeatable; e.g. --only solver. --only exec)
+  --counters-only   ignore gauges and histograms (gauges and latency
+                    histograms are wall-clock-fed, so they legitimately
+                    differ between two runs of anything)
+  --fail-on-diff    exit 1 if any compared metric differs
+
+Exit code: 0 = no differences (under the active filters), 1 =
+differences found with --fail-on-diff, 2 = snapshot unreadable/invalid.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"metrics_diff: cannot load {path}: {e}")
+    if doc.get("schema") != "tigat.metrics" or doc.get("version") != 1:
+        sys.exit(f"metrics_diff: {path} is not a tigat.metrics v1 snapshot "
+                 f"(schema={doc.get('schema')} version={doc.get('version')})")
+    return doc
+
+
+def flatten(doc, counters_only):
+    """{name: value} with histograms reduced to .count / .sum entries."""
+    out = {}
+    for name, value in doc.get("counters", {}).items():
+        out[name] = value
+    if counters_only:
+        return out
+    for name, value in doc.get("gauges", {}).items():
+        out[name] = value
+    for name, hist in doc.get("histograms", {}).items():
+        out[f"{name}.count"] = hist.get("count", 0)
+        out[f"{name}.sum"] = hist.get("sum", 0)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("a", metavar="SNAPSHOT_A")
+    parser.add_argument("b", metavar="SNAPSHOT_B")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="PREFIX")
+    parser.add_argument("--counters-only", action="store_true")
+    parser.add_argument("--fail-on-diff", action="store_true")
+    args = parser.parse_args()
+
+    a = flatten(load(args.a), args.counters_only)
+    b = flatten(load(args.b), args.counters_only)
+
+    def keep(name):
+        return not args.only or any(name.startswith(p) for p in args.only)
+
+    names = sorted(n for n in set(a) | set(b) if keep(n))
+    diffs = 0
+    for name in names:
+        if name not in a:
+            print(f"{name}: (absent) -> {b[name]}  [added]")
+            diffs += 1
+        elif name not in b:
+            print(f"{name}: {a[name]} -> (absent)  [removed]")
+            diffs += 1
+        elif a[name] != b[name]:
+            try:
+                delta = b[name] - a[name]
+                print(f"{name}: {a[name]} -> {b[name]} ({delta:+})")
+            except TypeError:
+                print(f"{name}: {a[name]} -> {b[name]}")
+            diffs += 1
+
+    scope = f" (of {len(names)} compared)" if names else ""
+    print(f"metrics_diff: {diffs} difference(s){scope}")
+    if diffs and args.fail_on_diff:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
