@@ -7,6 +7,10 @@
 // --print-models.)  The output format mirrors the UPPAAL-TIGA style of
 // Fig. 5: per discrete state, zone conditions mapped to "take <input>"
 // or "delay" prescriptions; rank-0 rows read "goal reached".
+//
+// A second set of `safety_*` JSON keys benches the dual fixpoint on
+// the same model (`control: A[] !IUT.Bright`): solve + compile shape,
+// .tgs size and per-decision walk/table latency for a safety game.
 #include <cstdio>
 #include <cstring>
 
@@ -90,6 +94,54 @@ int main(int argc, char** argv) {
   report.root().set("walk_ns_per_decide", walk_ns);
   report.root().set("table_ns_per_decide", table_ns);
   report.root().set("speedup_vs_walk", walk_ns / table_ns);
+
+  // The safety-game row: the dual fixpoint on the same model, with the
+  // compiled table's fat delay leaves (Safe zones + danger region +
+  // boundary acts) — the per-decision cost a safety campaign pays.
+  const auto safety_purpose =
+      tsystem::TestPurpose::parse(light.system, "control: A[] !IUT.Bright");
+  util::Stopwatch safety_watch;
+  game::GameSolver safety_solver(light.system, safety_purpose);
+  const auto safety_solution = safety_solver.solve();
+  game::Strategy safety_strategy(safety_solution);
+  const double safety_generate_s = safety_watch.seconds();
+  decision::CompileStats safety_cstats;
+  const decision::DecisionTable safety_table =
+      decision::compile(*safety_solution, &safety_cstats);
+  const std::size_t safety_tgs_bytes =
+      decision::to_bytes(safety_table).size();
+  util::Stopwatch safety_walk_watch;
+  for (int r = 0; r < kReps; ++r) {
+    sink +=
+        static_cast<std::int64_t>(safety_strategy.decide(state, kScale).kind);
+  }
+  const double safety_walk_ns = safety_walk_watch.seconds() * 1e9 / kReps;
+  util::Stopwatch safety_table_watch;
+  for (int r = 0; r < kReps; ++r) {
+    sink -= static_cast<std::int64_t>(safety_table.decide(state, kScale).kind);
+  }
+  const double safety_table_ns = safety_table_watch.seconds() * 1e9 / kReps;
+  if (sink != 0) {
+    std::printf("safety backends disagreed at the probe state!\n");
+  }
+  std::printf("\nsafety (A[] !IUT.Bright): winning %s, %zu states, %zu rows, "
+              "%zu bytes .tgs\n",
+              safety_solution->winning_from_initial() ? "yes" : "NO (bug!)",
+              safety_solution->stats().keys, safety_strategy.size(),
+              safety_tgs_bytes);
+  std::printf("safety per-decision: walk %.0f ns, compiled %.0f ns (%.1fx)\n",
+              safety_walk_ns, safety_table_ns,
+              safety_walk_ns / safety_table_ns);
+  report.root().set("safety_generate_s", safety_generate_s);
+  report.root().set("safety_winning",
+                    safety_solution->winning_from_initial());
+  report.root().set("safety_states", safety_solution->stats().keys);
+  report.root().set("safety_strategy_rows", safety_strategy.size());
+  report.root().set("safety_table_leaves", safety_table.leaf_count());
+  report.root().set("safety_table_zones", safety_table.zone_count());
+  report.root().set("safety_tgs_bytes", safety_tgs_bytes);
+  report.root().set("safety_walk_ns_per_decide", safety_walk_ns);
+  report.root().set("safety_table_ns_per_decide", safety_table_ns);
   report.flush();
   return 0;
 }

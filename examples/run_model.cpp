@@ -17,7 +17,11 @@
 //
 // Every `control:` declaration in the file is solved (plus any extra
 // purposes given on the command line); for each one the winnability
-// verdict, solver statistics and strategy size are reported.
+// verdict, solver statistics and strategy size are reported.  Both
+// purpose kinds solve: `control: A<> φ` (reachability) and
+// `control: A[] φ` (safety).  Safety campaigns PASS by keeping φ true
+// for --pass-ticks of model time (default: the step budget) and FAIL
+// the moment a run breaks φ.
 //
 // Compiled strategies (the offline/online split):
 //
@@ -136,6 +140,7 @@ bool write_obs_artifacts(const std::string& trace_out,
 }
 
 int serve_strategy(const tigat::lang::LoadedModel& model,
+                   const std::vector<tigat::tsystem::TestPurpose>& purposes,
                    const std::string& path) {
   using namespace tigat;
   const decision::DecisionTable table = [&] {
@@ -146,17 +151,30 @@ int serve_strategy(const tigat::lang::LoadedModel& model,
       std::exit(kExitIo);
     }
   }();
-  if (!table.matches(model.system)) {
+  // The fingerprint covers system AND purpose, so the serve check finds
+  // which of the model's purposes this table was compiled for (a safety
+  // table never passes as a reachability one, or vice versa).
+  const tsystem::TestPurpose* purpose = nullptr;
+  for (const tsystem::TestPurpose& p : purposes) {
+    if (table.matches(model.system, p)) {
+      purpose = &p;
+      break;
+    }
+  }
+  if (purpose == nullptr) {
     std::fprintf(stderr,
-                 "'%s' was compiled for a different model (fingerprint "
-                 "mismatch)\n",
+                 "'%s' was compiled for a different model or purpose "
+                 "(fingerprint mismatch)\n",
                  path.c_str());
     return kExitUsageOrModel;
   }
-  std::printf("loaded compiled strategy %s: %zu keys, %zu nodes, %zu arcs, "
-              "%zu leaves, %zu zones (%.1f KiB resident)\n",
-              path.c_str(), table.key_count(), table.node_count(),
-              table.arc_count(), table.leaf_count(), table.zone_count(),
+  std::printf("loaded compiled strategy %s for '%s' (%s game): %zu keys, "
+              "%zu nodes, %zu arcs, %zu leaves, %zu zones (%.1f KiB "
+              "resident)\n",
+              path.c_str(), purpose->source.c_str(),
+              table.data().purpose_kind == 1 ? "safety" : "reachability",
+              table.key_count(), table.node_count(), table.arc_count(),
+              table.leaf_count(), table.zone_count(),
               static_cast<double>(table.memory_bytes()) / 1024.0);
 
   constexpr std::int64_t kScale = 16;
@@ -198,6 +216,7 @@ int run_main(int argc, char** argv) {
   long runs = 0;
   long long run_deadline_ms = 0;
   long retries = 0;
+  long long pass_ticks = 0;     // safety: PASS after this much model time
   int mutant = -1;              // < 0: test the unmutated IUT
   std::string iut_name = "IUT";
   std::string campaign_out;
@@ -252,6 +271,8 @@ int run_main(int argc, char** argv) {
       run_deadline_ms = std::atoll(argv[i] + 18);
     } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
       retries = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--pass-ticks=", 13) == 0) {
+      pass_ticks = std::atoll(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--mutant=", 9) == 0) {
       mutant = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--iut=", 6) == 0) {
@@ -284,9 +305,9 @@ int run_main(int argc, char** argv) {
                  "[--progress[=SECS]] [--stats-json] "
                  "[--runs=K] [--faults=SPEC] [--fault-seed=N] "
                  "[--run-deadline-ms=M] [--retries=R] [--iut=NAME] "
-                 "[--mutant=K] [--campaign-out=FILE] "
+                 "[--mutant=K] [--pass-ticks=T] [--campaign-out=FILE] "
                  "[--ledger-out=DIR] [--explain] "
-                 "[\"control: A<> ...\"]...\n"
+                 "[\"control: A<> ...\" | \"control: A[] ...\"]...\n"
                  "exit codes: 0 pass, 1 usage/model, 2 I/O, "
                  "3 solver limit, 4 FAIL, 5 flaky/inconclusive\n");
     return kExitUsageOrModel;
@@ -314,13 +335,6 @@ int run_main(int argc, char** argv) {
               model.system.processes().size(), model.purposes.size());
   if (print_model) std::printf("\n%s\n", model.system.to_string().c_str());
 
-  // Serving path: a compiled strategy replaces solving entirely.
-  if (!strategy_in.empty()) {
-    const int rc = serve_strategy(model, strategy_in);
-    if (!write_obs_artifacts(trace_out, metrics_out, stats_json)) return kExitIo;
-    return rc;
-  }
-
   std::vector<tsystem::TestPurpose> purposes = std::move(model.purposes);
   for (const std::string& text : extra_purposes) {
     try {
@@ -329,6 +343,15 @@ int run_main(int argc, char** argv) {
       std::fprintf(stderr, "bad purpose '%s': %s\n", text.c_str(), e.what());
       return kExitUsageOrModel;
     }
+  }
+
+  // Serving path: a compiled strategy replaces solving entirely.  The
+  // purposes are parsed first so the fingerprint check can tell which
+  // one the table was compiled for.
+  if (!strategy_in.empty()) {
+    const int rc = serve_strategy(model, purposes, strategy_in);
+    if (!write_obs_artifacts(trace_out, metrics_out, stats_json)) return kExitIo;
+    return rc;
   }
   if (purposes.empty()) {
     if (campaign_mode) {
@@ -389,6 +412,11 @@ int run_main(int argc, char** argv) {
     copts.fault_spec = fault_spec;
     copts.fault_seed = fault_seed;
     copts.record_ledgers = !ledger_out.empty() || explain;
+    // The executor needs the purpose to know whether this is a safety
+    // run (φ checked after every discrete move, PASS by outlasting the
+    // budget); the DecisionSource alone cannot provide the formula.
+    copts.executor.purpose = purposes.front();
+    copts.executor.pass_ticks = pass_ticks;
     const testing::CampaignReport report = [&] {
       try {
         return testing::campaign_run(source, model.system, imp, kScale, copts);
@@ -514,7 +542,9 @@ int run_main(int argc, char** argv) {
         strategy_out.clear();  // first purpose only
       }
     } catch (const tsystem::ModelError& e) {
-      // E.g. `A[]` safety purposes parse but have no solver yet.
+      // A purpose the model rejects at solve time (e.g. a formula whose
+      // bindings no longer elaborate) is a model error, not a solver
+      // limit: report it and exit 1 via all_winning.
       std::fprintf(stderr, "cannot solve '%s': %s\n", purpose.source.c_str(),
                    e.what());
       all_winning = false;

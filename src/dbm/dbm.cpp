@@ -358,6 +358,90 @@ std::int64_t Dbm::latest_stay_delay(std::span<const std::int64_t> point,
   return hi;
 }
 
+std::optional<DelayInterval> Dbm::delay_interval(
+    std::span<const std::int64_t> point, std::int64_t scale) const {
+  TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
+  if (empty_) return std::nullopt;
+  const raw_t* m = data();
+  // Difference constraints between real clocks are delay-invariant: the
+  // diagonal through `point` either satisfies them at every δ or never.
+  for (std::uint32_t i = 1; i < dim_; ++i) {
+    for (std::uint32_t j = 1; j < dim_; ++j) {
+      if (i == j) continue;
+      if (!satisfies(point[i] - point[j], m[i * dim_ + j], scale)) {
+        return std::nullopt;
+      }
+    }
+  }
+  DelayInterval iv{0, kNoDeadline, false, false};
+  for (std::uint32_t i = 1; i < dim_; ++i) {
+    // Upper bound: x_i + δ ≺ c·scale  ⇔  δ ≺ c·scale − x_i.
+    const raw_t upper = m[i * dim_];
+    if (!is_infinity(upper)) {
+      const std::int64_t limit =
+          static_cast<std::int64_t>(bound_value(upper)) * scale - point[i];
+      const bool strict = !is_weak(upper);
+      if (limit < iv.hi || (limit == iv.hi && strict)) {
+        iv.hi = limit;
+        iv.hi_strict = strict;
+      }
+    }
+    // Lower bound: −(x_i + δ) ≺ c·scale  ⇔  δ ≻ −c·scale − x_i.
+    const raw_t lower = m[i];
+    if (!is_infinity(lower)) {
+      const std::int64_t limit =
+          -static_cast<std::int64_t>(bound_value(lower)) * scale - point[i];
+      const bool strict = !is_weak(lower);
+      if (limit > iv.lo || (limit == iv.lo && strict)) {
+        iv.lo = limit;
+        iv.lo_strict = strict;
+      }
+    }
+  }
+  if (iv.lo < 0) {
+    iv.lo = 0;
+    iv.lo_strict = false;
+  }
+  if (iv.hi != kNoDeadline &&
+      (iv.lo > iv.hi || (iv.lo == iv.hi && (iv.lo_strict || iv.hi_strict)))) {
+    return std::nullopt;
+  }
+  return iv;
+}
+
+std::int64_t merge_stay_bound(std::vector<DelayInterval>& intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const DelayInterval& a, const DelayInterval& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              if (a.lo_strict != b.lo_strict) return !a.lo_strict;
+              if (a.hi != b.hi) return a.hi > b.hi;
+              return !a.hi_strict && b.hi_strict;
+            });
+  TIGAT_ASSERT(!intervals.empty() && intervals[0].lo == 0 &&
+                   !intervals[0].lo_strict,
+               "merge_stay_bound: delay 0 must be covered");
+  std::int64_t end = intervals[0].hi;
+  bool end_strict = intervals[0].hi_strict;
+  for (std::size_t k = 1; k < intervals.size() && end != Dbm::kNoDeadline;
+       ++k) {
+    const DelayInterval& iv = intervals[k];
+    // The union stays gapless iff this interval starts inside (or flush
+    // against) the coverage so far; both endpoints exclusive at the
+    // same value leave that value densely uncovered.
+    const bool connects =
+        iv.lo < end || (iv.lo == end && !(iv.lo_strict && end_strict));
+    // Sorted by (lo, lo_strict): once one interval fails to connect, no
+    // later one can start earlier or looser.
+    if (!connects) break;
+    if (iv.hi > end || (iv.hi == end && end_strict && !iv.hi_strict)) {
+      end = iv.hi;
+      end_strict = iv.hi_strict;
+    }
+  }
+  if (end == Dbm::kNoDeadline) return Dbm::kNoDeadline;
+  return end_strict ? end - 1 : end;
+}
+
 std::size_t Dbm::hash() const noexcept {
   std::size_t h = 0x811c9dc5u ^ dim_;
   const raw_t* m = data();

@@ -41,6 +41,30 @@ enum class Relation : std::uint8_t {
   kDifferent,
 };
 
+// The dense interval of delays δ (in ticks) keeping `point + δ` inside
+// one zone.  Unlike latest_stay_delay's integer answer, this preserves
+// the strictness of both endpoints, which matters when intervals from
+// several zones of a federation are merged: {δ < 3} ∪ {δ ≥ 3} is
+// gapless while {δ ≤ 2} ∪ {δ ≥ 3} has a dense gap, yet both quantize
+// to the same integer bounds.  `hi == Dbm::kNoDeadline` means upward
+// unbounded (hi_strict is then meaningless).  lo is clipped at 0
+// (inclusive), so lo_strict only ever records a strict zone bound.
+struct DelayInterval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  bool lo_strict = false;
+  bool hi_strict = false;
+};
+
+// Largest integer D ≥ 0 such that the dense union of `intervals` covers
+// all of [0, D]; Dbm::kNoDeadline when the union is upward unbounded
+// from 0.  Requires δ = 0 to be covered (the point is inside some
+// zone).  Sorts `intervals` in place; the result depends only on the
+// multiset, so callers feeding set-equal federations in any member
+// order get bit-identical answers (the walking Strategy and the
+// compiled DecisionTable share this helper for exactly that reason).
+[[nodiscard]] std::int64_t merge_stay_bound(std::vector<DelayInterval>& intervals);
+
 class Dbm {
  public:
   // Largest dimension stored inline (no heap); see the file comment.
@@ -140,6 +164,15 @@ class Dbm {
   // zone is upward unbounded through the point.
   static constexpr std::int64_t kNoDeadline = std::int64_t{1} << 62;
   [[nodiscard]] std::int64_t latest_stay_delay(
+      std::span<const std::int64_t> point, std::int64_t scale = 1) const;
+
+  // The dense δ-interval through this zone from `point` (see
+  // DelayInterval), or nullopt when no δ ≥ 0 enters it — either a
+  // delay-invariant difference constraint fails or the diagonal passes
+  // entirely below δ = 0.  Unlike earliest_entry_delay this does not
+  // quantize to integer ticks; safety strategies merge these intervals
+  // across a federation (Fed::safe_delay_bound) before quantizing.
+  [[nodiscard]] std::optional<DelayInterval> delay_interval(
       std::span<const std::int64_t> point, std::int64_t scale = 1) const;
 
   [[nodiscard]] std::size_t hash() const noexcept;

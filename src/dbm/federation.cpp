@@ -220,6 +220,18 @@ std::optional<std::int64_t> Fed::earliest_entry_delay(
   return best;
 }
 
+std::int64_t Fed::safe_delay_bound(std::span<const std::int64_t> point,
+                                   std::int64_t scale) const {
+  std::vector<DelayInterval> intervals;
+  intervals.reserve(zones_.size());
+  for (const Dbm& z : zones_) {
+    if (const auto iv = z.delay_interval(point, scale)) {
+      intervals.push_back(*iv);
+    }
+  }
+  return merge_stay_bound(intervals);
+}
+
 void Fed::extrapolate_max_bounds(std::span<const bound_t> max_constants) {
   for (Dbm& z : zones_) z.extrapolate_max_bounds(max_constants);
   reduce();

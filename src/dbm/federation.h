@@ -111,6 +111,22 @@ class Fed {
         std::span<const std::int64_t>(point.begin(), point.size()), scale);
   }
 
+  // Largest integer D ≥ 0 (in ticks) such that every delay in the
+  // dense interval [0, D] keeps `point` inside this federation —
+  // Dbm::kNoDeadline when unbounded.  Merges the member zones' dense
+  // delay intervals (dbm::merge_stay_bound), so coverage split across
+  // members with matching strict/weak facets is honoured exactly;
+  // requires the point to be inside.  This is the wait bound a safety
+  // strategy hands the executor: delaying past it would let time carry
+  // the state out of the winning (safe) region.
+  [[nodiscard]] std::int64_t safe_delay_bound(
+      std::span<const std::int64_t> point, std::int64_t scale = 1) const;
+  [[nodiscard]] std::int64_t safe_delay_bound(
+      std::initializer_list<std::int64_t> point, std::int64_t scale = 1) const {
+    return safe_delay_bound(
+        std::span<const std::int64_t>(point.begin(), point.size()), scale);
+  }
+
   void extrapolate_max_bounds(std::span<const bound_t> max_constants);
 
   // Drops member zones included in other members (quadratic; cheap for

@@ -32,9 +32,12 @@ struct Entry {
 class Compiler {
  public:
   explicit Compiler(const GameSolution& solution)
-      : sol_(solution), g_(solution.graph()) {
-    out_.fingerprint = model_fingerprint(g_.system());
+      : sol_(solution),
+        g_(solution.graph()),
+        safety_(solution.purpose().kind == tsystem::PurposeKind::kSafety) {
+    out_.fingerprint = model_fingerprint(g_.system(), solution.purpose());
     out_.clock_dim = g_.system().clock_count();
+    out_.purpose_kind = safety_ ? 1 : 0;
   }
 
   TableData run(CompileStats* stats) {
@@ -76,13 +79,32 @@ class Compiler {
 
   target_t intern_leaf(const TableData::Leaf& leaf) {
     const auto key = std::make_tuple(leaf.kind, leaf.rank, leaf.edge_slot,
-                                     leaf.zones_first, leaf.zones_count);
+                                     leaf.zones_first, leaf.zones_count,
+                                     leaf.acts_first, leaf.acts_count,
+                                     leaf.danger_first, leaf.danger_count);
     const auto it = leaf_index_.find(key);
     if (it != leaf_index_.end()) return leaf_target(it->second);
     const auto id = static_cast<std::uint32_t>(out_.leaves.size());
     out_.leaves.push_back(leaf);
     leaf_index_.emplace(key, id);
     return leaf_target(id);
+  }
+
+  std::pair<std::uint32_t, std::uint32_t> intern_acts(
+      const std::vector<TableData::Act>& acts) {
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> key;
+    key.reserve(acts.size());
+    for (const TableData::Act& a : acts) {
+      key.emplace_back(a.edge_slot, a.zones_first, a.zones_count);
+    }
+    const auto it = acts_index_.find(key);
+    if (it != acts_index_.end()) return it->second;
+    const auto first = static_cast<std::uint32_t>(out_.acts.size());
+    out_.acts.insert(out_.acts.end(), acts.begin(), acts.end());
+    const auto slice =
+        std::make_pair(first, static_cast<std::uint32_t>(acts.size()));
+    acts_index_.emplace(std::move(key), slice);
+    return slice;
   }
 
   target_t intern_node(std::uint16_t i, std::uint16_t j,
@@ -139,7 +161,58 @@ class Compiler {
     return intern_leaf(leaf);
   }
 
+  // Safety keys compile to a single fat delay leaf over Safe (see
+  // table.h): the dense stay bound comes from the Safe zones, the
+  // danger region forces the boundary action, and the acts are the
+  // controllable edges in edges_out order — empty action regions are
+  // skipped, which is decide-equivalent since an empty region never
+  // contains the point.
+  target_t safety_leaf(std::uint32_t k) {
+    TableData::Leaf leaf;
+    leaf.kind = MoveKind::kDelay;
+    leaf.rank = 0;
+    std::vector<std::uint32_t> refs;
+    for (const Dbm& z : sol_.winning(k).zones()) {
+      refs.push_back(intern_zone(z));
+    }
+    std::tie(leaf.zones_first, leaf.zones_count) = intern_slice(refs);
+    refs.clear();
+    for (const Dbm& z : sol_.danger_region(k).zones()) {
+      refs.push_back(intern_zone(z));
+    }
+    std::tie(leaf.danger_first, leaf.danger_count) = intern_slice(refs);
+    std::vector<TableData::Act> acts;
+    for (const std::uint32_t ei : g_.edges_out(k)) {
+      if (!g_.edges()[ei].inst.controllable) continue;
+      const Fed& region = sol_.action_region(ei, 0);
+      if (region.is_empty()) continue;
+      TableData::Act act;
+      act.edge_slot = edge_slot(ei);
+      std::vector<std::uint32_t> arefs;
+      for (const Dbm& z : region.zones()) arefs.push_back(intern_zone(z));
+      std::tie(act.zones_first, act.zones_count) = intern_slice(arefs);
+      acts.push_back(act);
+    }
+    std::tie(leaf.acts_first, leaf.acts_count) = intern_acts(acts);
+    return intern_leaf(leaf);
+  }
+
   void compile_key(std::uint32_t k) {
+    if (safety_) {
+      const Fed& safe = sol_.winning(k);
+      TableData::Key key;
+      key.locs = g_.key(k).locs;
+      key.data = g_.key(k).data;
+      if (safe.is_empty()) {
+        key.root = unwinnable_leaf();
+      } else {
+        std::vector<Entry> entries{{&safe, safety_leaf(k)}};
+        cascade_entries_ += entries.size();
+        key.root = build(Dbm::universal(out_.clock_dim), entries);
+      }
+      out_.keys.push_back(std::move(key));
+      return;
+    }
     std::deque<Fed> owned;
     std::vector<Entry> entries;
     for (const GameSolution::Delta& d : sol_.deltas(k)) {
@@ -254,6 +327,7 @@ class Compiler {
     TableData packed;
     packed.fingerprint = out_.fingerprint;
     packed.clock_dim = out_.clock_dim;
+    packed.purpose_kind = out_.purpose_kind;
 
     constexpr std::uint32_t kUnset = 0xffff'ffffu;
     std::vector<std::uint32_t> node_map(out_.nodes.size(), kUnset);
@@ -263,6 +337,7 @@ class Compiler {
     std::map<std::pair<std::uint32_t, std::uint32_t>,
              std::pair<std::uint32_t, std::uint32_t>>
         slice_map;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> acts_map;
 
     const auto map_zone = [&](std::uint32_t z) {
       if (zone_map[z] == kUnset) {
@@ -271,31 +346,54 @@ class Compiler {
       }
       return zone_map[z];
     };
+    const auto map_edge = [&](std::uint32_t slot) {
+      if (edge_map[slot] == kUnset) {
+        edge_map[slot] = static_cast<std::uint32_t>(packed.edges.size());
+        packed.edges.push_back(out_.edges[slot]);
+      }
+      return edge_map[slot];
+    };
+    const auto remap_slice = [&](std::uint32_t& first, std::uint32_t count) {
+      const auto old = std::make_pair(first, count);
+      const auto it = slice_map.find(old);
+      if (it != slice_map.end()) {
+        first = it->second.first;
+        return;
+      }
+      const auto fresh = static_cast<std::uint32_t>(packed.zone_refs.size());
+      for (std::uint32_t r = 0; r < count; ++r) {
+        packed.zone_refs.push_back(map_zone(out_.zone_refs[old.first + r]));
+      }
+      slice_map.emplace(old, std::make_pair(fresh, count));
+      first = fresh;
+    };
     const auto map_leaf = [&](std::uint32_t l) {
       if (leaf_map[l] != kUnset) return leaf_map[l];
       TableData::Leaf leaf = out_.leaves[l];
       if (leaf.kind == MoveKind::kAction) {
-        if (edge_map[leaf.edge_slot] == kUnset) {
-          edge_map[leaf.edge_slot] =
-              static_cast<std::uint32_t>(packed.edges.size());
-          packed.edges.push_back(out_.edges[leaf.edge_slot]);
-        }
-        leaf.edge_slot = edge_map[leaf.edge_slot];
+        leaf.edge_slot = map_edge(leaf.edge_slot);
       }
       if (leaf.kind == MoveKind::kDelay) {
-        const auto old = std::make_pair(leaf.zones_first, leaf.zones_count);
-        const auto it = slice_map.find(old);
-        if (it != slice_map.end()) {
-          std::tie(leaf.zones_first, leaf.zones_count) = it->second;
-        } else {
-          const auto first =
-              static_cast<std::uint32_t>(packed.zone_refs.size());
-          for (std::uint32_t r = 0; r < old.second; ++r) {
-            packed.zone_refs.push_back(
-                map_zone(out_.zone_refs[old.first + r]));
+        remap_slice(leaf.zones_first, leaf.zones_count);
+        remap_slice(leaf.danger_first, leaf.danger_count);
+        if (leaf.acts_count != 0) {
+          const auto old = std::make_pair(leaf.acts_first, leaf.acts_count);
+          const auto it = acts_map.find(old);
+          if (it != acts_map.end()) {
+            leaf.acts_first = it->second;
+          } else {
+            const auto fresh = static_cast<std::uint32_t>(packed.acts.size());
+            for (std::uint32_t a = 0; a < old.second; ++a) {
+              TableData::Act act = out_.acts[old.first + a];
+              act.edge_slot = map_edge(act.edge_slot);
+              remap_slice(act.zones_first, act.zones_count);
+              packed.acts.push_back(act);
+            }
+            acts_map.emplace(old, fresh);
+            leaf.acts_first = fresh;
           }
-          slice_map.emplace(old, std::make_pair(first, old.second));
-          leaf.zones_first = first;
+        } else {
+          leaf.acts_first = 0;
         }
       }
       leaf_map[l] = static_cast<std::uint32_t>(packed.leaves.size());
@@ -338,15 +436,20 @@ class Compiler {
 
   const GameSolution& sol_;
   const SymbolicGraph& g_;
+  const bool safety_;
   TableData out_;
 
   std::unordered_map<std::size_t, std::vector<std::uint32_t>> zone_index_;
   std::map<std::vector<std::uint32_t>, std::pair<std::uint32_t, std::uint32_t>>
       slice_index_;
   std::map<std::tuple<MoveKind, std::uint32_t, std::uint32_t, std::uint32_t,
-                      std::uint32_t>,
+                      std::uint32_t, std::uint32_t, std::uint32_t,
+                      std::uint32_t, std::uint32_t>,
            std::uint32_t>
       leaf_index_;
+  std::map<std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>,
+           std::pair<std::uint32_t, std::uint32_t>>
+      acts_index_;
   std::map<std::tuple<std::uint16_t, std::uint16_t,
                       std::vector<std::pair<dbm::raw_t, target_t>>>,
            std::uint32_t>

@@ -134,6 +134,7 @@ std::vector<std::uint8_t> to_bytes(const DecisionTable& table) {
                      : static_cast<std::uint32_t>(d.keys[0].data.slot_count());
   w.u32(proc_count);
   w.u32(slot_count);
+  w.u8(d.purpose_kind);
 
   w.u32(static_cast<std::uint32_t>(d.keys.size()));
   for (const TableData::Key& key : d.keys) {
@@ -169,6 +170,17 @@ std::vector<std::uint8_t> to_bytes(const DecisionTable& table) {
     w.u32(leaf.edge_slot);
     w.u32(leaf.zones_first);
     w.u32(leaf.zones_count);
+    w.u32(leaf.acts_first);
+    w.u32(leaf.acts_count);
+    w.u32(leaf.danger_first);
+    w.u32(leaf.danger_count);
+  }
+
+  w.u32(static_cast<std::uint32_t>(d.acts.size()));
+  for (const TableData::Act& act : d.acts) {
+    w.u32(act.edge_slot);
+    w.u32(act.zones_first);
+    w.u32(act.zones_count);
   }
 
   w.u32(static_cast<std::uint32_t>(d.zone_refs.size()));
@@ -225,6 +237,7 @@ DecisionTable from_bytes(const std::vector<std::uint8_t>& bytes) {
   }
   const std::uint32_t proc_count = r.u32();
   const std::uint32_t slot_count = r.u32();
+  d.purpose_kind = r.u8();
 
   const std::uint32_t key_count =
       r.count((std::size_t{proc_count} + slot_count + 1) * 4);
@@ -269,7 +282,7 @@ DecisionTable from_bytes(const std::vector<std::uint8_t>& bytes) {
     d.arcs.push_back(arc);
   }
 
-  const std::uint32_t leaf_count = r.count(1 + 4 * 4);
+  const std::uint32_t leaf_count = r.count(1 + 8 * 4);
   d.leaves.reserve(leaf_count);
   for (std::uint32_t l = 0; l < leaf_count; ++l) {
     TableData::Leaf leaf;
@@ -278,7 +291,21 @@ DecisionTable from_bytes(const std::vector<std::uint8_t>& bytes) {
     leaf.edge_slot = r.u32();
     leaf.zones_first = r.u32();
     leaf.zones_count = r.u32();
+    leaf.acts_first = r.u32();
+    leaf.acts_count = r.u32();
+    leaf.danger_first = r.u32();
+    leaf.danger_count = r.u32();
     d.leaves.push_back(leaf);
+  }
+
+  const std::uint32_t act_count = r.count(3 * 4);
+  d.acts.reserve(act_count);
+  for (std::uint32_t a = 0; a < act_count; ++a) {
+    TableData::Act act;
+    act.edge_slot = r.u32();
+    act.zones_first = r.u32();
+    act.zones_count = r.u32();
+    d.acts.push_back(act);
   }
 
   const std::uint32_t ref_count = r.count(4);

@@ -10,9 +10,14 @@
 // tables):
 //
 //   magic "TGSD" | u32 version | u64 payload FNV-1a | u64 payload size
-//   payload: fingerprint, clock dim, keys (locs/data/root), edges
-//   (original index + transition instance), nodes, arcs, leaves, zone
-//   refs, zone pool (raw DBM matrices)
+//   payload: fingerprint, clock dim, purpose kind, keys
+//   (locs/data/root), edges (original index + transition instance),
+//   nodes, arcs, leaves (incl. the safety acts/danger slices), acts,
+//   zone refs, zone pool (raw DBM matrices)
+//
+// Version history: v1 had no purpose kind, no acts section and
+// 17-byte leaves; v2 (safety games) is not backward compatible, and
+// v1 files are rejected with a clear message — re-solve to migrate.
 //
 // Integrity: the header checksum covers every payload byte and is
 // verified before parsing; the parser bounds-checks every read and the
@@ -30,7 +35,7 @@
 
 namespace tigat::decision {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 class SerializeError : public tsystem::ModelError {
  public:

@@ -119,6 +119,15 @@ std::uint64_t model_fingerprint(const tsystem::System& system) {
   return f.h;
 }
 
+std::uint64_t model_fingerprint(const tsystem::System& system,
+                                const tsystem::TestPurpose& purpose) {
+  Fnv64 f;
+  f.h = model_fingerprint(system);
+  f.u32(static_cast<std::uint32_t>(purpose.kind));
+  f.str(purpose.formula.to_string(system));
+  return f.h;
+}
+
 DecisionTable::DecisionTable(TableData data)
     : decide_latency_(&obs::metrics().histogram("decide.latency_ns",
                                                 obs::latency_buckets_ns())),
@@ -130,6 +139,7 @@ DecisionTable::DecisionTable(TableData data)
 
 void DecisionTable::validate() const {
   if (data_.clock_dim == 0) invalid("clock dimension is zero");
+  if (data_.purpose_kind > 1) invalid("unknown purpose kind");
   const auto check_target = [&](target_t t) {
     if (is_leaf(t)) {
       if (target_index(t) >= data_.leaves.size()) invalid("leaf out of range");
@@ -170,6 +180,10 @@ void DecisionTable::validate() const {
   for (const TableData::Leaf& leaf : data_.leaves) {
     switch (leaf.kind) {
       case MoveKind::kGoalReached:
+        // Safety plays are won by outlasting the budget (the
+        // executor's call), never by a goal prescription.
+        if (data_.purpose_kind == 1) invalid("goal leaf in a safety table");
+        break;
       case MoveKind::kUnwinnable:
         break;
       case MoveKind::kAction:
@@ -185,6 +199,26 @@ void DecisionTable::validate() const {
         break;
       default:
         invalid("unknown leaf kind");
+    }
+    if (data_.purpose_kind == 0 &&
+        (leaf.acts_count != 0 || leaf.danger_count != 0)) {
+      invalid("safety slices in a reachability table");
+    }
+    if (std::size_t{leaf.acts_first} + leaf.acts_count > data_.acts.size()) {
+      invalid("leaf act slice out of bounds");
+    }
+    if (std::size_t{leaf.danger_first} + leaf.danger_count >
+        data_.zone_refs.size()) {
+      invalid("leaf danger slice out of bounds");
+    }
+  }
+  for (const TableData::Act& act : data_.acts) {
+    if (act.edge_slot >= data_.edges.size()) {
+      invalid("act edge slot out of range");
+    }
+    if (std::size_t{act.zones_first} + act.zones_count >
+        data_.zone_refs.size()) {
+      invalid("act zone slice out of bounds");
     }
   }
   for (const std::uint32_t ref : data_.zone_refs) {
@@ -283,6 +317,56 @@ Move DecisionTable::decide_impl(const ConcreteState& state,
     case MoveKind::kDelay: {
       move.kind = MoveKind::kDelay;
       move.rank = leaf.rank;
+      if (data_.purpose_kind == 1) {
+        // Safety fat leaf — mirrors Strategy::decide's safety branch
+        // move for move.  Latest harmless wait: the dense stay bound
+        // over the Safe zones (the leaf's zone slice), clipped one
+        // tick short of the danger region.
+        thread_local std::vector<dbm::DelayInterval> intervals;
+        intervals.clear();
+        const std::uint32_t* sref = data_.zone_refs.data() + leaf.zones_first;
+        for (std::uint32_t z = 0; z < leaf.zones_count; ++z) {
+          if (const auto iv =
+                  data_.zones[sref[z]].delay_interval(state.clocks, scale)) {
+            intervals.push_back(*iv);
+          }
+        }
+        std::int64_t deadline = dbm::merge_stay_bound(intervals);
+        std::optional<std::int64_t> danger_in;
+        const std::uint32_t* dref = data_.zone_refs.data() + leaf.danger_first;
+        for (std::uint32_t z = 0; z < leaf.danger_count; ++z) {
+          if (const auto d = data_.zones[dref[z]].earliest_entry_delay(
+                  state.clocks, scale)) {
+            danger_in = danger_in ? std::min(*danger_in, *d) : *d;
+          }
+        }
+        if (danger_in && *danger_in > 0) {
+          deadline = std::min(deadline, *danger_in - 1);
+        }
+        const bool threat_now = danger_in && *danger_in == 0;
+        if (deadline > 0 && !threat_now) {
+          move.next_decision_ticks = std::min(deadline, Move::kNoDecision);
+          return move;
+        }
+        // Boundary (or live threat): first action whose region holds,
+        // in the same edge order Strategy::decide scans.
+        for (std::uint32_t a = 0; a < leaf.acts_count; ++a) {
+          const TableData::Act& act = data_.acts[leaf.acts_first + a];
+          const std::uint32_t* aref = data_.zone_refs.data() + act.zones_first;
+          for (std::uint32_t z = 0; z < act.zones_count; ++z) {
+            if (data_.zones[aref[z]].contains_point(state.clocks, scale)) {
+              move.kind = MoveKind::kAction;
+              move.edge = data_.edges[act.edge_slot].original;
+              return move;
+            }
+          }
+        }
+        // No safe action yet: wait for the threat instant (ties go to
+        // the tester) or the SUT's forced move.
+        move.next_decision_ticks =
+            danger_in && *danger_in > 0 ? *danger_in : 0;
+        return move;
+      }
       // Min over the exact zones Strategy::decide consults (action
       // regions at rank−1, then the lower winning set of this key).
       std::int64_t next = Move::kNoDecision;
@@ -316,6 +400,7 @@ std::size_t DecisionTable::memory_bytes() const {
          data_.nodes.size() * sizeof(TableData::Node) +
          data_.arcs.size() * sizeof(TableData::Arc) +
          data_.leaves.size() * sizeof(TableData::Leaf) +
+         data_.acts.size() * sizeof(TableData::Act) +
          data_.zone_refs.size() * sizeof(std::uint32_t) + zones +
          data_.edges.size() * sizeof(TableData::EdgeSlot) +
          buckets_.size() * sizeof(std::uint32_t);

@@ -22,6 +22,14 @@
 //     is in (clock differences are delay-invariant, absolute values
 //     are not).
 //
+// Safety tables (purpose_kind = 1) have exactly one winning row per
+// key — Safe has no rank structure — and its leaf is a FAT delay
+// leaf: the Safe zones (dense stay bound via dbm::merge_stay_bound),
+// the danger zones (entry forces an action) and an `acts` slice of
+// (edge, region) pairs evaluated in edge order at the boundary.  The
+// whole time-driven safety prescription evaluates inside the leaf,
+// mirroring game::Strategy's safety branch move for move.
+//
 // Identical subgraphs are hash-consed at compile time and shared
 // across keys, so the table is a DAG, not a forest of trees.
 //
@@ -48,6 +56,7 @@
 #include "decision/source.h"
 #include "semantics/concrete.h"
 #include "semantics/transition.h"
+#include "tsystem/property.h"
 #include "tsystem/system.h"
 
 namespace tigat::decision {
@@ -86,6 +95,19 @@ struct TableData {
     std::uint32_t edge_slot = kNoEdgeSlot;  // kAction: into `edges`
     std::uint32_t zones_first = 0;          // kDelay: into `zone_refs`
     std::uint32_t zones_count = 0;
+    // Safety delay leaves only (zero elsewhere): boundary actions and
+    // the danger region, as slices into `acts` / `zone_refs`.
+    std::uint32_t acts_first = 0;
+    std::uint32_t acts_count = 0;
+    std::uint32_t danger_first = 0;
+    std::uint32_t danger_count = 0;
+  };
+  // A safety boundary action: take `edge_slot` while the point is in
+  // the referenced action-region zones (a `zone_refs` slice).
+  struct Act {
+    std::uint32_t edge_slot = 0;
+    std::uint32_t zones_first = 0;
+    std::uint32_t zones_count = 0;
   };
   struct Key {
     std::vector<tsystem::LocId> locs;
@@ -97,12 +119,14 @@ struct TableData {
     semantics::TransitionInstance inst;
   };
 
-  std::uint64_t fingerprint = 0;  // model_fingerprint of the source system
+  std::uint64_t fingerprint = 0;  // model_fingerprint(system, purpose)
   std::uint32_t clock_dim = 0;    // clocks incl. the reference clock
+  std::uint8_t purpose_kind = 0;  // 0 = reachability, 1 = safety
   std::vector<Key> keys;
   std::vector<Node> nodes;
   std::vector<Arc> arcs;
   std::vector<Leaf> leaves;
+  std::vector<Act> acts;                 // safety boundary actions
   std::vector<std::uint32_t> zone_refs;  // delay-leaf slices → zone pool
   std::vector<dbm::Dbm> zones;           // shared zone pool
   std::vector<EdgeSlot> edges;
@@ -117,6 +141,13 @@ struct TableData {
 // fingerprint.  Note a cooperative table fingerprints the
 // all-controllable relaxation it was solved on, not the original SPEC.
 [[nodiscard]] std::uint64_t model_fingerprint(const tsystem::System& system);
+
+// Fingerprint of (system, purpose): continues the structural hash with
+// the purpose kind and the rendered formula, so a reachability table
+// and a safety table — or tables for two different φ — over the same
+// model never pass as each other.  This is what compiled tables store.
+[[nodiscard]] std::uint64_t model_fingerprint(
+    const tsystem::System& system, const tsystem::TestPurpose& purpose);
 
 class DecisionTable final : public DecisionSource {
  public:
@@ -141,9 +172,11 @@ class DecisionTable final : public DecisionSource {
   }
 
   // True when the table was compiled against (a system structurally
-  // identical to) `system`; callers should check before serving.
-  [[nodiscard]] bool matches(const tsystem::System& system) const {
-    return data_.fingerprint == model_fingerprint(system);
+  // identical to) `system` for this exact purpose; callers should
+  // check before serving.
+  [[nodiscard]] bool matches(const tsystem::System& system,
+                             const tsystem::TestPurpose& purpose) const {
+    return data_.fingerprint == model_fingerprint(system, purpose);
   }
 
   [[nodiscard]] const TableData& data() const { return data_; }

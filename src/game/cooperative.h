@@ -15,6 +15,13 @@
 //     was hoped for         → INCONCLUSIVE (the SUT was within its
 //                                        rights; the test just didn't
 //                                        reach its purpose)
+//
+// Safety purposes (`control: A[] φ`) relax the same way: the
+// all-controllable game computes the largest region the play can keep
+// φ in when the SUT cooperates.  Execution flips accordingly — PASS by
+// outlasting the budget with φ intact, FAIL when a SPEC-legal move
+// (even a hoped-for one the SUT drifted from) lands in ¬φ — see the
+// safety section of testing/executor.h.
 #pragma once
 
 #include <memory>

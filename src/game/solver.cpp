@@ -92,6 +92,30 @@ const Fed& GameSolution::action_region(std::uint32_t ei,
   return action_cache_.emplace(key, std::move(region)).first->second;
 }
 
+const Fed& GameSolution::danger_region(std::uint32_t k) const {
+  {
+    std::shared_lock lock(*action_mutex_);
+    const auto it = danger_cache_.find(k);
+    if (it != danger_cache_.end()) return it->second;
+  }
+  // Compute outside any lock (winning() takes its own); a racing
+  // caller may duplicate the work, but emplace keeps the first
+  // insertion and the loser's copy is discarded.
+  const std::uint32_t dim = graph_->system().clock_count();
+  Fed danger(dim);
+  Fed scratch(dim);
+  for (const std::uint32_t ei : graph_->edges_out(k)) {
+    const SymbolicEdge& e = graph_->edges()[ei];
+    if (e.inst.controllable) continue;
+    Fed bad = graph_->reach(e.dst, scratch).minus(winning(e.dst));
+    if (bad.is_empty()) continue;
+    danger |= graph_->pred_through(e, bad);
+  }
+  danger &= graph_->reach(k, scratch);
+  std::unique_lock lock(*action_mutex_);
+  return danger_cache_.emplace(k, std::move(danger)).first->second;
+}
+
 const Fed& GameSolution::winning_up_to(std::uint32_t k,
                                        std::uint32_t round) const {
   const MaterializedKey* m = materialized(k);
@@ -134,12 +158,6 @@ GameSolver::GameSolver(const tsystem::System& system,
                        tsystem::TestPurpose purpose, SolverOptions options)
     : sys_(&system), purpose_(std::move(purpose)), options_(std::move(options)) {
   TIGAT_ASSERT(system.finalized(), "system must be finalized");
-  if (purpose_.kind != tsystem::PurposeKind::kReach) {
-    throw tsystem::ModelError(
-        "GameSolver handles reachability purposes (control: A<>) — "
-        "every purpose in the paper is one; safety games (control: A[]) "
-        "parse but are not solved yet");
-  }
 }
 
 // Parallelisation scheme (the Jacobi structure makes this sound): a
@@ -160,6 +178,15 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   util::Stopwatch watch;
   util::zone_memory().reset_peak();
   util::ThreadPool pool(options_.threads);
+
+  // Safety games run the SAME attractor fixpoint with the player roles
+  // swapped: the attacker is the environment, its attractor seeds are
+  // the ¬φ keys, and the published solution is the complement
+  // Safe = Reach \ Attr (see solver.h).  `attacker_ctrl` selects which
+  // edge polarity feeds the B term; the defender's edges feed G and
+  // the FORCED set.
+  const bool safety = purpose_.kind == tsystem::PurposeKind::kSafety;
+  const bool attacker_ctrl = !safety;
 
   semantics::ExplorationOptions expl = options_.exploration;
   expl.compact_zones = expl.compact_zones || options_.compact_zones;
@@ -189,12 +216,18 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
                    : solution->win_all_[k].is_empty();
   };
 
-  // Round 0: goal keys win everywhere they are reachable (goals are
-  // formulas over the discrete part; Sec. 2.4's purposes are
-  // location/data predicates).  The scan is per-key independent.
+  // Round 0: attractor seed keys win everywhere they are reachable
+  // (reach: the φ goal keys; safety: the ¬φ keys the environment
+  // drives the play towards — both are formulas over the discrete
+  // part; Sec. 2.4's purposes are location/data predicates).  The scan
+  // is per-key independent.  `is_goal` always records φ itself (it
+  // feeds goal_key_); the seed derives from it per purpose kind.
   std::vector<Fed> loss;                    // plain: Reach \ Win cache
   std::vector<dbm::PooledFed> loss_pooled;  // compact twin
   std::vector<char> is_goal(n, 0);
+  const auto seed_key = [&](std::uint32_t k) {
+    return safety ? is_goal[k] == 0 : is_goal[k] != 0;
+  };
   if (compact) {
     solution->deltas_pooled_.assign(n, {});
     loss_pooled.assign(n, dbm::PooledFed(dim));
@@ -210,7 +243,7 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
     // Row-id copies are cheap; run them serially so the pool stays a
     // single-writer structure.
     for (std::uint32_t k = 0; k < n; ++k) {
-      if (is_goal[k]) {
+      if (seed_key(k)) {
         solution->deltas_pooled_[k].push_back({0, g.reach_pooled(k)});
       } else {
         loss_pooled[k] = g.reach_pooled(k);
@@ -225,6 +258,8 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
         const auto& key = g.key(k);
         if (purpose_.formula.eval(key.locs, key.data, sys_->data())) {
           is_goal[k] = 1;
+        }
+        if (seed_key(k)) {
           solution->win_all_[k] = g.reach(k);
         } else {
           loss[k] = g.reach(k);
@@ -237,8 +272,8 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   std::vector<bool> dirty(n, false);   // winning changed in last round
   std::vector<bool> saturated(n, false);  // win == reach, nothing to gain
   for (std::uint32_t k = 0; k < n; ++k) {
-    if (!is_goal[k]) continue;
-    solution->goal_key_[k] = true;
+    if (is_goal[k]) solution->goal_key_[k] = true;
+    if (!seed_key(k)) continue;
     if (!compact) {
       solution->deltas_[k].push_back({0, solution->win_all_[k]});
     }
@@ -247,8 +282,12 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
   }
 
   // Forced candidates (round-independent): invariant-deadline states
-  // with an enabled uncontrollable edge.  The SUT must move there; the
-  // per-round G-avoidance decides whether every move is winning.
+  // with an enabled DEFENDER edge (reach: the SUT's uncontrollable
+  // edges; safety attractor: the tester's controllable ones).  The
+  // defender must move there — the attacker simply refuses to, time
+  // cannot advance, and the maximal-run semantics of Def. 7/8 forbids
+  // stopping while an action is enabled; the per-round G-avoidance
+  // then decides whether every defender move favours the attacker.
   // Per-key independent: fanned out over the pool.
   std::vector<Fed> forced(n, Fed(dim));
   pool.parallel_for(n, 8, [&](std::size_t begin, std::size_t end) {
@@ -276,19 +315,19 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
       if (boundary.is_empty() && !semantics::time_frozen(*sys_, key.locs)) {
         continue;
       }
-      Fed unc_enabled(dim);
+      Fed def_enabled(dim);
       for (const std::uint32_t ei : g.edges_out(k)) {
         const SymbolicEdge& e = g.edges()[ei];
-        if (e.inst.controllable) continue;
-        unc_enabled |= g.pred_through(e, g.reach(e.dst, scratch));
+        if (e.inst.controllable == attacker_ctrl) continue;  // defender only
+        def_enabled |= g.pred_through(e, g.reach(e.dst, scratch));
       }
-      if (unc_enabled.is_empty()) continue;
+      if (def_enabled.is_empty()) continue;
       if (semantics::time_frozen(*sys_, key.locs)) {
         // Urgent/committed: every state is a deadline.
-        forced[k] = unc_enabled.intersection(g.reach(k, scratch));
+        forced[k] = def_enabled.intersection(g.reach(k, scratch));
       } else {
         forced[k] =
-            boundary.intersection(unc_enabled).intersection(
+            boundary.intersection(def_enabled).intersection(
                 g.reach(k, scratch));
       }
     }
@@ -352,18 +391,18 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
       for (std::size_t i = begin; i < end; ++i) {
         const std::uint32_t k = work[base + i];
 
-        // B: already-winning here, a controllable edge into winning, or
-        // a deadline where the SUT is forced to move (G filters out
+        // B: already-winning here, an attacker edge into winning, or a
+        // deadline where the defender is forced to move (G filters out
         // forced states with a non-winning escape).
         if (compact) win_fed(k, win_k);
         const Fed& wk = compact ? win_k : solution->win_all_[k];
         Fed b = wk;
         if (!forced[k].is_empty()) b |= forced[k];
-        // G: an uncontrollable edge can escape to a non-winning state.
+        // G: a defender edge can escape to a non-winning state.
         Fed gbad(dim);
         for (const std::uint32_t ei : g.edges_out(k)) {
           const SymbolicEdge& e = g.edges()[ei];
-          if (e.inst.controllable) {
+          if (e.inst.controllable == attacker_ctrl) {
             if (!win_empty(e.dst)) {
               if (compact) {
                 win_fed(e.dst, other);
@@ -498,6 +537,38 @@ std::shared_ptr<const GameSolution> GameSolver::solve() {
     rounds = r;
     if (std::none_of(dirty.begin(), dirty.end(), [](bool d) { return d; })) {
       break;
+    }
+  }
+
+  // Safety: the rounds above computed the environment's attractor to
+  // ¬φ; the published solution is its complement Safe = Reach \ Attr.
+  // The loss caches hold exactly that difference already (initialised
+  // to Reach off the seed, refreshed to Reach \ Attr for every key
+  // that gained), so publication is a move: each key becomes a single
+  // round-0 delta holding Safe.  A greatest fixpoint has no rank
+  // structure — the strategy is "stay inside Safe" — so one delta is
+  // the honest shape, and every downstream consumer (winning_up_to,
+  // rank, action_region, decision::compile) works off round 0.  All
+  // pooled writes behind loss_pooled happened serially in key order
+  // during the rounds, so the compact store and the published
+  // solution stay bit-identical at any thread count.
+  if (safety) {
+    if (compact) {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        solution->deltas_pooled_[k].clear();
+        if (!loss_pooled[k].is_empty()) {
+          solution->deltas_pooled_[k].push_back(
+              {0, std::move(loss_pooled[k])});
+        }
+      }
+    } else {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        solution->win_all_[k] = std::move(loss[k]);
+        solution->deltas_[k].clear();
+        if (!solution->win_all_[k].is_empty()) {
+          solution->deltas_[k].push_back({0, solution->win_all_[k]});
+        }
+      }
     }
   }
 

@@ -1,6 +1,8 @@
-// The timed reachability-game solver — our re-implementation of the
-// UPPAAL-TIGA core the paper builds on (Sec. 3.2; algorithm of Cassez,
-// David, Fleury, Larsen, Lime, CONCUR 2005).
+// The timed game solver — our re-implementation of the UPPAAL-TIGA
+// core the paper builds on (Sec. 3.2; algorithm of Cassez, David,
+// Fleury, Larsen, Lime, CONCUR 2005).  Reachability purposes
+// (`control: A<> φ`) and safety purposes (`control: A[] φ`) share one
+// attractor fixpoint; see the safety section below.
 //
 // Given a TIOGA network S and a test purpose `control: A<> φ`, the
 // solver computes, per discrete state q of the forward-explored zone
@@ -41,6 +43,30 @@
 // pred_t's endpoint must be a state the play can actually be in
 // (delay-closed reach zones make Reach[q] ⊇ every delay successor that
 // respects the invariant).  G ∩ Reach[q] is exact for the same reason.
+//
+// ── safety games (`control: A[] φ`) ────────────────────────────────────
+//
+// The tester wins a safety game by keeping φ true forever.  By
+// determinacy this is the complement of a reachability game played by
+// the ENVIRONMENT: compute the environment's attractor Attr to the
+// ¬φ states — the very fixpoint above with the player roles swapped
+// (the SUT's uncontrollable edges feed B, the tester's controllable
+// edges feed G, and the FORCED set asks for an enabled CONTROLLABLE
+// edge at an invariant deadline: there the TESTER must move, and if
+// every tester move lands in Attr the environment wins) — and take
+//
+//   Safe[q] = Reach[q] \ Attr[q].
+//
+// One attractor loop thus serves both purpose kinds; the Jacobi round
+// structure, serial in-key-order merges and compact-zones staging are
+// shared verbatim, so safety solutions inherit the bit-identical-at-
+// any-thread-count guarantee.  The published solution holds Safe as a
+// single round-0 delta per key (a greatest fixpoint has no rank
+// structure to exploit: the strategy is "stay inside Safe", not
+// "descend a progress measure"), `goal_key(q)` reports whether φ
+// holds at q, and `action_region(ei, 0)` is the region where taking
+// edge ei keeps the play inside Safe — which is exactly what
+// Strategy::decide and decision::compile consume.
 //
 // ── compact_zones ──────────────────────────────────────────────────────
 //
@@ -142,11 +168,21 @@ class GameSolution {
 
   // pred_e(Win_{≤ round}[dst]) ∩ Reach[src] for edge index `ei` — the
   // region where the strategy prescribes taking `ei` from rank
-  // round+1.  Lazily computed, cached, safe for concurrent callers;
-  // the single home of this computation, shared by Strategy::decide
-  // and decision::compile so their results stay bit-identical.
+  // round+1 (safety: round 0 — the region where taking `ei` keeps the
+  // play inside Safe).  Lazily computed, cached, safe for concurrent
+  // callers; the single home of this computation, shared by
+  // Strategy::decide and decision::compile so their results stay
+  // bit-identical.
   [[nodiscard]] const dbm::Fed& action_region(std::uint32_t ei,
                                               std::uint32_t round) const;
+
+  // Safety games only: the sub-region of Reach[k] where some enabled
+  // uncontrollable edge exits Safe.  Inside Safe \ Danger delaying is
+  // harmless; the strategy must act no later than the play enters
+  // Danger (the closed-avoidance fixpoint guarantees a safe
+  // controllable escape is available by then — ties go to the
+  // tester).  Lazily computed, cached, safe for concurrent callers.
+  [[nodiscard]] const dbm::Fed& danger_region(std::uint32_t k) const;
 
   [[nodiscard]] bool winning_from_initial() const;
 
@@ -187,20 +223,21 @@ class GameSolution {
   std::vector<std::vector<PooledDelta>> deltas_pooled_;
   mutable std::unordered_map<std::uint32_t, MaterializedKey> mat_cache_;
   dbm::Fed empty_fed_;  // returned for rounds before the first delta
-  // Guards mat_cache_ and action_cache_ (behind pointers to keep the
-  // class movable).  Node-based maps, so returned references survive
-  // rehashes; entries are immutable once inserted.
+  // Guards mat_cache_, action_cache_ and danger_cache_ (behind
+  // pointers to keep the class movable).  Node-based maps, so returned
+  // references survive rehashes; entries are immutable once inserted.
   std::unique_ptr<std::shared_mutex> action_mutex_;
   std::unique_ptr<std::shared_mutex> mat_mutex_;
   mutable std::unordered_map<std::uint64_t, dbm::Fed> action_cache_;
+  mutable std::unordered_map<std::uint32_t, dbm::Fed> danger_cache_;
   SolverStats stats_;
 };
 
-// Solves `control: A<> φ` (PurposeKind::kReach) over a finalized
-// system.  Throws semantics::ExplorationLimit if the exploration
-// budget is exceeded and tsystem::ModelError on safety purposes
-// (`control: A[]` parses for forward compatibility but has no solver
-// yet; every purpose in the paper is a reachability one).
+// Solves `control: A<> φ` (PurposeKind::kReach) and `control: A[] φ`
+// (PurposeKind::kSafety) over a finalized system, dispatching on the
+// purpose kind (see the file comment for the safety reduction).
+// Throws semantics::ExplorationLimit if the exploration budget is
+// exceeded.
 class GameSolver {
  public:
   GameSolver(const tsystem::System& system, tsystem::TestPurpose purpose,

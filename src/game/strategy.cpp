@@ -27,6 +27,49 @@ Move Strategy::decide(const semantics::ConcreteState& state,
   const auto rank = solution_->rank(*k, state.clocks, scale);
   if (!rank) return move;
   move.rank = rank;
+
+  if (solution_->purpose().kind == tsystem::PurposeKind::kSafety) {
+    // Safety: every winning state has rank 0 (Safe is one round-0
+    // delta).  The prescription is time-driven, not rank-driven:
+    // delay while delaying is harmless, act before the play reaches a
+    // state where an enabled SUT move exits Safe.
+    const Fed& safe = solution_->winning(*k);
+    const Fed& danger = solution_->danger_region(*k);
+    // Latest harmless wait: stay inside Safe and stop one tick short
+    // of Danger — arriving at the boundary with the escape already
+    // prescribed beats racing the SUT at the exact threat instant.
+    std::int64_t deadline = safe.safe_delay_bound(state.clocks, scale);
+    const auto danger_in = danger.earliest_entry_delay(state.clocks, scale);
+    if (danger_in && *danger_in > 0) {
+      deadline = std::min(deadline, *danger_in - 1);
+    }
+    const bool threat_now = danger_in && *danger_in == 0;
+    if (deadline > 0 && !threat_now) {
+      move.kind = MoveKind::kDelay;
+      move.next_decision_ticks = std::min(deadline, Move::kNoDecision);
+      return move;
+    }
+    // Boundary (or live threat): take an action that keeps the play
+    // inside Safe.
+    for (const std::uint32_t ei : g.edges_out(*k)) {
+      const SymbolicEdge& e = g.edges()[ei];
+      if (!e.inst.controllable) continue;
+      const Fed& region = solution_->action_region(ei, 0);
+      if (region.contains_point(state.clocks, scale)) {
+        move.kind = MoveKind::kAction;
+        move.edge = ei;
+        return move;
+      }
+    }
+    // No safe action yet: wait for the threat instant itself (the
+    // closed-avoidance fixpoint hands that tie to the tester), or —
+    // when the threat is live or time is up — for the SUT's forced
+    // move (next = 0; the executor resolves against the invariant).
+    move.kind = MoveKind::kDelay;
+    move.next_decision_ticks = danger_in && *danger_in > 0 ? *danger_in : 0;
+    return move;
+  }
+
   if (*rank == 0) {
     move.kind = MoveKind::kGoalReached;
     return move;
@@ -75,6 +118,8 @@ std::string Strategy::to_string() const {
   const auto& g = solution_->graph();
   const auto& sys = g.system();
   const auto& names = sys.clock_names();
+  const bool safety_game =
+      solution_->purpose().kind == tsystem::PurposeKind::kSafety;
   std::string out;
   out += "strategy for: " + solution_->purpose().source + "\n";
 
@@ -95,6 +140,27 @@ std::string Strategy::to_string() const {
                              g.key(k).data.get(slot));
     }
     out += header + ":\n";
+
+    if (safety_game) {
+      // One Safe row per key plus the prescriptions that keep the play
+      // inside it: the region whose entry forces an action, and the
+      // escape actions available (in edge order, like decide()).
+      out += "  while " + solution_->winning(k).to_string(names) +
+             " -> stay safe\n";
+      const Fed& danger = solution_->danger_region(k);
+      if (!danger.is_empty()) {
+        out += "    act on entering " + danger.to_string(names) + "\n";
+      }
+      for (const std::uint32_t ei : g.edges_out(k)) {
+        const SymbolicEdge& e = g.edges()[ei];
+        if (!e.inst.controllable) continue;
+        const Fed& region = solution_->action_region(ei, 0);
+        if (region.is_empty()) continue;
+        out += "    take " + e.inst.label(sys) + " while " +
+               region.to_string(names) + "\n";
+      }
+      continue;
+    }
 
     for (const GameSolution::Delta& d : deltas) {
       if (d.round == 0) {

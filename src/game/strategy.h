@@ -14,6 +14,14 @@
 // For λ moves the strategy also reports the next *decision point* —
 // the earliest tick at which the prescription changes — so a test
 // executor knows how long it may sleep (Algorithm 3.1's "delay d").
+//
+// Safety games (`control: A[] φ`) have no rank structure: every state
+// inside Safe has rank 0 and the prescription is time-driven — delay
+// while delaying is harmless (Fed::safe_delay_bound over Safe,
+// clipped one tick short of GameSolution::danger_region), take a
+// Safe-preserving action at the boundary.  kGoalReached is never
+// produced: a safety play is won by outlasting the budget, which is
+// the executor's call, not the strategy's.
 #pragma once
 
 #include <cstdint>

@@ -19,7 +19,9 @@ CooperativeExecutor::CooperativeExecutor(const tsystem::System& original,
       imp_(&imp),
       monitor_(original, scale),
       scale_(scale),
-      options_(options) {}
+      options_(options) {
+  if (!options_.purpose) options_.purpose = strategy.solution().purpose();
+}
 
 CooperativeExecutor::CooperativeExecutor(const tsystem::System& original,
                                          const decision::DecisionSource& source,
@@ -101,6 +103,25 @@ TestReport CooperativeExecutor::run_impl() {
     return std::nullopt;
   };
 
+  // Safety mode, mirroring TestExecutor::run_impl: φ re-checked after
+  // every discrete move, a budget outlasted with φ intact is PASS, and
+  // legal SUT drift that still breaks φ is the sound safety FAIL.
+  const bool safety =
+      options_.purpose &&
+      options_.purpose->kind == tsystem::PurposeKind::kSafety;
+  const auto phi_holds = [&] {
+    return options_.purpose->formula.eval(
+        monitor_.state().locs, monitor_.state().data,
+        monitor_.semantics().system().data());
+  };
+  const auto safety_pass = [&](std::string detail) {
+    report.verdict = Verdict::kPass;
+    report.code = ReasonCode::kSafetyMaintained;
+    report.detail = std::move(detail);
+    record_verdict();
+    return report;
+  };
+
   // Handles an observed output: FAIL on tioco violation, otherwise the
   // monitor advances and the plan re-decides from wherever we landed.
   const auto absorb_output = [&](const ObservedOutput& obs) -> bool {
@@ -125,6 +146,12 @@ TestReport CooperativeExecutor::run_impl() {
     if (options_.deadline && options_.deadline->expired()) {
       return inconclusive(ReasonCode::kRunDeadlineExceeded,
                           "run wall-clock budget expired");
+    }
+    if (safety && options_.pass_ticks > 0 &&
+        report.total_ticks >= options_.pass_ticks) {
+      return safety_pass(util::format(
+          "safety invariant maintained for %lld ticks",
+          static_cast<long long>(report.total_ticks)));
     }
     const game::Move move = source_->decide(monitor_.state(), scale_);
     if (rec != nullptr) {
@@ -157,6 +184,10 @@ TestReport CooperativeExecutor::run_impl() {
           if (!chan) {  // tester-internal bookkeeping
             const bool ok = monitor_.apply_instance(inst);
             TIGAT_ASSERT(ok, "SPEC rejected a planned tau move");
+            if (safety && !phi_holds()) {
+              return fail(ReasonCode::kSafetyViolation,
+                          "safety violation: phi broken by an internal move");
+            }
             break;
           }
           try {
@@ -175,6 +206,12 @@ TestReport CooperativeExecutor::run_impl() {
           report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
           if (rec != nullptr) {
             rec->input(report.steps, report.total_ticks, *chan);
+          }
+          if (safety && !phi_holds()) {
+            return fail(ReasonCode::kSafetyViolation,
+                        "safety violation: phi broken after input '" + *chan +
+                            "'",
+                        *chan);
           }
           break;
         }
@@ -204,6 +241,14 @@ TestReport CooperativeExecutor::run_impl() {
                           "': not in Out(s After sigma)",
                       obs->channel);
         }
+        if (safety && !phi_holds()) {
+          // The drift was SPEC-legal, but it broke φ — the sound
+          // safety FAIL a cooperative run can still earn.
+          return fail(ReasonCode::kSafetyViolation,
+                      "safety violation: phi broken by output '" +
+                          obs->channel + "'",
+                      obs->channel);
+        }
         break;
       }
 
@@ -225,10 +270,21 @@ TestReport CooperativeExecutor::run_impl() {
         }
         if (!obs) {
           if (wait == 0) {
+            if (safety) {  // same soundness order as TestExecutor
+              if (monitor_.allowed_delay() > 0) {
+                return inconclusive(
+                    ReasonCode::kOutsideWinningRegion,
+                    "no safe prescription at the decision instant");
+              }
+              if (monitor_.expected_outputs().empty()) {
+                return safety_pass(
+                    "safety invariant maintained (safe deadlock)");
+              }
+            }
             return fail(ReasonCode::kQuiescenceViolation,
                         "quiescence violation: output deadline expired");
           }
-          if (!wait_bounded) {
+          if (!wait_bounded && !safety) {
             return inconclusive(
                 ReasonCode::kUnboundedWait,
                 util::format("no deadline from plan or SPEC; quiescent for "
@@ -250,9 +306,20 @@ TestReport CooperativeExecutor::run_impl() {
                           "': not in Out(s After sigma)",
                       obs->channel);
         }
+        if (safety && !phi_holds()) {
+          // The drift was SPEC-legal, but it broke φ — the sound
+          // safety FAIL a cooperative run can still earn.
+          return fail(ReasonCode::kSafetyViolation,
+                      "safety violation: phi broken by output '" +
+                          obs->channel + "'",
+                      obs->channel);
+        }
         break;
       }
     }
+  }
+  if (safety) {
+    return safety_pass("safety invariant maintained through the step budget");
   }
   return inconclusive(ReasonCode::kStepBudgetExhausted,
                       "step budget exhausted");

@@ -22,8 +22,10 @@ const char* to_string(ReasonCode c) {
   switch (c) {
     case ReasonCode::kNone: return "none";
     case ReasonCode::kPurposeReached: return "purpose-reached";
+    case ReasonCode::kSafetyMaintained: return "safety-maintained";
     case ReasonCode::kQuiescenceViolation: return "quiescence-violation";
     case ReasonCode::kUnexpectedOutput: return "unexpected-output";
+    case ReasonCode::kSafetyViolation: return "safety-violation";
     case ReasonCode::kOutsideWinningRegion: return "outside-winning-region";
     case ReasonCode::kStepBudgetExhausted: return "step-budget-exhausted";
     case ReasonCode::kUnboundedWait: return "unbounded-wait";
@@ -145,7 +147,9 @@ TestExecutor::TestExecutor(const game::Strategy& strategy, Implementation& imp,
       imp_(&imp),
       monitor_(strategy.solution().graph().system(), scale),
       scale_(scale),
-      options_(options) {}
+      options_(options) {
+  if (!options_.purpose) options_.purpose = strategy.solution().purpose();
+}
 
 TestExecutor::TestExecutor(const decision::DecisionSource& source,
                            const tsystem::System& spec, Implementation& imp,
@@ -209,12 +213,39 @@ TestReport TestExecutor::run_impl() {
     return report;
   };
 
+  // Safety mode (see the file comment).  φ is over locations and data
+  // only, so it is re-checked after every discrete move and never after
+  // a pure delay.  An initial ¬φ state needs no check of its own: it
+  // seeds the environment's attractor, so it is never winning and the
+  // first decide() already answers kUnwinnable.
+  const bool safety =
+      options_.purpose &&
+      options_.purpose->kind == tsystem::PurposeKind::kSafety;
+  const auto phi_holds = [&] {
+    return options_.purpose->formula.eval(
+        monitor_.state().locs, monitor_.state().data,
+        monitor_.semantics().system().data());
+  };
+  const auto safety_pass = [&](std::string detail) {
+    report.verdict = Verdict::kPass;
+    report.code = ReasonCode::kSafetyMaintained;
+    report.detail = std::move(detail);
+    record_verdict();
+    return report;
+  };
+
   for (report.steps = 0; report.steps < options_.max_steps; ++report.steps) {
     TIGAT_SPAN("executor.step");
     const StepTimer step_timer(step_hist);
     if (options_.deadline && options_.deadline->expired()) {
       return inconclusive(ReasonCode::kRunDeadlineExceeded,
                           "run wall-clock budget expired");
+    }
+    if (safety && options_.pass_ticks > 0 &&
+        report.total_ticks >= options_.pass_ticks) {
+      return safety_pass(util::format(
+          "safety invariant maintained for %lld ticks",
+          static_cast<long long>(report.total_ticks)));
     }
     const game::Move move = source_->decide(monitor_.state(), scale_);
     if (rec != nullptr) {
@@ -245,6 +276,10 @@ TestReport TestExecutor::run_impl() {
           // nothing crosses the tester/IMP boundary.
           const bool ok = monitor_.apply_instance(inst);
           TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed tau move");
+          if (safety && !phi_holds()) {
+            return fail(ReasonCode::kSafetyViolation,
+                        "safety violation: phi broken by an internal move");
+          }
           break;
         }
         try {
@@ -264,6 +299,12 @@ TestReport TestExecutor::run_impl() {
         TIGAT_ASSERT(ok, "SPEC rejected a strategy-prescribed input");
         report.trace.push_back({TraceEvent::Kind::kInput, *chan, 0});
         if (rec != nullptr) rec->input(report.steps, report.total_ticks, *chan);
+        if (safety && !phi_holds()) {
+          return fail(ReasonCode::kSafetyViolation,
+                      "safety violation: phi broken after input '" + *chan +
+                          "'",
+                      *chan);
+        }
         break;
       }
 
@@ -299,15 +340,36 @@ TestReport TestExecutor::run_impl() {
         }
         if (!obs) {
           if (wait == 0) {
+            if (safety) {
+              // The strategy pinned its next decision to this very
+              // instant.  Three cases, in soundness order: the SPEC may
+              // still let time pass (no safe prescription exists — a
+              // winning strategy never lands here on conforming
+              // behaviour, so no verdict); time is frozen with nothing
+              // promised (a maximal run that kept φ — the tester wins);
+              // or a promised output never came (the one silence that
+              // is still sound FAIL evidence).
+              if (monitor_.allowed_delay() > 0) {
+                return inconclusive(
+                    ReasonCode::kOutsideWinningRegion,
+                    "no safe prescription at the decision instant");
+              }
+              if (monitor_.expected_outputs().empty()) {
+                return safety_pass(
+                    "safety invariant maintained (safe deadlock)");
+              }
+            }
             return fail(ReasonCode::kQuiescenceViolation,
                         "quiescence violation: output deadline expired with "
                         "no output");
           }
-          if (!wait_bounded) {
+          if (!wait_bounded && !safety) {
             // Defensive path: the strategy offered no decision point and
             // the SPEC no invariant deadline, so nothing bounds this
             // wait.  Silently sleeping idle_wait_cap and looping would
             // just burn the step budget — surface the cause instead.
+            // (In safety mode an unbounded quiet wait is winning play:
+            // absorb the cap and keep counting toward the pass budget.)
             return inconclusive(
                 ReasonCode::kUnboundedWait,
                 util::format("no deadline from strategy or SPEC; quiescent "
@@ -349,9 +411,22 @@ TestReport TestExecutor::run_impl() {
         if (rec != nullptr) {
           rec->output(report.steps, report.total_ticks, obs->channel);
         }
+        if (safety && !phi_holds()) {
+          return fail(ReasonCode::kSafetyViolation,
+                      util::format("safety violation: phi broken by output "
+                                   "'%s' after %lld ticks",
+                                   obs->channel.c_str(),
+                                   static_cast<long long>(obs->after_ticks)),
+                      obs->channel);
+        }
         break;
       }
     }
+  }
+  if (safety) {
+    // Outlasting the step budget with φ intact is the tester's win
+    // condition when no pass_ticks budget was given.
+    return safety_pass("safety invariant maintained through the step budget");
   }
   return inconclusive(ReasonCode::kStepBudgetExhausted,
                       "step budget exhausted");

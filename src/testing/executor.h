@@ -28,6 +28,19 @@
 // and honours a cooperative wall-clock deadline checked once per step
 // (kRunDeadlineExceeded).  FAIL therefore still implies evidence of
 // non-conformance observed over a clean channel.
+//
+// Safety purposes (`control: A[] φ`, ExecutorOptions::purpose) flip
+// the win condition: a safety play has no goal state, so the run PASSes
+// by OUTLASTING a budget with φ intact — pass_ticks of model time, or
+// the step budget as the fallback — and FAILs the moment a discrete
+// move lands the SPEC in ¬φ (kSafetyViolation; φ is a predicate over
+// locations and data, so delays cannot change it).  The quiescence
+// rules soften where safety play is legitimately passive: an unbounded
+// quiet wait absorbs the idle cap and keeps counting (waiting forever
+// IS winning), and a deadlock that maintains φ — time frozen, nothing
+// promised — is a PASS, not a violation.  Silence that swallows a
+// promised output is still FAIL kQuiescenceViolation, and the
+// harness-fault downgrade applies to safety FAILs unchanged.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +54,7 @@
 #include "obs/recorder.h"
 #include "testing/implementation.h"
 #include "testing/monitor.h"
+#include "tsystem/property.h"
 #include "util/cancel.h"
 
 namespace tigat::testing {
@@ -59,9 +73,11 @@ enum class ReasonCode : std::uint8_t {
   kNone = 0,
   // PASS
   kPurposeReached,
+  kSafetyMaintained,     // safety: φ held through the whole budget
   // FAIL — evidence of non-conformance (sound, Theorem 10)
   kQuiescenceViolation,  // promised output never came
   kUnexpectedOutput,     // o ∉ Out(s After σ)
+  kSafetyViolation,      // safety: a SPEC-legal move still broke φ
   // INCONCLUSIVE — no verdict either way
   kOutsideWinningRegion,  // purpose uncontrollable from the start
   kStepBudgetExhausted,   // ExecutorOptions::max_steps hit
@@ -124,6 +140,17 @@ struct ExecutorOptions {
   // trace/metrics cost contract.  Recording never changes behaviour:
   // recorded runs are bit-identical to unrecorded ones.
   obs::RunRecorder* recorder = nullptr;
+  // The purpose the strategy was solved for.  Safety purposes switch
+  // the executor into safety mode (see the file comment); unset means
+  // reachability.  The Strategy-based constructors fill it in from
+  // GameSolution::purpose automatically — table-based callers serving
+  // a safety .tgs must set it themselves (the table knows its kind but
+  // not the formula the monitor must check).
+  std::optional<tsystem::TestPurpose> purpose;
+  // Safety mode: PASS with kSafetyMaintained once this much model time
+  // has elapsed with φ intact.  0 falls back to the step budget as the
+  // run length.  Ignored for reachability purposes.
+  std::int64_t pass_ticks = 0;
 };
 
 class TestExecutor {

@@ -5,7 +5,10 @@
 // (strategy-guided walks + uniform fuzz over the discrete keys) on the
 // Smart Light and LEP n=3/4, plus the serialization contract: a
 // save→load round trip decides identically and corrupted files are
-// rejected, never half-loaded.
+// rejected, never half-loaded.  Safety purposes (`A[] φ`) get the same
+// treatment: walk-vs-table equivalence, a .tgs round trip, executor
+// verdict parity, and the fingerprint distinguishing purpose kinds so
+// a reachability table can never serve a safety purpose.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -140,7 +143,7 @@ void check_model(const tsystem::System& sys, const std::string& purpose,
   const auto solution = solve(sys, purpose);
   game::Strategy strategy(solution);
   const DecisionTable table = compile(*solution);
-  EXPECT_TRUE(table.matches(sys));
+  EXPECT_TRUE(table.matches(sys, solution->purpose()));
   EXPECT_EQ(table.key_count(), solution->graph().key_count());
 
   util::Rng rng(kSeed);
@@ -162,6 +165,38 @@ TEST(DecisionEquivalence, LepN3) {
 TEST(DecisionEquivalence, LepN4) {
   const auto lep = models::make_lep({.nodes = 4});
   check_model(lep.system, models::lep_tp1(), 1000);
+}
+
+// Safety tables carry a different leaf shape (the fat delay leaf with
+// acts/danger slices) — the walk-vs-table contract must hold for them
+// on the same walk + fuzz grid as the reachability tables.
+TEST(DecisionEquivalence, SafetySmartLightNeverBright) {
+  const auto light = models::make_smart_light();
+  check_model(light.system, "control: A[] !IUT.Bright", 4000);
+}
+
+TEST(DecisionEquivalence, SafetySmartLightStaysOff) {
+  const auto light = models::make_smart_light();
+  check_model(light.system, "control: A[] IUT.Off", 2000);
+}
+
+// The fingerprint hashes the purpose kind and formula on top of the
+// structural model hash, so a reachability .tgs can never silently
+// serve a safety purpose over the same formula (or vice versa).
+TEST(DecisionEquivalence, FingerprintDistinguishesPurposeKind) {
+  const auto light = models::make_smart_light();
+  const auto reach_p =
+      tsystem::TestPurpose::parse(light.system, "control: A<> !IUT.Bright");
+  const auto safe_p =
+      tsystem::TestPurpose::parse(light.system, "control: A[] !IUT.Bright");
+  EXPECT_NE(model_fingerprint(light.system, reach_p),
+            model_fingerprint(light.system, safe_p));
+
+  game::GameSolver solver(light.system, safe_p);
+  const DecisionTable table = compile(*solver.solve());
+  EXPECT_EQ(table.data().purpose_kind, 1);
+  EXPECT_TRUE(table.matches(light.system, safe_p));
+  EXPECT_FALSE(table.matches(light.system, reach_p));
 }
 
 TEST(DecisionEquivalence, ExecutorVerdictsAndTracesMatch) {
@@ -186,6 +221,57 @@ TEST(DecisionEquivalence, ExecutorVerdictsAndTracesMatch) {
   }
 }
 
+// Safety executor parity: the Strategy-backed executor self-derives the
+// purpose; the table-backed one is handed it explicitly (a .tgs knows
+// its kind but not the formula).  Both must PASS kSafetyMaintained with
+// identical traces once the pass budget is outlasted.
+TEST(DecisionEquivalence, SafetyExecutorVerdictsAndTracesMatch) {
+  const auto light = models::make_smart_light();
+  const auto plant = models::make_smart_light_plant_only();
+  const auto solution = solve(light.system, "control: A[] IUT.Off");
+  game::Strategy strategy(solution);
+  const DecisionTable table = compile(*solution);
+
+  testing::ExecutorOptions opts;
+  opts.pass_ticks = 200 * kScale;
+  testing::ExecutorOptions table_opts = opts;
+  table_opts.purpose = solution->purpose();
+
+  testing::SimulatedImplementation imp_a(plant.system, kScale);
+  testing::SimulatedImplementation imp_b(plant.system, kScale);
+  testing::TestExecutor walk_exec(strategy, imp_a, kScale, opts);
+  testing::TestExecutor table_exec(table, light.system, imp_b, kScale,
+                                   table_opts);
+  const auto a = walk_exec.run();
+  const auto b = table_exec.run();
+  EXPECT_EQ(a.verdict, testing::Verdict::kPass);
+  EXPECT_EQ(a.code, testing::ReasonCode::kSafetyMaintained);
+  EXPECT_EQ(b.verdict, a.verdict);
+  EXPECT_EQ(b.code, a.code);
+  EXPECT_EQ(a.trace_string(), b.trace_string());
+  EXPECT_EQ(a.total_ticks, b.total_ticks);
+}
+
+// Drive with a reachability plan for Bright while monitoring the
+// safety purpose "never Bright": the executor must FAIL with
+// kSafetyViolation the moment a SPEC-legal move lands in ¬φ.
+TEST(DecisionEquivalence, SafetyViolationVerdict) {
+  const auto light = models::make_smart_light();
+  const auto plant = models::make_smart_light_plant_only();
+  const auto reach = solve(light.system, "control: A<> IUT.Bright");
+  game::Strategy strategy(reach);
+  const StrategySource source(strategy);
+
+  testing::ExecutorOptions opts;
+  opts.purpose =
+      tsystem::TestPurpose::parse(light.system, "control: A[] !IUT.Bright");
+  testing::SimulatedImplementation imp(plant.system, kScale);
+  testing::TestExecutor exec(source, light.system, imp, kScale, opts);
+  const auto report = exec.run();
+  EXPECT_EQ(report.verdict, testing::Verdict::kFail);
+  EXPECT_EQ(report.code, testing::ReasonCode::kSafetyViolation);
+}
+
 // A .tgs compiled from the template-elaborated LEP serves the C++-built
 // model and vice versa: the fingerprints are identical at the same n —
 // and a template re-instantiated at a different n is REJECTED by the
@@ -199,15 +285,19 @@ TEST(DecisionEquivalence, TemplatedLepFingerprintMatchesBuilderAndPinsN) {
   const auto from_builder = solve(lep.system, models::lep_tp1());
   EXPECT_EQ(from_template->stats().keys, from_builder->stats().keys);
 
+  const auto tp_builder =
+      tsystem::TestPurpose::parse(lep.system, models::lep_tp1());
+  const auto tp_template =
+      tsystem::TestPurpose::parse(parsed.system, models::lep_tp1());
   const DecisionTable table_t = compile(*from_template);
   const DecisionTable table_b = compile(*from_builder);
   EXPECT_EQ(table_t.fingerprint(), table_b.fingerprint());
-  EXPECT_TRUE(table_t.matches(lep.system));     // cross-served
-  EXPECT_TRUE(table_b.matches(parsed.system));  // both directions
+  EXPECT_TRUE(table_t.matches(lep.system, tp_builder));     // cross-served
+  EXPECT_TRUE(table_b.matches(parsed.system, tp_template));  // both directions
 
   // The .tgs round trip preserves the cross-fingerprint.
   const DecisionTable reloaded = from_bytes(to_bytes(table_t));
-  EXPECT_TRUE(reloaded.matches(lep.system));
+  EXPECT_TRUE(reloaded.matches(lep.system, tp_builder));
 
   // Same decisions on the template-elaborated system, walk vs both
   // tables, on seeded fuzz states.
@@ -218,8 +308,10 @@ TEST(DecisionEquivalence, TemplatedLepFingerprintMatchesBuilderAndPinsN) {
   // Re-instantiated at n = 4, the fingerprint must differ: arrays,
   // edges and processes all changed shape.
   const lang::LoadedModel bigger = test_support::load_lep_template(4);
-  EXPECT_FALSE(table_t.matches(bigger.system));
-  EXPECT_TRUE(table_t.matches(parsed.system));
+  EXPECT_FALSE(table_t.matches(
+      bigger.system, tsystem::TestPurpose::parse(bigger.system,
+                                                 models::lep_tp1())));
+  EXPECT_TRUE(table_t.matches(parsed.system, tp_template));
 }
 
 TEST(DecisionEquivalence, SerializeRoundTrip) {
@@ -233,7 +325,7 @@ TEST(DecisionEquivalence, SerializeRoundTrip) {
   const DecisionTable reloaded = from_bytes(bytes);
   EXPECT_EQ(to_bytes(reloaded), bytes);
   EXPECT_EQ(reloaded.fingerprint(), table.fingerprint());
-  EXPECT_TRUE(reloaded.matches(light.system));
+  EXPECT_TRUE(reloaded.matches(light.system, solution->purpose()));
 
   util::Rng rng(kSeed);
   expect_identical(strategy, reloaded, fuzz_states(*solution, rng, 2000));
@@ -241,6 +333,33 @@ TEST(DecisionEquivalence, SerializeRoundTrip) {
   // File round trip.
   const std::string path =
       ::testing::TempDir() + "/decision_roundtrip_test.tgs";
+  save(table, path);
+  const DecisionTable loaded = load(path);
+  EXPECT_EQ(to_bytes(loaded), bytes);
+  std::remove(path.c_str());
+}
+
+// The v2 payload carries the purpose kind and the safety leaf slices;
+// a safety table must survive the byte and file round trips exactly
+// like a reachability one, still deciding identically to the walk.
+TEST(DecisionEquivalence, SafetySerializeRoundTrip) {
+  const auto light = models::make_smart_light();
+  const auto solution = solve(light.system, "control: A[] !IUT.Bright");
+  game::Strategy strategy(solution);
+  const DecisionTable table = compile(*solution);
+  EXPECT_EQ(table.data().purpose_kind, 1);
+
+  const auto bytes = to_bytes(table);
+  const DecisionTable reloaded = from_bytes(bytes);
+  EXPECT_EQ(to_bytes(reloaded), bytes);
+  EXPECT_EQ(reloaded.data().purpose_kind, 1);
+  EXPECT_TRUE(reloaded.matches(light.system, solution->purpose()));
+
+  util::Rng rng(kSeed);
+  expect_identical(strategy, reloaded, fuzz_states(*solution, rng, 2000));
+
+  const std::string path =
+      ::testing::TempDir() + "/decision_safety_roundtrip_test.tgs";
   save(table, path);
   const DecisionTable loaded = load(path);
   EXPECT_EQ(to_bytes(loaded), bytes);

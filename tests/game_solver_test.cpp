@@ -294,11 +294,160 @@ TEST(GameSolver, StrategyDecidesAtInitialState) {
   EXPECT_GT(mv.next_decision_ticks, 0);
 }
 
-TEST(GameSolver, SafetyPurposeRejected) {
+// ── Safety games (`control: A[] φ`) ──────────────────────────────────
+
+TEST(GameSolver, SafetyTriviallyWinningWithoutThreats) {
+  System sys("s0");
+  sys.add_clock("x");
+  Process& p = sys.add_process("P", Controllability::kUncontrollable);
+  p.add_location("A");
+  sys.finalize();
+  const auto sol = solve(sys, "control: A[] P.A");
+  EXPECT_TRUE(sol->winning_from_initial());
+  EXPECT_TRUE(sol->goal_key(0));  // φ holds at the (only) key
+  const std::vector<std::int64_t> zero = {0, 0};
+  EXPECT_EQ(sol->rank(0, zero, 1), 0u);
+}
+
+// The SUT can always fire u! into the bad location and the tester has
+// no escape: nothing maintains φ.  Note φ HOLDS at the initial state —
+// safety losing is about the future, not the present.
+TEST(GameSolver, SafetyUnwinnableWithoutEscape) {
+  System sys("s1");
+  sys.add_clock("x");
+  const auto u = sys.add_channel("u", Controllability::kUncontrollable);
+  Process& plant = sys.add_process("P", Controllability::kUncontrollable);
+  const LocId la = plant.add_location("A");
+  const LocId ls = plant.add_location("S");
+  plant.add_edge(la, ls).send(u);
+  Process& env = sys.add_process("E", Controllability::kControllable);
+  const LocId e0 = env.add_location("E0");
+  env.add_edge(e0, e0).receive(u);
+  sys.finalize();
+
+  const auto sol = solve(sys, "control: A[] !P.S");
+  EXPECT_TRUE(sol->goal_key(sol->graph().initial_key()));
+  EXPECT_FALSE(sol->winning_from_initial());
+}
+
+// An always-enabled controllable escape to a harmless location keeps
+// the whole of A safe — even where the threat u! is already enabled,
+// because the safe-timed-predecessor's closed avoidance hands
+// boundary ties to the attractor's OPPONENT, here the tester.
+TEST(GameSolver, SafetyEscapeKeepsEverythingSafe) {
+  System sys("s2");
+  const auto x = sys.add_clock("x");
+  const auto a = sys.add_channel("a", Controllability::kControllable);
+  const auto u = sys.add_channel("u", Controllability::kUncontrollable);
+  Process& plant = sys.add_process("P", Controllability::kUncontrollable);
+  const LocId la = plant.add_location("A");
+  const LocId lb = plant.add_location("B");
+  const LocId ls = plant.add_location("S");
+  plant.add_edge(la, lb).receive(a);
+  plant.add_edge(la, ls).send(u).guard(x >= 3);
+  Process& env = sys.add_process("E", Controllability::kControllable);
+  const LocId e0 = env.add_location("E0");
+  env.add_edge(e0, e0).send(a);
+  env.add_edge(e0, e0).receive(u);
+  sys.finalize();
+
+  const auto sol = solve(sys, "control: A[] !P.S");
+  EXPECT_TRUE(sol->winning_from_initial());
+  semantics::DiscreteKey key{{la, e0}, sys.data().initial_state()};
+  const auto k = sol->graph().find_key(key);
+  ASSERT_TRUE(k.has_value());
+  const std::vector<std::int64_t> p10 = {0, 10};
+  EXPECT_EQ(sol->rank(*k, p10, 1), 0u);  // u! enabled, escape still wins
+}
+
+// Escape a? only while x ≤ 2, capture u! from x ≥ 3: in the gap
+// 2 < x < 3 the tester has nothing and the SUT only has to wait, so
+// Safe(A) is exactly x ≤ 2.
+TEST(GameSolver, SafetyTimedEscapeWindow) {
+  System sys("s3");
+  const auto x = sys.add_clock("x");
+  const auto a = sys.add_channel("a", Controllability::kControllable);
+  const auto u = sys.add_channel("u", Controllability::kUncontrollable);
+  Process& plant = sys.add_process("P", Controllability::kUncontrollable);
+  const LocId la = plant.add_location("A");
+  const LocId lb = plant.add_location("B");
+  const LocId ls = plant.add_location("S");
+  plant.add_edge(la, lb).receive(a).guard(x <= 2);
+  plant.add_edge(la, ls).send(u).guard(x >= 3);
+  Process& env = sys.add_process("E", Controllability::kControllable);
+  const LocId e0 = env.add_location("E0");
+  env.add_edge(e0, e0).send(a);
+  env.add_edge(e0, e0).receive(u);
+  sys.finalize();
+
+  const auto sol = solve(sys, "control: A[] !P.S");
+  EXPECT_TRUE(sol->winning_from_initial());
+  semantics::DiscreteKey key{{la, e0}, sys.data().initial_state()};
+  const auto k = sol->graph().find_key(key);
+  ASSERT_TRUE(k.has_value());
+  const auto safe_at = [&](std::int64_t ticks) {  // scale 2
+    const std::vector<std::int64_t> p = {0, ticks};
+    return sol->rank(*k, p, 2).has_value();
+  };
+  EXPECT_TRUE(safe_at(0));
+  EXPECT_TRUE(safe_at(4));    // x = 2: the last escape instant
+  EXPECT_FALSE(safe_at(5));   // x = 2.5: inside the gap
+  EXPECT_FALSE(safe_at(20));  // x = 10
+}
+
+// A weak invariant deadline where the tester's ONLY enabled action
+// leads into ¬φ: the run cannot block while an action is enabled
+// (Def. 7/8 maximal-run semantics), so the tester is forced to ruin
+// φ itself — the FORCED set with swapped roles.
+TEST(GameSolver, SafetyForcedControllableMoveLoses) {
+  System sys("s4");
+  const auto x = sys.add_clock("x");
+  const auto a = sys.add_channel("a", Controllability::kControllable);
+  Process& plant = sys.add_process("P", Controllability::kUncontrollable);
+  const LocId la = plant.add_location("A");
+  const LocId ls = plant.add_location("S");
+  plant.set_invariant(la, x <= 2);
+  plant.add_edge(la, ls).receive(a);
+  Process& env = sys.add_process("E", Controllability::kControllable);
+  const LocId e0 = env.add_location("E0");
+  env.add_edge(e0, e0).send(a);
+  sys.finalize();
+
+  const auto sol = solve(sys, "control: A[] !P.S");
+  EXPECT_FALSE(sol->winning_from_initial());
+}
+
+// Same shape with a STRICT invariant: the deadline is never attained,
+// no action is ever forced, and idling in A maintains φ forever.
+TEST(GameSolver, SafetyStrictInvariantDoesNotForce) {
+  System sys("s5");
+  const auto x = sys.add_clock("x");
+  const auto a = sys.add_channel("a", Controllability::kControllable);
+  Process& plant = sys.add_process("P", Controllability::kUncontrollable);
+  const LocId la = plant.add_location("A");
+  const LocId ls = plant.add_location("S");
+  plant.set_invariant(la, x < 2);
+  plant.add_edge(la, ls).receive(a);
+  Process& env = sys.add_process("E", Controllability::kControllable);
+  const LocId e0 = env.add_location("E0");
+  env.add_edge(e0, e0).send(a);
+  sys.finalize();
+
+  const auto sol = solve(sys, "control: A[] !P.S");
+  EXPECT_TRUE(sol->winning_from_initial());
+}
+
+TEST(GameSolver, SmartLightSafetyObjectives) {
   models::SmartLight m = models::make_smart_light();
-  EXPECT_THROW(GameSolver(m.system,
-                          TestPurpose::parse(m.system, "control: A[] IUT.Off")),
-               tsystem::ModelError);
+  // Never touching keeps the light Off forever.
+  EXPECT_TRUE(
+      solve(m.system, "control: A[] IUT.Off")->winning_from_initial());
+  EXPECT_TRUE(
+      solve(m.system, "control: A[] !IUT.Bright")->winning_from_initial());
+  // φ false at the initial state: immediately lost.
+  const auto sol = solve(m.system, "control: A[] IUT.Bright");
+  EXPECT_FALSE(sol->goal_key(sol->graph().initial_key()));
+  EXPECT_FALSE(sol->winning_from_initial());
 }
 
 }  // namespace

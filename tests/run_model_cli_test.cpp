@@ -1,0 +1,88 @@
+// Exit-code taxonomy of the run_model CLI, pinned end to end against
+// the real binary (TIGAT_RUN_MODEL_BIN, wired in CMakeLists.txt):
+//
+//   0  all purposes winnable / campaign PASS
+//   1  usage error, model error, or unwinnable purpose
+//   2  I/O error
+//   3  solver resource limit
+//   4  campaign FAIL
+//   5  campaign FLAKY / UNRESPONSIVE
+//
+// The regression this guards: an unsupported purpose/option combo must
+// exit with the usage/model code 1 — never leak out as the solver-limit
+// code 3 — and safety purposes (`control: A[] φ`) go through the whole
+// solve → compile → serve → campaign pipeline with the same taxonomy
+// as reachability ones.  The smart_light_safety watchdog model solves
+// in milliseconds, so driving the real binary stays cheap.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+const std::string kBin = TIGAT_RUN_MODEL_BIN;
+const std::string kSafetyModel =
+    std::string(TIGAT_MODEL_DIR) + "/smart_light_safety.tg";
+const std::string kReachModel =
+    std::string(TIGAT_MODEL_DIR) + "/smart_light.tg";
+
+int run_cli(const std::string& args) {
+  const std::string cmd = kBin + " " + args + " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(RunModelCli, NoArgumentsIsUsageError) {
+  EXPECT_EQ(run_cli(""), 1);
+}
+
+TEST(RunModelCli, MissingModelFileIsModelError) {
+  EXPECT_EQ(run_cli("/no/such/model.tg"), 1);
+}
+
+TEST(RunModelCli, MalformedPurposeIsModelError) {
+  EXPECT_EQ(run_cli(kSafetyModel + " \"control: A[] IUT.Nowhere\""), 1);
+}
+
+TEST(RunModelCli, WinnableSafetyPurposeSolves) {
+  EXPECT_EQ(run_cli(kSafetyModel), 0);
+}
+
+// `A[] IUT.Off` is unwinnable (the lamp starts On): must be the
+// usage/model code 1, not the solver-limit code 3.
+TEST(RunModelCli, UnwinnableSafetyPurposeIsNotSolverLimit) {
+  EXPECT_EQ(run_cli(kSafetyModel + " \"control: A[] IUT.Off\""), 1);
+}
+
+TEST(RunModelCli, OutOfRangeMutantIsUsageError) {
+  EXPECT_EQ(run_cli(kSafetyModel + " --runs=1 --mutant=99"), 1);
+}
+
+TEST(RunModelCli, SafetyCampaignPassesOnConformingIut) {
+  EXPECT_EQ(run_cli(kSafetyModel + " --runs=1 --pass-ticks=2000"), 0);
+}
+
+// Mutant 1 emits off! before its watchdog window opens — a sound
+// safety FAIL, surfaced as the campaign FAIL code 4.
+TEST(RunModelCli, SafetyCampaignFailsOnMutant) {
+  EXPECT_EQ(run_cli(kSafetyModel + " --runs=1 --pass-ticks=2000 --mutant=1"),
+            4);
+}
+
+// A safety .tgs round-trips through the serving path against its own
+// model, and is rejected (code 1, fingerprint mismatch) against a
+// different one.
+TEST(RunModelCli, SafetyStrategyServesAndPinsItsModel) {
+  const std::string tgs =
+      ::testing::TempDir() + "/run_model_cli_safety.tgs";
+  ASSERT_EQ(run_cli(kSafetyModel + " --strategy-out=" + tgs), 0);
+  EXPECT_EQ(run_cli(kSafetyModel + " --strategy-in=" + tgs), 0);
+  EXPECT_EQ(run_cli(kReachModel + " --strategy-in=" + tgs), 1);
+  std::remove(tgs.c_str());
+}
+
+}  // namespace

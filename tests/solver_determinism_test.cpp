@@ -8,6 +8,7 @@
 // (n = 4) and the Smart Light with 1, 2 and 8 threads — with
 // compact_zones off AND on — and asserts identical verdicts, per-key
 // winning federations, ranks/round counts, and strategy-guided traces.
+// Safety games (`A[] φ`, the dual fixpoint) get the same treatment.
 // It is the test the CI ThreadSanitizer job leans on.
 #include <gtest/gtest.h>
 
@@ -109,6 +110,36 @@ TEST(SolverDeterminism, SmartLightAcrossThreadCounts) {
       expect_same_solution(*base, *sol, threads);
       EXPECT_EQ(Strategy(base).to_string(), Strategy(sol).to_string());
     }
+  }
+}
+
+TEST(SolverDeterminism, SafetyAcrossThreadCounts) {
+  // Safety games (`A[] φ`) run the same parallel wave + Jacobi rounds
+  // with the roles flipped, then publish Safe = Reach \ Attr as serial
+  // round-0 deltas — so the thread-count promise carries over intact.
+  models::SmartLight spec = models::make_smart_light();
+  for (const char* prop :
+       {"control: A[] !IUT.Bright", "control: A[] IUT.Off"}) {
+    const auto base = solve_with_threads(spec.system, prop, 1);
+    for (const unsigned threads : {2u, 8u}) {
+      const auto sol = solve_with_threads(spec.system, prop, threads);
+      expect_same_solution(*base, *sol, threads);
+      EXPECT_EQ(Strategy(base).to_string(), Strategy(sol).to_string());
+    }
+  }
+}
+
+TEST(SolverDeterminism, SafetyCompactZonesAcrossThreadCounts) {
+  // Pooled zone storage under the safety fixpoint: compact solutions at
+  // every thread count must equal the plain serial solution exactly.
+  models::SmartLight spec = models::make_smart_light();
+  const char* prop = "control: A[] !IUT.Bright";
+  const auto base = solve_with_threads(spec.system, prop, 1);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto sol =
+        solve_with_threads(spec.system, prop, threads, /*compact=*/true);
+    expect_same_solution(*base, *sol, threads);
+    EXPECT_EQ(Strategy(base).to_string(), Strategy(sol).to_string());
   }
 }
 

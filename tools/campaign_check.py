@@ -29,7 +29,8 @@ from pathlib import Path
 
 failures = []
 
-FAIL_CODES = {"quiescence-violation", "unexpected-output"}
+FAIL_CODES = {"quiescence-violation", "unexpected-output",
+              "safety-violation"}
 UNRESPONSIVE_CODES = {"imp-crash", "harness-hang", "run-deadline-exceeded"}
 
 

@@ -44,12 +44,13 @@ failures = []
 
 VERDICTS = {"pass", "fail", "inconclusive"}
 CODES = {
-    "none", "purpose-reached", "quiescence-violation", "unexpected-output",
-    "outside-winning-region", "step-budget-exhausted", "unbounded-wait",
-    "sut-declined", "harness-fault", "imp-crash", "harness-hang",
-    "run-deadline-exceeded",
+    "none", "purpose-reached", "safety-maintained", "quiescence-violation",
+    "unexpected-output", "safety-violation", "outside-winning-region",
+    "step-budget-exhausted", "unbounded-wait", "sut-declined",
+    "harness-fault", "imp-crash", "harness-hang", "run-deadline-exceeded",
 }
-FAIL_CODES = {"quiescence-violation", "unexpected-output"}
+FAIL_CODES = {"quiescence-violation", "unexpected-output",
+              "safety-violation"}
 EVENT_KINDS = {"decision", "input", "output", "delay", "fault", "verdict"}
 MOVES = {"goal", "action", "delay", "unwinnable"}
 FAULT_KINDS = {"drop", "delay", "dup", "spurious", "reject", "hang", "crash"}
