@@ -8,6 +8,21 @@
 //   ./build/examples/run_model model.tg --compact-zones  # pooled zone
 //                      # storage; what lets LEP n=6 fit in memory
 //
+// Subcommands name the pipeline stage explicitly; each takes the same
+// flags as the legacy flag-driven interface (which remains supported —
+// a first argument that is not a subcommand keeps its old meaning):
+//
+//   run_model solve    model.tg [--strategy-out=F.tgs] ...
+//   run_model serve    model.tg --strategy-in=F.tgs ...
+//   run_model run      model.tg ...        # one test run (campaign K=1)
+//   run_model campaign model.tg --runs=K ...
+//   run_model explain  model.tg ...        # campaign + post-mortems
+//
+// `serve` opens the .tgs with the zero-copy v3 reader
+// (DecisionTable::map): a v1/v2 file exits 1 with a "re-solve to
+// migrate" diagnostic (use `tigat-serve migrate` to upgrade without
+// re-solving), a corrupt file exits 2.
+//
 // Templated models rescale from the command line: --param NAME=VALUE
 // overrides a `const` declaration before elaboration, so one file
 // serves every instance size (the whole of Table 1 is
@@ -143,9 +158,15 @@ int serve_strategy(const tigat::lang::LoadedModel& model,
                    const std::vector<tigat::tsystem::TestPurpose>& purposes,
                    const std::string& path) {
   using namespace tigat;
+  // The zero-copy path: mmap + validate, no deserialization.  Old
+  // formats are a usage condition (the file is fine, just outdated),
+  // not an I/O failure.
   const decision::DecisionTable table = [&] {
     try {
-      return decision::load(path);
+      return decision::DecisionTable::map(path);
+    } catch (const decision::VersionError& e) {
+      std::fprintf(stderr, "cannot serve '%s': %s\n", path.c_str(), e.what());
+      std::exit(kExitUsageOrModel);
     } catch (const decision::SerializeError& e) {
       std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(), e.what());
       std::exit(kExitIo);
@@ -172,7 +193,7 @@ int serve_strategy(const tigat::lang::LoadedModel& model,
               "%zu nodes, %zu arcs, %zu leaves, %zu zones (%.1f KiB "
               "resident)\n",
               path.c_str(), purpose->source.c_str(),
-              table.data().purpose_kind == 1 ? "safety" : "reachability",
+              table.purpose_kind() == 1 ? "safety" : "reachability",
               table.key_count(), table.node_count(), table.arc_count(),
               table.leaf_count(), table.zone_count(),
               static_cast<double>(table.memory_bytes()) / 1024.0);
@@ -197,8 +218,26 @@ int serve_strategy(const tigat::lang::LoadedModel& model,
   return kExitPass;
 }
 
+// Subcommand dispatch: argv[1] may name the pipeline stage.  Flags are
+// 1:1 with the legacy interface; the subcommand only pins the mode, so
+// scripts can spell intent without learning new options.
+enum class Mode { kLegacy, kSolve, kServe, kRun, kCampaign, kExplain };
+
+Mode parse_mode(const char* arg) {
+  if (arg == nullptr) return Mode::kLegacy;
+  if (std::strcmp(arg, "solve") == 0) return Mode::kSolve;
+  if (std::strcmp(arg, "serve") == 0) return Mode::kServe;
+  if (std::strcmp(arg, "run") == 0) return Mode::kRun;
+  if (std::strcmp(arg, "campaign") == 0) return Mode::kCampaign;
+  if (std::strcmp(arg, "explain") == 0) return Mode::kExplain;
+  return Mode::kLegacy;
+}
+
 int run_main(int argc, char** argv) {
   using namespace tigat;
+
+  const Mode mode = parse_mode(argc > 1 ? argv[1] : nullptr);
+  const int first_arg = mode == Mode::kLegacy ? 1 : 2;
 
   std::string path;
   bool print_model = false;
@@ -238,7 +277,7 @@ int run_main(int argc, char** argv) {
     compile_options.params.emplace_back(std::string(spec, eq),
                                         static_cast<std::int64_t>(value));
   };
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_arg; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-model") == 0) {
       print_model = true;
     } else if (std::strcmp(argv[i], "--compact-zones") == 0) {
@@ -295,9 +334,43 @@ int run_main(int argc, char** argv) {
       extra_purposes.emplace_back(argv[i]);
     }
   }
+  // Mode overrides: the subcommand pins what the flags would otherwise
+  // have to imply, and rejects contradictions up front.
+  switch (mode) {
+    case Mode::kLegacy:
+      break;
+    case Mode::kSolve:
+      if (campaign_mode || !strategy_in.empty()) {
+        std::fprintf(stderr,
+                     "run_model solve: campaign/serve flags do not apply "
+                     "(use `run_model campaign` or `run_model serve`)\n");
+        return kExitUsageOrModel;
+      }
+      break;
+    case Mode::kServe:
+      if (strategy_in.empty()) {
+        std::fprintf(stderr,
+                     "run_model serve: --strategy-in=FILE.tgs is required\n");
+        return kExitUsageOrModel;
+      }
+      break;
+    case Mode::kRun:
+      campaign_mode = true;
+      runs = 1;
+      break;
+    case Mode::kCampaign:
+      campaign_mode = true;
+      break;
+    case Mode::kExplain:
+      campaign_mode = true;
+      explain = true;
+      break;
+  }
+
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: run_model <model.tg> [--print-model] "
+                 "usage: run_model [solve|serve|run|campaign|explain] "
+                 "<model.tg> [--print-model] "
                  "[--threads=N] [--compact-zones] [--param NAME=VALUE]... "
                  "[--strategy-out=FILE.tgs] "
                  "[--strategy-in=FILE.tgs] "
@@ -347,8 +420,9 @@ int run_main(int argc, char** argv) {
 
   // Serving path: a compiled strategy replaces solving entirely.  The
   // purposes are parsed first so the fingerprint check can tell which
-  // one the table was compiled for.
-  if (!strategy_in.empty()) {
+  // one the table was compiled for.  In campaign modes the table is
+  // consumed below as the campaign's decide source instead.
+  if (!strategy_in.empty() && !campaign_mode) {
     const int rc = serve_strategy(model, purposes, strategy_in);
     if (!write_obs_artifacts(trace_out, metrics_out, stats_json)) return kExitIo;
     return rc;
@@ -376,20 +450,61 @@ int run_main(int argc, char** argv) {
   // an optionally fault-injected boundary.
   if (campaign_mode) {
     if (runs <= 0) runs = 1;
-    game::SolverOptions options;
-    options.threads = threads;
-    options.compact_zones = compact_zones;
-    game::GameSolver solver(model.system, purposes.front(), options);
-    const auto solution = solver.solve();
-    if (!solution->winning_from_initial()) {
-      std::fprintf(stderr,
-                   "campaign: purpose '%s' is not winnable from the initial "
-                   "state — no sound strategy to execute\n",
-                   purposes.front().source.c_str());
-      return kExitUsageOrModel;
+    // The campaign's decide source: a freshly solved strategy walk, or
+    // a compiled .tgs mapped zero-copy (`campaign --strategy-in=`) —
+    // the DecisionTable IS a DecisionSource, so the executor cannot
+    // tell the difference.
+    std::shared_ptr<const game::GameSolution> solution;
+    std::unique_ptr<game::Strategy> strategy;
+    std::unique_ptr<decision::StrategySource> walk_source;
+    std::unique_ptr<decision::DecisionTable> table_source;
+    const decision::DecisionSource* source = nullptr;
+    const tsystem::TestPurpose* purpose = &purposes.front();
+    if (!strategy_in.empty()) {
+      try {
+        table_source = std::make_unique<decision::DecisionTable>(
+            decision::DecisionTable::map(strategy_in));
+      } catch (const decision::VersionError& e) {
+        std::fprintf(stderr, "cannot serve '%s': %s\n", strategy_in.c_str(),
+                     e.what());
+        return kExitUsageOrModel;
+      } catch (const decision::SerializeError& e) {
+        std::fprintf(stderr, "cannot load '%s': %s\n", strategy_in.c_str(),
+                     e.what());
+        return kExitIo;
+      }
+      purpose = nullptr;
+      for (const tsystem::TestPurpose& p : purposes) {
+        if (table_source->matches(model.system, p)) {
+          purpose = &p;
+          break;
+        }
+      }
+      if (purpose == nullptr) {
+        std::fprintf(stderr,
+                     "'%s' was compiled for a different model or purpose "
+                     "(fingerprint mismatch)\n",
+                     strategy_in.c_str());
+        return kExitUsageOrModel;
+      }
+      source = table_source.get();
+    } else {
+      game::SolverOptions options;
+      options.threads = threads;
+      options.compact_zones = compact_zones;
+      game::GameSolver solver(model.system, purposes.front(), options);
+      solution = solver.solve();
+      if (!solution->winning_from_initial()) {
+        std::fprintf(stderr,
+                     "campaign: purpose '%s' is not winnable from the "
+                     "initial state — no sound strategy to execute\n",
+                     purposes.front().source.c_str());
+        return kExitUsageOrModel;
+      }
+      strategy = std::make_unique<game::Strategy>(solution);
+      walk_source = std::make_unique<decision::StrategySource>(*strategy);
+      source = walk_source.get();
     }
-    const game::Strategy strategy(solution);
-    const decision::StrategySource source(strategy);
 
     tsystem::System plant = tsystem::extract_process(model.system, iut_name);
     if (mutant >= 0) {
@@ -415,11 +530,11 @@ int run_main(int argc, char** argv) {
     // The executor needs the purpose to know whether this is a safety
     // run (φ checked after every discrete move, PASS by outlasting the
     // budget); the DecisionSource alone cannot provide the formula.
-    copts.executor.purpose = purposes.front();
+    copts.executor.purpose = *purpose;
     copts.executor.pass_ticks = pass_ticks;
     const testing::CampaignReport report = [&] {
       try {
-        return testing::campaign_run(source, model.system, imp, kScale, copts);
+        return testing::campaign_run(*source, model.system, imp, kScale, copts);
       } catch (const testing::FaultSpecError& e) {
         std::fprintf(stderr, "--faults: %s\n", e.what());
         std::exit(kExitUsageOrModel);

@@ -289,40 +289,40 @@ void Dbm::extrapolate_max_bounds(std::span<const bound_t> max_constants) {
   }
 }
 
-bool Dbm::contains_point(std::span<const std::int64_t> point,
-                         std::int64_t scale) const {
-  TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
+bool raw_contains_point(std::uint32_t dim, const raw_t* cells,
+                        std::span<const std::int64_t> point,
+                        std::int64_t scale) {
+  TIGAT_ASSERT(point.size() == dim, "valuation size mismatch");
   TIGAT_DEBUG_ASSERT(point[0] == 0, "reference clock must be 0");
-  if (empty_) return false;
-  const raw_t* m = data();
-  for (std::uint32_t i = 0; i < dim_; ++i) {
-    for (std::uint32_t j = 0; j < dim_; ++j) {
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    for (std::uint32_t j = 0; j < dim; ++j) {
       if (i == j) continue;
-      if (!satisfies(point[i] - point[j], m[i * dim_ + j], scale)) return false;
+      if (!satisfies(point[i] - point[j], cells[i * dim + j], scale)) {
+        return false;
+      }
     }
   }
   return true;
 }
 
-std::optional<std::int64_t> Dbm::earliest_entry_delay(
-    std::span<const std::int64_t> point, std::int64_t scale) const {
-  TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
-  if (empty_) return std::nullopt;
-  const raw_t* m = data();
+std::optional<std::int64_t> raw_earliest_entry_delay(
+    std::uint32_t dim, const raw_t* cells, std::span<const std::int64_t> point,
+    std::int64_t scale) {
+  TIGAT_ASSERT(point.size() == dim, "valuation size mismatch");
   // Difference constraints between real clocks are delay-invariant.
-  for (std::uint32_t i = 1; i < dim_; ++i) {
-    for (std::uint32_t j = 1; j < dim_; ++j) {
+  for (std::uint32_t i = 1; i < dim; ++i) {
+    for (std::uint32_t j = 1; j < dim; ++j) {
       if (i == j) continue;
-      if (!satisfies(point[i] - point[j], m[i * dim_ + j], scale)) {
+      if (!satisfies(point[i] - point[j], cells[i * dim + j], scale)) {
         return std::nullopt;
       }
     }
   }
   std::int64_t lo = 0;
-  std::int64_t hi = kNoDeadline;
-  for (std::uint32_t i = 1; i < dim_; ++i) {
+  std::int64_t hi = Dbm::kNoDeadline;
+  for (std::uint32_t i = 1; i < dim; ++i) {
     // Upper bound: x_i + δ ≺ c·scale.
-    const raw_t upper = m[i * dim_];
+    const raw_t upper = cells[i * dim];
     if (!is_infinity(upper)) {
       std::int64_t limit =
           static_cast<std::int64_t>(bound_value(upper)) * scale - point[i];
@@ -330,7 +330,7 @@ std::optional<std::int64_t> Dbm::earliest_entry_delay(
       hi = std::min(hi, limit);
     }
     // Lower bound: −(x_i + δ) ≺ c·scale  ⇔  δ ⪰ −c·scale − x_i.
-    const raw_t lower = m[i];
+    const raw_t lower = cells[i];
     if (!is_infinity(lower)) {
       std::int64_t limit =
           -static_cast<std::int64_t>(bound_value(lower)) * scale - point[i];
@@ -340,6 +340,18 @@ std::optional<std::int64_t> Dbm::earliest_entry_delay(
   }
   if (lo > hi) return std::nullopt;
   return lo;
+}
+
+bool Dbm::contains_point(std::span<const std::int64_t> point,
+                         std::int64_t scale) const {
+  if (empty_) return false;
+  return raw_contains_point(dim_, data(), point, scale);
+}
+
+std::optional<std::int64_t> Dbm::earliest_entry_delay(
+    std::span<const std::int64_t> point, std::int64_t scale) const {
+  if (empty_) return std::nullopt;
+  return raw_earliest_entry_delay(dim_, data(), point, scale);
 }
 
 std::int64_t Dbm::latest_stay_delay(std::span<const std::int64_t> point,
@@ -358,25 +370,24 @@ std::int64_t Dbm::latest_stay_delay(std::span<const std::int64_t> point,
   return hi;
 }
 
-std::optional<DelayInterval> Dbm::delay_interval(
-    std::span<const std::int64_t> point, std::int64_t scale) const {
-  TIGAT_ASSERT(point.size() == dim_, "valuation size mismatch");
-  if (empty_) return std::nullopt;
-  const raw_t* m = data();
+std::optional<DelayInterval> raw_delay_interval(
+    std::uint32_t dim, const raw_t* cells, std::span<const std::int64_t> point,
+    std::int64_t scale) {
+  TIGAT_ASSERT(point.size() == dim, "valuation size mismatch");
   // Difference constraints between real clocks are delay-invariant: the
   // diagonal through `point` either satisfies them at every δ or never.
-  for (std::uint32_t i = 1; i < dim_; ++i) {
-    for (std::uint32_t j = 1; j < dim_; ++j) {
+  for (std::uint32_t i = 1; i < dim; ++i) {
+    for (std::uint32_t j = 1; j < dim; ++j) {
       if (i == j) continue;
-      if (!satisfies(point[i] - point[j], m[i * dim_ + j], scale)) {
+      if (!satisfies(point[i] - point[j], cells[i * dim + j], scale)) {
         return std::nullopt;
       }
     }
   }
-  DelayInterval iv{0, kNoDeadline, false, false};
-  for (std::uint32_t i = 1; i < dim_; ++i) {
+  DelayInterval iv{0, Dbm::kNoDeadline, false, false};
+  for (std::uint32_t i = 1; i < dim; ++i) {
     // Upper bound: x_i + δ ≺ c·scale  ⇔  δ ≺ c·scale − x_i.
-    const raw_t upper = m[i * dim_];
+    const raw_t upper = cells[i * dim];
     if (!is_infinity(upper)) {
       const std::int64_t limit =
           static_cast<std::int64_t>(bound_value(upper)) * scale - point[i];
@@ -387,7 +398,7 @@ std::optional<DelayInterval> Dbm::delay_interval(
       }
     }
     // Lower bound: −(x_i + δ) ≺ c·scale  ⇔  δ ≻ −c·scale − x_i.
-    const raw_t lower = m[i];
+    const raw_t lower = cells[i];
     if (!is_infinity(lower)) {
       const std::int64_t limit =
           -static_cast<std::int64_t>(bound_value(lower)) * scale - point[i];
@@ -402,11 +413,17 @@ std::optional<DelayInterval> Dbm::delay_interval(
     iv.lo = 0;
     iv.lo_strict = false;
   }
-  if (iv.hi != kNoDeadline &&
+  if (iv.hi != Dbm::kNoDeadline &&
       (iv.lo > iv.hi || (iv.lo == iv.hi && (iv.lo_strict || iv.hi_strict)))) {
     return std::nullopt;
   }
   return iv;
+}
+
+std::optional<DelayInterval> Dbm::delay_interval(
+    std::span<const std::int64_t> point, std::int64_t scale) const {
+  if (empty_) return std::nullopt;
+  return raw_delay_interval(dim_, data(), point, scale);
 }
 
 std::int64_t merge_stay_bound(std::vector<DelayInterval>& intervals) {

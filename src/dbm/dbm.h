@@ -65,6 +65,25 @@ struct DelayInterval {
 // compiled DecisionTable share this helper for exactly that reason).
 [[nodiscard]] std::int64_t merge_stay_bound(std::vector<DelayInterval>& intervals);
 
+// ── raw-cell zone math ──────────────────────────────────────────────
+//
+// The point queries a decision backend runs per decide() call, as free
+// functions over a bare dim×dim cell array.  `cells` must hold a
+// CLOSED, NON-EMPTY matrix (row-major, entry (i,j) bounds x_i − x_j) —
+// exactly what a canonical Dbm stores, what dbm::ZonePool interns, and
+// what a mmapped `.tgs` v3 image exposes in place.  The Dbm methods of
+// the same names forward here; decision::TgsView calls these directly
+// so serving a zone costs zero construction and zero copies.
+[[nodiscard]] bool raw_contains_point(std::uint32_t dim, const raw_t* cells,
+                                      std::span<const std::int64_t> point,
+                                      std::int64_t scale = 1);
+[[nodiscard]] std::optional<std::int64_t> raw_earliest_entry_delay(
+    std::uint32_t dim, const raw_t* cells, std::span<const std::int64_t> point,
+    std::int64_t scale = 1);
+[[nodiscard]] std::optional<DelayInterval> raw_delay_interval(
+    std::uint32_t dim, const raw_t* cells, std::span<const std::int64_t> point,
+    std::int64_t scale = 1);
+
 class Dbm {
  public:
   // Largest dimension stored inline (no heap); see the file comment.

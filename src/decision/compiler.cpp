@@ -38,6 +38,8 @@ class Compiler {
     out_.fingerprint = model_fingerprint(g_.system(), solution.purpose());
     out_.clock_dim = g_.system().clock_count();
     out_.purpose_kind = safety_ ? 1 : 0;
+    out_.system_name = g_.system().name();
+    out_.purpose_source = solution.purpose().source;
   }
 
   TableData run(CompileStats* stats) {
@@ -328,6 +330,8 @@ class Compiler {
     packed.fingerprint = out_.fingerprint;
     packed.clock_dim = out_.clock_dim;
     packed.purpose_kind = out_.purpose_kind;
+    packed.system_name = std::move(out_.system_name);
+    packed.purpose_source = std::move(out_.purpose_source);
 
     constexpr std::uint32_t kUnset = 0xffff'ffffu;
     std::vector<std::uint32_t> node_map(out_.nodes.size(), kUnset);

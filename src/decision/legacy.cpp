@@ -1,0 +1,333 @@
+#include "decision/legacy.h"
+
+#include <cstring>
+
+#include "util/text.h"
+
+namespace tigat::decision {
+
+namespace {
+
+constexpr std::uint32_t kLegacyVersion = 2;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
+
+// ── little-endian writer ────────────────────────────────────────────
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int k = 0; k < 2; ++k) out_.push_back((v >> (8 * k)) & 0xff);
+  }
+  void u32(std::uint32_t v) {
+    for (int k = 0; k < 4; ++k) out_.push_back((v >> (8 * k)) & 0xff);
+  }
+  void u64(std::uint64_t v) {
+    for (int k = 0; k < 8; ++k) out_.push_back((v >> (8 * k)) & 0xff);
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// ── bounds-checked little-endian reader ─────────────────────────────
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return data_[at_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int k = 0; k < 2; ++k) v |= std::uint16_t{data_[at_++]} << (8 * k);
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) v |= std::uint32_t{data_[at_++]} << (8 * k);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) v |= std::uint64_t{data_[at_++]} << (8 * k);
+    return v;
+  }
+  [[nodiscard]] std::int32_t i32() {
+    return static_cast<std::int32_t>(u32());
+  }
+  // Guards count fields before a vector reserve/loop: a corrupted count
+  // must fail cleanly, not allocate gigabytes.
+  [[nodiscard]] std::uint32_t count(std::size_t element_size) {
+    const std::uint32_t n = u32();
+    if (element_size != 0 && std::size_t{n} > (size_ - at_) / element_size) {
+      throw SerializeError("decision file truncated: count exceeds payload");
+    }
+    return n;
+  }
+  [[nodiscard]] bool exhausted() const { return at_ == size_; }
+
+ private:
+  void need(std::size_t n) {
+    if (size_ - at_ < n) {
+      throw SerializeError("decision file truncated");
+    }
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+};
+
+void write_instance(Writer& w, const semantics::TransitionInstance& inst) {
+  w.u32(inst.primary.process);
+  w.u32(inst.primary.edge);
+  w.u8(inst.receiver.has_value() ? 1 : 0);
+  w.u32(inst.receiver ? inst.receiver->process : 0);
+  w.u32(inst.receiver ? inst.receiver->edge : 0);
+  w.u8(inst.controllable ? 1 : 0);
+}
+
+semantics::TransitionInstance read_instance(Reader& r) {
+  semantics::TransitionInstance inst;
+  inst.primary.process = r.u32();
+  inst.primary.edge = r.u32();
+  const bool has_receiver = r.u8() != 0;
+  const std::uint32_t rp = r.u32();
+  const std::uint32_t re = r.u32();
+  if (has_receiver) inst.receiver = semantics::EdgeRef{rp, re};
+  inst.controllable = r.u8() != 0;
+  return inst;
+}
+
+}  // namespace
+
+bool is_legacy_image(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= 4 && std::memcmp(bytes.data(), kMagicLegacy, 4) == 0;
+}
+
+std::vector<std::uint8_t> to_bytes_v2(const TableData& d) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+
+  w.u64(d.fingerprint);
+  w.u32(d.clock_dim);
+  const std::uint32_t proc_count =
+      d.keys.empty() ? 0 : static_cast<std::uint32_t>(d.keys[0].locs.size());
+  const std::uint32_t slot_count =
+      d.keys.empty() ? 0
+                     : static_cast<std::uint32_t>(d.keys[0].data.slot_count());
+  w.u32(proc_count);
+  w.u32(slot_count);
+  w.u8(d.purpose_kind);
+
+  w.u32(static_cast<std::uint32_t>(d.keys.size()));
+  for (const TableData::Key& key : d.keys) {
+    for (const tsystem::LocId l : key.locs) w.u32(l);
+    for (const std::int32_t v : key.data.values()) w.i32(v);
+    w.u32(key.root);
+  }
+
+  w.u32(static_cast<std::uint32_t>(d.edges.size()));
+  for (const TableData::EdgeSlot& edge : d.edges) {
+    w.u32(edge.original);
+    write_instance(w, edge.inst);
+  }
+
+  w.u32(static_cast<std::uint32_t>(d.nodes.size()));
+  for (const TableData::Node& n : d.nodes) {
+    w.u16(n.i);
+    w.u16(n.j);
+    w.u32(n.first_arc);
+    w.u32(n.arc_count);
+  }
+
+  w.u32(static_cast<std::uint32_t>(d.arcs.size()));
+  for (const TableData::Arc& a : d.arcs) {
+    w.i32(a.bound);
+    w.u32(a.target);
+  }
+
+  w.u32(static_cast<std::uint32_t>(d.leaves.size()));
+  for (const TableData::Leaf& leaf : d.leaves) {
+    w.u8(static_cast<std::uint8_t>(leaf.kind));
+    w.u32(leaf.rank);
+    w.u32(leaf.edge_slot);
+    w.u32(leaf.zones_first);
+    w.u32(leaf.zones_count);
+    w.u32(leaf.acts_first);
+    w.u32(leaf.acts_count);
+    w.u32(leaf.danger_first);
+    w.u32(leaf.danger_count);
+  }
+
+  w.u32(static_cast<std::uint32_t>(d.acts.size()));
+  for (const TableData::Act& act : d.acts) {
+    w.u32(act.edge_slot);
+    w.u32(act.zones_first);
+    w.u32(act.zones_count);
+  }
+
+  w.u32(static_cast<std::uint32_t>(d.zone_refs.size()));
+  for (const std::uint32_t ref : d.zone_refs) w.u32(ref);
+
+  w.u32(static_cast<std::uint32_t>(d.zones.size()));
+  for (const dbm::Dbm& z : d.zones) {
+    for (std::uint32_t i = 0; i < d.clock_dim; ++i) {
+      for (std::uint32_t j = 0; j < d.clock_dim; ++j) {
+        w.i32(z.at(i, j));
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  Writer h(out);
+  for (const char c : kMagicLegacy) h.u8(static_cast<std::uint8_t>(c));
+  h.u32(kLegacyVersion);
+  h.u64(fnv1a(payload.data(), payload.size()));
+  h.u64(payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+TableData from_bytes_v2(const std::vector<std::uint8_t>& bytes) {
+  if (!is_legacy_image(bytes) || bytes.size() < kHeaderSize) {
+    throw SerializeError("not a legacy .tgs decision file (bad magic)");
+  }
+  Reader header(bytes.data() + 4, kHeaderSize - 4);
+  const std::uint32_t version = header.u32();
+  if (version != kLegacyVersion) {
+    // v1's 17-byte leaves carry no safety slices; there is nothing to
+    // migrate them from.
+    throw VersionError(util::format(
+        ".tgs format v%u cannot be migrated — re-solve the model", version));
+  }
+  const std::uint64_t checksum = header.u64();
+  const std::uint64_t payload_size = header.u64();
+  if (payload_size != bytes.size() - kHeaderSize) {
+    throw SerializeError("decision file truncated: payload size mismatch");
+  }
+  const std::uint8_t* payload = bytes.data() + kHeaderSize;
+  if (fnv1a(payload, payload_size) != checksum) {
+    throw SerializeError("decision file corrupted: checksum mismatch");
+  }
+
+  Reader r(payload, payload_size);
+  TableData d;
+  d.fingerprint = r.u64();
+  d.clock_dim = r.u32();
+  if (d.clock_dim == 0 || d.clock_dim > 0xffff) {
+    throw SerializeError("decision file corrupted: bad clock dimension");
+  }
+  const std::uint32_t proc_count = r.u32();
+  const std::uint32_t slot_count = r.u32();
+  d.purpose_kind = r.u8();
+  // v2 carried no provenance strings; migrated tables serve empty ones.
+
+  const std::uint32_t key_count =
+      r.count((std::size_t{proc_count} + slot_count + 1) * 4);
+  d.keys.reserve(key_count);
+  for (std::uint32_t k = 0; k < key_count; ++k) {
+    TableData::Key key;
+    key.locs.reserve(proc_count);
+    for (std::uint32_t p = 0; p < proc_count; ++p) key.locs.push_back(r.u32());
+    std::vector<std::int32_t> values(slot_count);
+    for (std::uint32_t s = 0; s < slot_count; ++s) values[s] = r.i32();
+    key.data = tsystem::DataState(std::move(values));
+    key.root = r.u32();
+    d.keys.push_back(std::move(key));
+  }
+
+  const std::uint32_t edge_count = r.count(4 + 18);
+  d.edges.reserve(edge_count);
+  for (std::uint32_t e = 0; e < edge_count; ++e) {
+    TableData::EdgeSlot slot;
+    slot.original = r.u32();
+    slot.inst = read_instance(r);
+    d.edges.push_back(std::move(slot));
+  }
+
+  const std::uint32_t node_count = r.count(2 + 2 + 4 + 4);
+  d.nodes.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    TableData::Node node;
+    node.i = r.u16();
+    node.j = r.u16();
+    node.first_arc = r.u32();
+    node.arc_count = r.u32();
+    d.nodes.push_back(node);
+  }
+
+  const std::uint32_t arc_count = r.count(4 + 4);
+  d.arcs.reserve(arc_count);
+  for (std::uint32_t a = 0; a < arc_count; ++a) {
+    TableData::Arc arc;
+    arc.bound = r.i32();
+    arc.target = r.u32();
+    d.arcs.push_back(arc);
+  }
+
+  const std::uint32_t leaf_count = r.count(1 + 8 * 4);
+  d.leaves.reserve(leaf_count);
+  for (std::uint32_t l = 0; l < leaf_count; ++l) {
+    TableData::Leaf leaf;
+    leaf.kind = static_cast<game::MoveKind>(r.u8());
+    leaf.rank = r.u32();
+    leaf.edge_slot = r.u32();
+    leaf.zones_first = r.u32();
+    leaf.zones_count = r.u32();
+    leaf.acts_first = r.u32();
+    leaf.acts_count = r.u32();
+    leaf.danger_first = r.u32();
+    leaf.danger_count = r.u32();
+    d.leaves.push_back(leaf);
+  }
+
+  const std::uint32_t act_count = r.count(3 * 4);
+  d.acts.reserve(act_count);
+  for (std::uint32_t a = 0; a < act_count; ++a) {
+    TableData::Act act;
+    act.edge_slot = r.u32();
+    act.zones_first = r.u32();
+    act.zones_count = r.u32();
+    d.acts.push_back(act);
+  }
+
+  const std::uint32_t ref_count = r.count(4);
+  d.zone_refs.reserve(ref_count);
+  for (std::uint32_t z = 0; z < ref_count; ++z) d.zone_refs.push_back(r.u32());
+
+  const std::size_t cells = std::size_t{d.clock_dim} * d.clock_dim;
+  const std::uint32_t zone_count = r.count(cells * 4);
+  d.zones.reserve(zone_count);
+  for (std::uint32_t z = 0; z < zone_count; ++z) {
+    dbm::Dbm zone = dbm::Dbm::universal(d.clock_dim);
+    for (std::uint32_t i = 0; i < d.clock_dim; ++i) {
+      for (std::uint32_t j = 0; j < d.clock_dim; ++j) {
+        zone.set_raw(i, j, r.i32());
+      }
+    }
+    // Canonical matrices pass close() unchanged; anything inconsistent
+    // (possible only through hand-edited files — the checksum already
+    // rejects bit rot) fails here instead of corrupting decide().
+    if (!zone.close()) {
+      throw SerializeError("decision file corrupted: inconsistent zone");
+    }
+    d.zones.push_back(std::move(zone));
+  }
+  if (!r.exhausted()) {
+    throw SerializeError("decision file corrupted: trailing bytes");
+  }
+  return d;
+}
+
+}  // namespace tigat::decision

@@ -1,0 +1,40 @@
+// Legacy `.tgs` support: the v2 streamed format (magic "TGSD").
+//
+// v2 streamed the table field by field; every reader re-parsed the
+// stream into heap vectors.  Format v3 (decision/format.h) replaced it
+// with a flat mmap-able image, and the v3 reader rejects "TGSD" files
+// with a VersionError ("re-solve to migrate").  This header keeps the
+// v2 codec alive for exactly two purposes:
+//
+//   * migration — `decision::load` / `tigat-serve migrate` parse a v2
+//     file into TableData and re-emit it as v3, so old artifacts
+//     upgrade in one pass without re-solving;
+//   * tests — to_bytes_v2 fabricates v2 images so the migration round
+//     trip (v2 → TableData → v3 → decide equivalence) stays covered
+//     without checked-in binary fixtures.
+//
+// New code must not write v2: the writer exists only behind these two
+// call sites.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "decision/table.h"
+
+namespace tigat::decision {
+
+// True when `bytes` starts with the v1/v2 magic "TGSD".
+[[nodiscard]] bool is_legacy_image(std::span<const std::uint8_t> bytes);
+
+// Parses a v2 stream into builder data (checksum verified, every read
+// bounds-checked, zones re-closed).  Throws VersionError for v1 — its
+// 17-byte leaves cannot be migrated; re-solve — and SerializeError for
+// corruption.
+[[nodiscard]] TableData from_bytes_v2(const std::vector<std::uint8_t>& bytes);
+
+// Emits builder data as a v2 stream (tests only; see above).
+[[nodiscard]] std::vector<std::uint8_t> to_bytes_v2(const TableData& data);
+
+}  // namespace tigat::decision

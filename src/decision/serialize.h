@@ -1,55 +1,53 @@
-// Binary serialization of compiled decision tables — the `.tgs` file
-// format ("tigat strategy").
+// File-level `.tgs` helpers and the legacy-compatible load path.
 //
-// A .tgs file makes the solved game a deployable artifact: solve and
-// compile once (run_model --strategy-out), then any number of serving
-// processes load the table (--strategy-in) and execute test campaigns
-// without ever running the solver.
+// Since format v3 a DecisionTable IS its `.tgs` image (decision/table.h
+// + decision/view.h), so serialization is trivial: to_bytes copies the
+// table's bytes, save writes them, and the preferred way to open a
+// file is `DecisionTable::map(path)` — zero-copy, strict v3 only,
+// VersionError ("re-solve to migrate") on v1/v2 files.
 //
-// Layout (all integers little-endian; see serialize.cpp for the field
-// tables):
+// The entry points here are the *compatibility* layer kept for callers
+// of the old heap-loading API and for artifact migration:
 //
-//   magic "TGSD" | u32 version | u64 payload FNV-1a | u64 payload size
-//   payload: fingerprint, clock dim, purpose kind, keys
-//   (locs/data/root), edges (original index + transition instance),
-//   nodes, arcs, leaves (incl. the safety acts/danger slices), acts,
-//   zone refs, zone pool (raw DBM matrices)
+//   * from_bytes / load accept v2 images too, parsing them through
+//     decision/legacy.h and re-flattening to v3 in memory (counted in
+//     the "tgs.migrations" metric).  `tigat-serve migrate` is this +
+//     save.
+//   * to_bytes / save emit v3 only; the bytes round-trip bit-for-bit
+//     (save → map → to_bytes is the identity on the image).
 //
-// Version history: v1 had no purpose kind, no acts section and
-// 17-byte leaves; v2 (safety games) is not backward compatible, and
-// v1 files are rejected with a clear message — re-solve to migrate.
+// New code should prefer DecisionTable::map / TgsWriter directly;
+// these wrappers trade the zero-copy property for auto-migration.
 //
-// Integrity: the header checksum covers every payload byte and is
-// verified before parsing; the parser bounds-checks every read and the
-// DecisionTable constructor re-validates the structural invariants, so
-// a truncated, corrupted or mismatched file raises SerializeError
-// instead of producing a quietly wrong strategy.  Model identity is
-// the fingerprint (DecisionTable::matches), checked by callers.
+// SerializeError / VersionError and kFormatVersion moved to
+// decision/format.h; this header re-exports them via its include.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "decision/format.h"
 #include "decision/table.h"
 
 namespace tigat::decision {
 
-inline constexpr std::uint32_t kFormatVersion = 2;
-
-class SerializeError : public tsystem::ModelError {
- public:
-  using tsystem::ModelError::ModelError;
-};
-
-// In-memory encoding/decoding (the file functions are thin wrappers;
-// tests and network services use these directly).
+// The table's v3 image, as a copy (the table keeps serving from its
+// own bytes).
 [[nodiscard]] std::vector<std::uint8_t> to_bytes(const DecisionTable& table);
-[[nodiscard]] DecisionTable from_bytes(const std::vector<std::uint8_t>& bytes);
+
+// Opens an in-memory image: v3 bytes are adopted as-is; v2 bytes are
+// migrated through the legacy parser.  Throws SerializeError on
+// corruption, VersionError on v1.
+[[nodiscard]] DecisionTable from_bytes(std::vector<std::uint8_t> bytes);
 
 // Throws SerializeError on I/O failure, bad magic/version, checksum
 // mismatch or structurally invalid content.
 void save(const DecisionTable& table, const std::string& path);
 [[nodiscard]] DecisionTable load(const std::string& path);
+
+// The raw bytes of `path` (shared by load and the tgs-info dump).
+// Throws SerializeError on I/O failure.
+[[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path);
 
 }  // namespace tigat::decision

@@ -27,7 +27,10 @@ class DecisionSource {
                                           std::int64_t scale) const = 0;
 
   // The transition behind a Move::edge value returned by decide().
-  [[nodiscard]] virtual const semantics::TransitionInstance& edge_instance(
+  // By value: zero-copy backends (the mmap-backed DecisionTable since
+  // .tgs v3) decode the instance from flat records on the fly and have
+  // no materialised object to reference.
+  [[nodiscard]] virtual semantics::TransitionInstance edge_instance(
       std::uint32_t edge) const = 0;
 
   // Decision provenance: a short stable identifier of who answered
@@ -48,7 +51,7 @@ class StrategySource final : public DecisionSource {
     return strategy_->decide(state, scale);
   }
 
-  [[nodiscard]] const semantics::TransitionInstance& edge_instance(
+  [[nodiscard]] semantics::TransitionInstance edge_instance(
       std::uint32_t edge) const override {
     return strategy_->solution().graph().edges()[edge].inst;
   }

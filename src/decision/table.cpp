@@ -1,17 +1,16 @@
 #include "decision/table.h"
 
-#include <algorithm>
+#include <system_error>
+#include <utility>
 
+#include "decision/writer.h"
 #include "obs/trace.h"
-#include "util/assert.h"
 #include "util/text.h"
 
 namespace tigat::decision {
 
 using game::Move;
-using game::MoveKind;
 using semantics::ConcreteState;
-using tsystem::ModelError;
 
 namespace {
 
@@ -33,27 +32,7 @@ struct Fnv64 {
   }
 };
 
-// Same mixing as semantics::DiscreteKey::hash / DataState::hash, but
-// over the raw vectors so decide() never materialises a DiscreteKey.
-std::size_t hash_discrete(const std::vector<tsystem::LocId>& locs,
-                          const tsystem::DataState& data) {
-  std::size_t h = 0x9e3779b9u;
-  for (const std::int32_t v : data.values()) {
-    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(v)) + 0x9e3779b9u +
-         (h << 6) + (h >> 2);
-  }
-  for (const tsystem::LocId l : locs) {
-    h ^= l + 0x9e3779b9u + (h << 6) + (h >> 2);
-  }
-  return h;
-}
-
-[[noreturn]] void invalid(const char* what) {
-  throw ModelError(util::format("invalid decision table: %s", what));
-}
-
 }  // namespace
-
 std::uint64_t model_fingerprint(const tsystem::System& system) {
   Fnv64 f;
   f.str(system.name());
@@ -128,282 +107,131 @@ std::uint64_t model_fingerprint(const tsystem::System& system,
   return f.h;
 }
 
+// ── DecisionTable ───────────────────────────────────────────────────
+
 DecisionTable::DecisionTable(TableData data)
+    : DecisionTable(TgsWriter(data).build(), util::MappedFile(),
+                    TgsView::Options{}) {}
+
+DecisionTable::DecisionTable(std::vector<std::uint8_t> image,
+                             const TgsView::Options& options)
+    : DecisionTable(std::move(image), util::MappedFile(), options) {}
+
+DecisionTable DecisionTable::map(const std::string& path,
+                                 const TgsView::Options& options) {
+  util::MappedFile mapped;
+  try {
+    mapped = util::MappedFile::open(path);
+  } catch (const std::system_error& e) {
+    throw SerializeError(
+        util::format("cannot map '%s': %s", path.c_str(), e.what()));
+  }
+  return DecisionTable(std::vector<std::uint8_t>{}, std::move(mapped),
+                       options);
+}
+
+DecisionTable::DecisionTable(std::vector<std::uint8_t> owned,
+                             util::MappedFile mapped,
+                             const TgsView::Options& options)
     : decide_latency_(&obs::metrics().histogram("decide.latency_ns",
                                                 obs::latency_buckets_ns())),
-      data_(std::move(data)) {
-  validate();
-  build_key_index();
-  build_edge_index();
-}
-
-void DecisionTable::validate() const {
-  if (data_.clock_dim == 0) invalid("clock dimension is zero");
-  if (data_.purpose_kind > 1) invalid("unknown purpose kind");
-  const auto check_target = [&](target_t t) {
-    if (is_leaf(t)) {
-      if (target_index(t) >= data_.leaves.size()) invalid("leaf out of range");
-    } else if (target_index(t) >= data_.nodes.size()) {
-      invalid("node out of range");
-    }
-  };
-  for (const TableData::Key& key : data_.keys) {
-    if (key.locs.empty() && key.data.slot_count() == 0) {
-      invalid("key with no discrete part");
-    }
-    if (key.locs.size() != data_.keys.front().locs.size() ||
-        key.data.slot_count() != data_.keys.front().data.slot_count()) {
-      invalid("inconsistent key shapes");
-    }
-    check_target(key.root);
+      owned_(std::move(owned)),
+      mapped_(std::move(mapped)) {
+  view_ = TgsView::open(
+      mapped_.is_open() ? mapped_.bytes()
+                        : std::span<const std::uint8_t>(owned_),
+      options);
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("tgs.view.opens").add(1);
   }
-  for (const TableData::Node& n : data_.nodes) {
-    if (n.i >= data_.clock_dim || n.j >= data_.clock_dim || n.i == n.j) {
-      invalid("node tests a bad clock pair");
-    }
-    if (n.arc_count < 2 ||
-        std::size_t{n.first_arc} + n.arc_count > data_.arcs.size()) {
-      invalid("node arc range out of bounds");
-    }
-    // Arcs must be strictly sorted by encoded bound and end in `< ∞`,
-    // so the first-satisfied-arc scan below is total and deterministic.
-    for (std::uint32_t a = 0; a < n.arc_count; ++a) {
-      const TableData::Arc& arc = data_.arcs[n.first_arc + a];
-      check_target(arc.target);
-      if (a + 1 == n.arc_count) {
-        if (!dbm::is_infinity(arc.bound)) invalid("node lacks an ∞ arc");
-      } else if (arc.bound >= data_.arcs[n.first_arc + a + 1].bound) {
-        invalid("node arcs are not sorted");
-      }
-    }
-  }
-  for (const TableData::Leaf& leaf : data_.leaves) {
-    switch (leaf.kind) {
-      case MoveKind::kGoalReached:
-        // Safety plays are won by outlasting the budget (the
-        // executor's call), never by a goal prescription.
-        if (data_.purpose_kind == 1) invalid("goal leaf in a safety table");
-        break;
-      case MoveKind::kUnwinnable:
-        break;
-      case MoveKind::kAction:
-        if (leaf.edge_slot >= data_.edges.size()) {
-          invalid("action leaf edge slot out of range");
-        }
-        break;
-      case MoveKind::kDelay:
-        if (std::size_t{leaf.zones_first} + leaf.zones_count >
-            data_.zone_refs.size()) {
-          invalid("delay leaf zone slice out of bounds");
-        }
-        break;
-      default:
-        invalid("unknown leaf kind");
-    }
-    if (data_.purpose_kind == 0 &&
-        (leaf.acts_count != 0 || leaf.danger_count != 0)) {
-      invalid("safety slices in a reachability table");
-    }
-    if (std::size_t{leaf.acts_first} + leaf.acts_count > data_.acts.size()) {
-      invalid("leaf act slice out of bounds");
-    }
-    if (std::size_t{leaf.danger_first} + leaf.danger_count >
-        data_.zone_refs.size()) {
-      invalid("leaf danger slice out of bounds");
-    }
-  }
-  for (const TableData::Act& act : data_.acts) {
-    if (act.edge_slot >= data_.edges.size()) {
-      invalid("act edge slot out of range");
-    }
-    if (std::size_t{act.zones_first} + act.zones_count >
-        data_.zone_refs.size()) {
-      invalid("act zone slice out of bounds");
-    }
-  }
-  for (const std::uint32_t ref : data_.zone_refs) {
-    if (ref >= data_.zones.size()) invalid("zone reference out of range");
-  }
-  for (const dbm::Dbm& z : data_.zones) {
-    if (z.dimension() != data_.clock_dim) invalid("zone dimension mismatch");
-    if (z.is_empty()) invalid("empty zone in the pool");
-  }
-}
-
-void DecisionTable::build_key_index() {
-  std::size_t cap = 8;
-  while (cap < data_.keys.size() * 2) cap *= 2;
-  buckets_.assign(cap, 0);
-  bucket_mask_ = cap - 1;
-  for (std::uint32_t k = 0; k < data_.keys.size(); ++k) {
-    std::size_t at =
-        hash_discrete(data_.keys[k].locs, data_.keys[k].data) & bucket_mask_;
-    while (buckets_[at] != 0) {
-      const TableData::Key& other = data_.keys[buckets_[at] - 1];
-      if (other.locs == data_.keys[k].locs &&
-          other.data == data_.keys[k].data) {
-        invalid("duplicate discrete key");
-      }
-      at = (at + 1) & bucket_mask_;
-    }
-    buckets_[at] = k + 1;
-  }
-}
-
-void DecisionTable::build_edge_index() {
-  edge_lookup_.reserve(data_.edges.size());
-  for (std::uint32_t slot = 0; slot < data_.edges.size(); ++slot) {
-    edge_lookup_.emplace_back(data_.edges[slot].original, slot);
-  }
-  std::sort(edge_lookup_.begin(), edge_lookup_.end());
-  for (std::size_t k = 1; k < edge_lookup_.size(); ++k) {
-    if (edge_lookup_[k].first == edge_lookup_[k - 1].first) {
-      invalid("duplicate edge slot");
-    }
-  }
-}
-
-std::optional<std::uint32_t> DecisionTable::find_key(
-    const ConcreteState& state) const {
-  std::size_t at = hash_discrete(state.locs, state.data) & bucket_mask_;
-  while (buckets_[at] != 0) {
-    const TableData::Key& key = data_.keys[buckets_[at] - 1];
-    if (key.locs == state.locs && key.data == state.data) {
-      return buckets_[at] - 1;
-    }
-    at = (at + 1) & bucket_mask_;
-  }
-  return std::nullopt;
 }
 
 Move DecisionTable::decide(const ConcreteState& state,
                            std::int64_t scale) const {
-  if (!obs::metrics_enabled()) return decide_impl(state, scale);
+  if (!obs::metrics_enabled()) return view_.decide(state, scale);
   const std::uint64_t t0 = obs::now_ns();
-  Move move = decide_impl(state, scale);
+  Move move = view_.decide(state, scale);
   decide_latency_->record(obs::now_ns() - t0);
   return move;
 }
 
-Move DecisionTable::decide_impl(const ConcreteState& state,
-                                std::int64_t scale) const {
-  TIGAT_ASSERT(state.clocks.size() == data_.clock_dim,
-               "state dimension mismatch");
-  Move move;
-  const auto k = find_key(state);
-  if (!k) return move;  // not even discretely reachable
-
-  target_t t = data_.keys[*k].root;
-  while (!is_leaf(t)) {
-    const TableData::Node& n = data_.nodes[target_index(t)];
-    const std::int64_t diff = state.clocks[n.i] - state.clocks[n.j];
-    const TableData::Arc* arc = &data_.arcs[n.first_arc];
-    while (!dbm::satisfies(diff, arc->bound, scale)) ++arc;
-    t = arc->target;
-  }
-  const TableData::Leaf& leaf = data_.leaves[target_index(t)];
-  switch (leaf.kind) {
-    case MoveKind::kUnwinnable:
-      return move;
-    case MoveKind::kGoalReached:
-      move.kind = MoveKind::kGoalReached;
-      move.rank = leaf.rank;
-      return move;
-    case MoveKind::kAction:
-      move.kind = MoveKind::kAction;
-      move.rank = leaf.rank;
-      move.edge = data_.edges[leaf.edge_slot].original;
-      return move;
-    case MoveKind::kDelay: {
-      move.kind = MoveKind::kDelay;
-      move.rank = leaf.rank;
-      if (data_.purpose_kind == 1) {
-        // Safety fat leaf — mirrors Strategy::decide's safety branch
-        // move for move.  Latest harmless wait: the dense stay bound
-        // over the Safe zones (the leaf's zone slice), clipped one
-        // tick short of the danger region.
-        thread_local std::vector<dbm::DelayInterval> intervals;
-        intervals.clear();
-        const std::uint32_t* sref = data_.zone_refs.data() + leaf.zones_first;
-        for (std::uint32_t z = 0; z < leaf.zones_count; ++z) {
-          if (const auto iv =
-                  data_.zones[sref[z]].delay_interval(state.clocks, scale)) {
-            intervals.push_back(*iv);
-          }
-        }
-        std::int64_t deadline = dbm::merge_stay_bound(intervals);
-        std::optional<std::int64_t> danger_in;
-        const std::uint32_t* dref = data_.zone_refs.data() + leaf.danger_first;
-        for (std::uint32_t z = 0; z < leaf.danger_count; ++z) {
-          if (const auto d = data_.zones[dref[z]].earliest_entry_delay(
-                  state.clocks, scale)) {
-            danger_in = danger_in ? std::min(*danger_in, *d) : *d;
-          }
-        }
-        if (danger_in && *danger_in > 0) {
-          deadline = std::min(deadline, *danger_in - 1);
-        }
-        const bool threat_now = danger_in && *danger_in == 0;
-        if (deadline > 0 && !threat_now) {
-          move.next_decision_ticks = std::min(deadline, Move::kNoDecision);
-          return move;
-        }
-        // Boundary (or live threat): first action whose region holds,
-        // in the same edge order Strategy::decide scans.
-        for (std::uint32_t a = 0; a < leaf.acts_count; ++a) {
-          const TableData::Act& act = data_.acts[leaf.acts_first + a];
-          const std::uint32_t* aref = data_.zone_refs.data() + act.zones_first;
-          for (std::uint32_t z = 0; z < act.zones_count; ++z) {
-            if (data_.zones[aref[z]].contains_point(state.clocks, scale)) {
-              move.kind = MoveKind::kAction;
-              move.edge = data_.edges[act.edge_slot].original;
-              return move;
-            }
-          }
-        }
-        // No safe action yet: wait for the threat instant (ties go to
-        // the tester) or the SUT's forced move.
-        move.next_decision_ticks =
-            danger_in && *danger_in > 0 ? *danger_in : 0;
-        return move;
-      }
-      // Min over the exact zones Strategy::decide consults (action
-      // regions at rank−1, then the lower winning set of this key).
-      std::int64_t next = Move::kNoDecision;
-      const std::uint32_t* ref = data_.zone_refs.data() + leaf.zones_first;
-      for (std::uint32_t z = 0; z < leaf.zones_count; ++z) {
-        if (const auto d =
-                data_.zones[ref[z]].earliest_entry_delay(state.clocks, scale)) {
-          next = std::min(next, *d);
-        }
-      }
-      move.next_decision_ticks = next;
-      return move;
-    }
-  }
-  return move;
-}
-
-const semantics::TransitionInstance& DecisionTable::edge_instance(
+semantics::TransitionInstance DecisionTable::edge_instance(
     std::uint32_t edge) const {
-  const auto it = std::lower_bound(
-      edge_lookup_.begin(), edge_lookup_.end(), edge,
-      [](const auto& entry, std::uint32_t e) { return entry.first < e; });
-  TIGAT_ASSERT(it != edge_lookup_.end() && it->first == edge,
-               "edge not referenced by this table");
-  return data_.edges[it->second].inst;
+  return view_.edge_instance(edge);
 }
 
-std::size_t DecisionTable::memory_bytes() const {
-  const std::size_t zones = data_.zones.size() * sizeof(dbm::Dbm);
-  return data_.keys.size() * sizeof(TableData::Key) +
-         data_.nodes.size() * sizeof(TableData::Node) +
-         data_.arcs.size() * sizeof(TableData::Arc) +
-         data_.leaves.size() * sizeof(TableData::Leaf) +
-         data_.acts.size() * sizeof(TableData::Act) +
-         data_.zone_refs.size() * sizeof(std::uint32_t) + zones +
-         data_.edges.size() * sizeof(TableData::EdgeSlot) +
-         buckets_.size() * sizeof(std::uint32_t);
+TableData DecisionTable::export_data() const {
+  TableData d;
+  d.fingerprint = view_.fingerprint();
+  d.clock_dim = view_.clock_dim();
+  d.purpose_kind = static_cast<std::uint8_t>(view_.purpose_kind());
+  d.system_name = std::string(view_.system_name());
+  d.purpose_source = std::string(view_.purpose_source());
+  const std::uint32_t keys = static_cast<std::uint32_t>(view_.key_count());
+  d.keys.reserve(keys);
+  for (std::uint32_t k = 0; k < keys; ++k) {
+    TableData::Key key;
+    const auto locs = view_.key_locs(k);
+    key.locs.assign(locs.begin(), locs.end());
+    const auto values = view_.key_data(k);
+    key.data = tsystem::DataState(
+        std::vector<std::int32_t>(values.begin(), values.end()));
+    key.root = view_.key_root(k);
+    d.keys.push_back(std::move(key));
+  }
+  d.nodes.reserve(view_.node_count());
+  for (std::uint32_t n = 0; n < view_.node_count(); ++n) {
+    const NodeRec& rec = view_.node(n);
+    d.nodes.push_back({rec.i, rec.j, rec.first_arc, rec.arc_count});
+  }
+  d.arcs.reserve(view_.arc_count());
+  for (std::uint32_t a = 0; a < view_.arc_count(); ++a) {
+    const ArcRec& rec = view_.arc(a);
+    d.arcs.push_back({rec.bound, rec.target});
+  }
+  d.leaves.reserve(view_.leaf_count());
+  for (std::uint32_t l = 0; l < view_.leaf_count(); ++l) {
+    const LeafRec& rec = view_.leaf(l);
+    TableData::Leaf leaf;
+    leaf.kind = static_cast<game::MoveKind>(rec.kind);
+    leaf.rank = rec.rank;
+    leaf.edge_slot = rec.edge_slot;
+    leaf.zones_first = rec.zones_first;
+    leaf.zones_count = rec.zones_count;
+    leaf.acts_first = rec.acts_first;
+    leaf.acts_count = rec.acts_count;
+    leaf.danger_first = rec.danger_first;
+    leaf.danger_count = rec.danger_count;
+    d.leaves.push_back(leaf);
+  }
+  d.acts.reserve(view_.act_count());
+  for (std::uint32_t a = 0; a < view_.act_count(); ++a) {
+    const ActRec& rec = view_.act(a);
+    d.acts.push_back({rec.edge_slot, rec.zones_first, rec.zones_count});
+  }
+  d.zone_refs.reserve(view_.zone_ref_count());
+  for (std::uint32_t r = 0; r < view_.zone_ref_count(); ++r) {
+    d.zone_refs.push_back(view_.zone_ref(r));
+  }
+  d.zones.reserve(view_.zone_count());
+  for (std::uint32_t z = 0; z < view_.zone_count(); ++z) {
+    d.zones.push_back(
+        dbm::Dbm::from_raw(view_.clock_dim(), view_.zone_cells(z)));
+  }
+  d.edges.reserve(view_.edge_count());
+  for (std::uint32_t slot = 0; slot < view_.edge_count(); ++slot) {
+    const EdgeRec& rec = view_.edge(slot);
+    TableData::EdgeSlot e;
+    e.original = rec.original;
+    e.inst.primary = {rec.primary_process, rec.primary_edge};
+    if ((rec.flags & kEdgeHasReceiver) != 0) {
+      e.inst.receiver =
+          semantics::EdgeRef{rec.receiver_process, rec.receiver_edge};
+    }
+    e.inst.controllable = (rec.flags & kEdgeControllable) != 0;
+    d.edges.push_back(std::move(e));
+  }
+  return d;
 }
 
 }  // namespace tigat::decision

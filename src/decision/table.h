@@ -33,52 +33,51 @@
 // Identical subgraphs are hash-consed at compile time and shared
 // across keys, so the table is a DAG, not a forest of trees.
 //
-// decide() is allocation-free, lock-free and const-thread-safe: a key
-// lookup in an open-addressed index, a root-to-leaf walk (one integer
-// subtraction + a short sorted-arc scan per node), and for delay
-// leaves a scan over inline-stored DBMs.  It returns Moves
-// bit-identical to game::Strategy::decide on every state with
-// non-negative integer clock ticks (tests/decision_equivalence_test).
+// Representation: since format v3 the table IS its `.tgs` image.  The
+// compiler fills a TableData (the mutable builder form below), the
+// constructor flattens it through TgsWriter once, and every query —
+// including decide() — runs against a bounds-validated TgsView
+// (decision/view.h) over those flat bytes.  The bytes can equally be
+// an owned buffer (compile / from_bytes) or a read-only file mapping
+// (DecisionTable::map), which is the zero-copy serving path: cold
+// start is one mmap + validation, no per-record parsing, no heap
+// reconstruction, and N processes mapping one file share the pages.
 //
-// The table is self-contained — discrete keys, edge transitions and
-// zones are stored by value — so a table loaded from a .tgs file
-// (decision/serialize.h) serves decisions without any GameSolution in
-// memory, i.e. without ever running the solver on the serving path.
+// decide() is allocation-free, lock-free and const-thread-safe: a key
+// lookup in the precomputed open-addressed index section, a
+// root-to-leaf walk (one integer subtraction + a short sorted-arc scan
+// per node), and for delay leaves a scan over raw DBM cells in place.
+// It returns Moves bit-identical to game::Strategy::decide on every
+// state with non-negative integer clock ticks
+// (tests/decision_equivalence_test), across all three backings.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
 
 #include "dbm/dbm.h"
 #include "decision/source.h"
+#include "decision/view.h"
 #include "semantics/concrete.h"
 #include "semantics/transition.h"
 #include "tsystem/property.h"
 #include "tsystem/system.h"
+#include "util/mmap.h"
 
 namespace tigat::decision {
 
-// A DAG target: either an inner node or a leaf, tagged in the top bit.
-using target_t = std::uint32_t;
-inline constexpr target_t kLeafBit = 0x8000'0000u;
-[[nodiscard]] constexpr bool is_leaf(target_t t) { return (t & kLeafBit) != 0; }
-[[nodiscard]] constexpr std::uint32_t target_index(target_t t) {
-  return t & ~kLeafBit;
-}
-[[nodiscard]] constexpr target_t leaf_target(std::uint32_t index) {
-  return index | kLeafBit;
-}
-[[nodiscard]] constexpr target_t node_target(std::uint32_t index) {
-  return index;
-}
-
 inline constexpr std::uint32_t kNoEdgeSlot = 0xffff'ffffu;
 
-// The flat representation; filled by the compiler or the deserializer
-// and validated/indexed by the DecisionTable constructor.
+// The mutable builder form of a table: what the compiler produces and
+// what the legacy (v2) reader migrates into.  TgsWriter flattens it to
+// the v3 image; DecisionTable::export_data() materialises it back from
+// an image (tests, migration round trips).
 struct TableData {
   struct Arc {
     dbm::raw_t bound = 0;  // encoded `≺ c`; kInfinity on the last arc
@@ -122,6 +121,10 @@ struct TableData {
   std::uint64_t fingerprint = 0;  // model_fingerprint(system, purpose)
   std::uint32_t clock_dim = 0;    // clocks incl. the reference clock
   std::uint8_t purpose_kind = 0;  // 0 = reachability, 1 = safety
+  // The v3 string pool: provenance carried for tgs-info and serve
+  // logs; empty strings on tables migrated from v1/v2 files.
+  std::string system_name;
+  std::string purpose_source;
   std::vector<Key> keys;
   std::vector<Node> nodes;
   std::vector<Arc> arcs;
@@ -151,10 +154,25 @@ struct TableData {
 
 class DecisionTable final : public DecisionSource {
  public:
-  // Validates the data (target/arc/zone/edge ranges, sorted arcs with
-  // an infinity terminator, per-key shapes) and builds the key index.
+  // Flattens builder data into an owned v3 image and validates it.
   // Throws tsystem::ModelError on structurally invalid data.
   explicit DecisionTable(TableData data);
+
+  // Adopts a complete v3 image (e.g. the bytes of a .tgs file).
+  // Throws SerializeError (VersionError for v1/v2 bytes).
+  explicit DecisionTable(std::vector<std::uint8_t> image,
+                         const TgsView::Options& options = {});
+
+  // The zero-copy serving path: maps `path` read-only and serves
+  // decide() straight from the page cache — no per-record parsing, no
+  // heap table, cold start O(validation).  Throws SerializeError on
+  // I/O or corruption, VersionError for v1/v2 files ("re-solve to
+  // migrate"; `decision::load` or `tigat-serve migrate` upgrade them).
+  [[nodiscard]] static DecisionTable map(const std::string& path,
+                                         const TgsView::Options& options = {});
+
+  DecisionTable(DecisionTable&&) noexcept = default;
+  DecisionTable& operator=(DecisionTable&&) noexcept = default;
 
   // Allocation-free compiled decide; bit-identical to
   // game::Strategy::decide for clocks[0] == 0 and clocks[i] >= 0.
@@ -164,7 +182,7 @@ class DecisionTable final : public DecisionSource {
   [[nodiscard]] game::Move decide(const semantics::ConcreteState& state,
                                   std::int64_t scale) const override;
 
-  [[nodiscard]] const semantics::TransitionInstance& edge_instance(
+  [[nodiscard]] semantics::TransitionInstance edge_instance(
       std::uint32_t edge) const override;
 
   [[nodiscard]] const char* backend_name() const override {
@@ -176,35 +194,52 @@ class DecisionTable final : public DecisionSource {
   // check before serving.
   [[nodiscard]] bool matches(const tsystem::System& system,
                              const tsystem::TestPurpose& purpose) const {
-    return data_.fingerprint == model_fingerprint(system, purpose);
+    return view_.fingerprint() == model_fingerprint(system, purpose);
   }
 
-  [[nodiscard]] const TableData& data() const { return data_; }
-  [[nodiscard]] std::uint64_t fingerprint() const { return data_.fingerprint; }
-  [[nodiscard]] std::uint32_t clock_dim() const { return data_.clock_dim; }
-  [[nodiscard]] std::size_t key_count() const { return data_.keys.size(); }
-  [[nodiscard]] std::size_t node_count() const { return data_.nodes.size(); }
-  [[nodiscard]] std::size_t arc_count() const { return data_.arcs.size(); }
-  [[nodiscard]] std::size_t leaf_count() const { return data_.leaves.size(); }
-  [[nodiscard]] std::size_t zone_count() const { return data_.zones.size(); }
-  [[nodiscard]] std::size_t memory_bytes() const;
+  // The validated zero-copy view over the image (and the image bytes
+  // themselves, e.g. for serialization — to_bytes is a copy of these).
+  [[nodiscard]] const TgsView& view() const { return view_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return view_.bytes();
+  }
+  [[nodiscard]] bool is_mapped() const { return mapped_.is_open(); }
+
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    return view_.fingerprint();
+  }
+  [[nodiscard]] std::uint32_t clock_dim() const { return view_.clock_dim(); }
+  [[nodiscard]] std::uint8_t purpose_kind() const {
+    return static_cast<std::uint8_t>(view_.purpose_kind());
+  }
+  [[nodiscard]] std::string_view system_name() const {
+    return view_.system_name();
+  }
+  [[nodiscard]] std::string_view purpose_source() const {
+    return view_.purpose_source();
+  }
+  [[nodiscard]] std::size_t key_count() const { return view_.key_count(); }
+  [[nodiscard]] std::size_t node_count() const { return view_.node_count(); }
+  [[nodiscard]] std::size_t arc_count() const { return view_.arc_count(); }
+  [[nodiscard]] std::size_t leaf_count() const { return view_.leaf_count(); }
+  [[nodiscard]] std::size_t zone_count() const { return view_.zone_count(); }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return view_.bytes().size();
+  }
+
+  // Materialises the builder form back from the image — the inverse of
+  // the constructor.  Used by tests and the legacy writer; the serving
+  // path never calls it.
+  [[nodiscard]] TableData export_data() const;
 
  private:
-  [[nodiscard]] game::Move decide_impl(const semantics::ConcreteState& state,
-                                       std::int64_t scale) const;
-  [[nodiscard]] std::optional<std::uint32_t> find_key(
-      const semantics::ConcreteState& state) const;
-  void validate() const;
-  void build_key_index();
-  void build_edge_index();
+  DecisionTable(std::vector<std::uint8_t> owned, util::MappedFile mapped,
+                const TgsView::Options& options);
 
   obs::Histogram* decide_latency_ = nullptr;  // registered in the ctor
-  TableData data_;
-  // Open-addressed key index: key_index + 1, 0 = empty slot.
-  std::vector<std::uint32_t> buckets_;
-  std::size_t bucket_mask_ = 0;
-  // original edge index → slot in data_.edges (sorted for lookup).
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_lookup_;
+  std::vector<std::uint8_t> owned_;  // empty on the mmap path
+  util::MappedFile mapped_;          // open only on the mmap path
+  TgsView view_;                     // into owned_ or mapped_
 };
 
 }  // namespace tigat::decision

@@ -1,0 +1,233 @@
+#include "decision/writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/text.h"
+
+namespace tigat::decision {
+
+namespace {
+
+[[noreturn]] void unwritable(const char* what) {
+  throw SerializeError(util::format("cannot serialize table: %s", what));
+}
+
+// Sizes, offsets and a bump cursor for one section, laid out in id
+// order with 8-byte alignment.
+struct Layout {
+  SectionRec recs[kSectionCount] = {};
+  std::uint64_t end = kSectionTableEnd;
+
+  void place(TgsSection id, std::uint32_t record_size, std::uint64_t count) {
+    SectionRec& rec = recs[static_cast<std::uint32_t>(id) - 1];
+    end = (end + 7) & ~std::uint64_t{7};
+    rec.id = static_cast<std::uint32_t>(id);
+    rec.record_size = record_size;
+    rec.offset = end;
+    rec.bytes = count * record_size;
+    end += rec.bytes;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> TgsWriter::build() const {
+  const TableData& d = *data_;
+  const std::uint64_t keys = d.keys.size();
+  const std::uint32_t procs =
+      keys ? static_cast<std::uint32_t>(d.keys.front().locs.size()) : 0;
+  const std::uint32_t slots =
+      keys ? static_cast<std::uint32_t>(d.keys.front().data.slot_count()) : 0;
+  if (keys > 0xffff'ffffull) unwritable("too many keys");
+  for (const TableData::Key& key : d.keys) {
+    if (key.locs.size() != procs || key.data.slot_count() != slots) {
+      unwritable("inconsistent key shapes");
+    }
+  }
+  if (d.clock_dim == 0) unwritable("clock dimension is zero");
+  for (const dbm::Dbm& z : d.zones) {
+    if (z.dimension() != d.clock_dim) unwritable("zone dimension mismatch");
+  }
+
+  // ── precompute the bucket index (the section v2 readers rebuilt on
+  // every load) ──
+  const std::size_t bucket_count = bucket_capacity(keys);
+  std::vector<std::uint32_t> buckets(bucket_count, 0);
+  const std::size_t mask = bucket_count - 1;
+  for (std::uint32_t k = 0; k < keys; ++k) {
+    const std::span<const std::uint32_t> locs(d.keys[k].locs);
+    const std::span<const std::int32_t> values(d.keys[k].data.values());
+    std::size_t at = hash_discrete(locs, values) & mask;
+    while (buckets[at] != 0) {
+      const TableData::Key& other = d.keys[buckets[at] - 1];
+      if (other.locs == d.keys[k].locs && other.data == d.keys[k].data) {
+        unwritable("duplicate discrete key");
+      }
+      at = (at + 1) & mask;
+    }
+    buckets[at] = k + 1;
+  }
+
+  // ── precompute the sorted edge lookup ──
+  std::vector<LookupRec> lookup(d.edges.size());
+  for (std::uint32_t slot = 0; slot < d.edges.size(); ++slot) {
+    lookup[slot] = {d.edges[slot].original, slot};
+  }
+  std::sort(lookup.begin(), lookup.end(),
+            [](const LookupRec& a, const LookupRec& b) {
+              return a.original < b.original;
+            });
+  for (std::size_t k = 1; k < lookup.size(); ++k) {
+    if (lookup[k].original == lookup[k - 1].original) {
+      unwritable("duplicate edge slot");
+    }
+  }
+
+  // ── string pool ──
+  StrRec strings[kStringCount] = {};
+  std::string blob;
+  const auto intern = [&](TgsString id, const std::string& s) {
+    if (s.size() > 0xffff'ffffull) unwritable("string too long");
+    strings[id] = {static_cast<std::uint32_t>(blob.size()),
+                   static_cast<std::uint32_t>(s.size())};
+    blob += s;
+  };
+  intern(kStrSystemName, d.system_name);
+  intern(kStrPurposeSource, d.purpose_source);
+
+  // ── layout ──
+  const std::size_t cells = std::size_t{d.clock_dim} * d.clock_dim;
+  Layout lay;
+  lay.place(kSecKeyLocs, 4, keys * procs);
+  lay.place(kSecKeyData, 4, keys * slots);
+  lay.place(kSecKeyRoots, 4, keys);
+  lay.place(kSecKeyBuckets, 4, bucket_count);
+  lay.place(kSecNodes, sizeof(NodeRec), d.nodes.size());
+  lay.place(kSecArcs, sizeof(ArcRec), d.arcs.size());
+  lay.place(kSecLeaves, sizeof(LeafRec), d.leaves.size());
+  lay.place(kSecActs, sizeof(ActRec), d.acts.size());
+  lay.place(kSecZoneRefs, 4, d.zone_refs.size());
+  lay.place(kSecZones, 4, d.zones.size() * cells);
+  lay.place(kSecEdges, sizeof(EdgeRec), d.edges.size());
+  lay.place(kSecEdgeLookup, sizeof(LookupRec), lookup.size());
+  lay.place(kSecStrings, sizeof(StrRec), kStringCount);
+  lay.place(kSecStringBlob, 1, blob.size());
+
+  // ── one buffer, zero-initialised (alignment padding stays zero so
+  // output is deterministic), filled section by section ──
+  std::vector<std::uint8_t> image(lay.end, 0);
+  const auto at = [&](TgsSection id) {
+    return image.data() + lay.recs[static_cast<std::uint32_t>(id) - 1].offset;
+  };
+
+  auto* key_locs = reinterpret_cast<std::uint32_t*>(at(kSecKeyLocs));
+  auto* key_data = reinterpret_cast<std::int32_t*>(at(kSecKeyData));
+  auto* key_roots = reinterpret_cast<std::uint32_t*>(at(kSecKeyRoots));
+  for (std::uint32_t k = 0; k < keys; ++k) {
+    const TableData::Key& key = d.keys[k];
+    if (procs) {
+      std::memcpy(key_locs + std::size_t{k} * procs, key.locs.data(),
+                  std::size_t{procs} * 4);
+    }
+    if (slots) {
+      std::memcpy(key_data + std::size_t{k} * slots, key.data.values().data(),
+                  std::size_t{slots} * 4);
+    }
+    key_roots[k] = key.root;
+  }
+  std::memcpy(at(kSecKeyBuckets), buckets.data(), buckets.size() * 4);
+
+  auto* nodes = reinterpret_cast<NodeRec*>(at(kSecNodes));
+  for (std::size_t n = 0; n < d.nodes.size(); ++n) {
+    nodes[n] = {d.nodes[n].i, d.nodes[n].j, d.nodes[n].first_arc,
+                d.nodes[n].arc_count};
+  }
+  auto* arcs = reinterpret_cast<ArcRec*>(at(kSecArcs));
+  for (std::size_t a = 0; a < d.arcs.size(); ++a) {
+    arcs[a] = {d.arcs[a].bound, d.arcs[a].target};
+  }
+  auto* leaves = reinterpret_cast<LeafRec*>(at(kSecLeaves));
+  for (std::size_t l = 0; l < d.leaves.size(); ++l) {
+    const TableData::Leaf& leaf = d.leaves[l];
+    leaves[l] = {static_cast<std::uint32_t>(leaf.kind), leaf.rank,
+                 leaf.edge_slot, leaf.zones_first, leaf.zones_count,
+                 leaf.acts_first, leaf.acts_count, leaf.danger_first,
+                 leaf.danger_count};
+  }
+  auto* acts = reinterpret_cast<ActRec*>(at(kSecActs));
+  for (std::size_t a = 0; a < d.acts.size(); ++a) {
+    acts[a] = {d.acts[a].edge_slot, d.acts[a].zones_first,
+               d.acts[a].zones_count};
+  }
+  if (!d.zone_refs.empty()) {
+    std::memcpy(at(kSecZoneRefs), d.zone_refs.data(), d.zone_refs.size() * 4);
+  }
+  auto* zones = reinterpret_cast<dbm::raw_t*>(at(kSecZones));
+  for (std::size_t z = 0; z < d.zones.size(); ++z) {
+    dbm::raw_t* cell = zones + z * cells;
+    for (std::uint32_t i = 0; i < d.clock_dim; ++i) {
+      for (std::uint32_t j = 0; j < d.clock_dim; ++j) {
+        *cell++ = d.zones[z].at(i, j);
+      }
+    }
+  }
+  auto* edges = reinterpret_cast<EdgeRec*>(at(kSecEdges));
+  for (std::size_t e = 0; e < d.edges.size(); ++e) {
+    const TableData::EdgeSlot& slot = d.edges[e];
+    EdgeRec rec;
+    rec.original = slot.original;
+    rec.primary_process = slot.inst.primary.process;
+    rec.primary_edge = slot.inst.primary.edge;
+    if (slot.inst.receiver) {
+      rec.receiver_process = slot.inst.receiver->process;
+      rec.receiver_edge = slot.inst.receiver->edge;
+      rec.flags |= kEdgeHasReceiver;
+    }
+    if (slot.inst.controllable) rec.flags |= kEdgeControllable;
+    edges[e] = rec;
+  }
+  if (!lookup.empty()) {
+    std::memcpy(at(kSecEdgeLookup), lookup.data(),
+                lookup.size() * sizeof(LookupRec));
+  }
+  std::memcpy(at(kSecStrings), strings, sizeof(strings));
+  if (!blob.empty()) {
+    std::memcpy(at(kSecStringBlob), blob.data(), blob.size());
+  }
+
+  // ── section table + header (checksum last) ──
+  std::memcpy(image.data() + sizeof(TgsHeader), lay.recs, sizeof(lay.recs));
+  TgsHeader h = {};
+  std::memcpy(h.magic, kMagicV3, 4);
+  h.version = kFormatVersion;
+  h.file_bytes = image.size();
+  h.fingerprint = d.fingerprint;
+  h.clock_dim = d.clock_dim;
+  h.proc_count = procs;
+  h.slot_count = slots;
+  h.purpose_kind = d.purpose_kind;
+  h.key_count = static_cast<std::uint32_t>(keys);
+  h.section_count = kSectionCount;
+  h.checksum = fnv1a(image.data() + sizeof(TgsHeader),
+                     image.size() - sizeof(TgsHeader));
+  std::memcpy(image.data(), &h, sizeof(h));
+  return image;
+}
+
+void TgsWriter::save(const std::string& path) const {
+  const std::vector<std::uint8_t> image = build();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    throw SerializeError(
+        util::format("cannot open '%s' for writing", path.c_str()));
+  }
+  const std::size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != image.size() || !flushed) {
+    throw SerializeError(util::format("short write to '%s'", path.c_str()));
+  }
+}
+
+}  // namespace tigat::decision

@@ -1,0 +1,42 @@
+// TgsWriter — lays a TableData out as a `.tgs` v3 image in one pass.
+//
+// The writer owns the whole at-rest layout: section sizing and 8-byte
+// alignment, the precomputed open-addressed key bucket section (so
+// readers never rebuild the index), the sorted edge-lookup section,
+// the string pool, and the FNV-1a checksum in the header.  Output is
+// deterministic: the same TableData produces byte-identical images,
+// which keeps `.tgs` files diffable and lets the round-trip tests
+// compare bytes.
+//
+// Writing is the only direction that materialises heap structures; the
+// read direction is decision/view.h, which serves straight from these
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decision/format.h"
+#include "decision/table.h"
+
+namespace tigat::decision {
+
+class TgsWriter {
+ public:
+  explicit TgsWriter(const TableData& data) : data_(&data) {}
+
+  // Builds the complete v3 image.  Throws SerializeError when the data
+  // cannot be represented (e.g. duplicate discrete keys, counts past
+  // u32) — structural validity beyond that is the reader's check.
+  [[nodiscard]] std::vector<std::uint8_t> build() const;
+
+  // Convenience: build + write to `path`.  Throws SerializeError on
+  // I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  const TableData* data_;
+};
+
+}  // namespace tigat::decision

@@ -103,4 +103,30 @@ void Progress::emit_campaign(const char* phase, std::uint64_t runs_done,
   std::fflush(impl_->out);
 }
 
+void Progress::tick_serve(std::uint64_t connections, std::uint64_t requests,
+                          std::uint64_t errors) {
+  if (!enabled()) return;
+  if (now_ns() < impl_->next_emit_ns.load(std::memory_order_relaxed)) return;
+  emit_serve("serve", connections, requests, errors);
+}
+
+void Progress::emit_serve(const char* phase, std::uint64_t connections,
+                          std::uint64_t requests, std::uint64_t errors) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint64_t now = now_ns();
+  impl_->next_emit_ns.store(now + impl_->period_ns, std::memory_order_relaxed);
+  const double elapsed = static_cast<double>(now - impl_->start_ns) * 1e-9;
+  const double rss_mb = util::to_mebibytes(util::peak_rss_bytes());
+  std::fprintf(impl_->out,
+               "{\"tigat_hb\": %llu, \"elapsed_s\": %.3f, \"phase\": \"%s\", "
+               "\"connections\": %llu, \"requests\": %llu, "
+               "\"errors\": %llu, \"rss_mb\": %.1f}\n",
+               static_cast<unsigned long long>(impl_->seq++), elapsed, phase,
+               static_cast<unsigned long long>(connections),
+               static_cast<unsigned long long>(requests),
+               static_cast<unsigned long long>(errors), rss_mb);
+  std::fflush(impl_->out);
+}
+
 }  // namespace tigat::obs

@@ -66,6 +66,22 @@ class Progress {
                      std::uint64_t runs_total, std::uint64_t retries,
                      std::uint64_t fails, std::uint64_t inconclusive);
 
+  // Serve-phase heartbeat (tigat-serve): connection and request
+  // throughput figures the daemon's supervisor watches:
+  //
+  //   {"tigat_hb": 9, "elapsed_s": 60.0, "phase": "serve",
+  //    "connections": 8, "requests": 7201234, "errors": 0,
+  //    "rss_mb": 42.1}
+  //
+  // The daemon ticks from its accept/worker loops and emits one final
+  // "serve-done" record on shutdown, mirroring the solver/campaign
+  // contract that an enabled heartbeat always produces at least one
+  // line.
+  void tick_serve(std::uint64_t connections, std::uint64_t requests,
+                  std::uint64_t errors);
+  void emit_serve(const char* phase, std::uint64_t connections,
+                  std::uint64_t requests, std::uint64_t errors);
+
  private:
   Progress();
   struct Impl;

@@ -1,0 +1,207 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace tigat::serve {
+
+namespace {
+
+// Little-endian append helpers over a byte vector.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int k = 0; k < 4; ++k) out.push_back((v >> (8 * k)) & 0xff);
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) out.push_back((v >> (8 * k)) & 0xff);
+}
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+// Bounds-checked little-endian cursor over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return bytes_[at_++];
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) v |= std::uint32_t{bytes_[at_++]} << (8 * k);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) v |= std::uint64_t{bytes_[at_++]} << (8 * k);
+    return v;
+  }
+  [[nodiscard]] std::int32_t i32() {
+    return static_cast<std::int32_t>(u32());
+  }
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+  // A count of `element_size`-byte records that must still fit in the
+  // remaining payload — rejects forged counts before any allocation.
+  [[nodiscard]] std::uint32_t count(std::size_t element_size) {
+    const std::uint32_t n = u32();
+    if (std::size_t{n} > (bytes_.size() - at_) / element_size) {
+      throw ProtocolError("frame count exceeds payload");
+    }
+    return n;
+  }
+  void expect_end() const {
+    if (at_ != bytes_.size()) throw ProtocolError("trailing bytes in frame");
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (bytes_.size() - at_ < n) throw ProtocolError("frame truncated");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::optional<std::span<const std::uint8_t>> next_frame(
+    std::span<const std::uint8_t> in, std::size_t& at) {
+  if (in.size() - at < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  std::memcpy(&length, in.data() + at, 4);
+  if (length > kMaxFrameBytes) {
+    throw ProtocolError("frame length exceeds limit");
+  }
+  if (in.size() - at - 4 < length) return std::nullopt;
+  const std::span<const std::uint8_t> payload = in.subspan(at + 4, length);
+  at += 4 + std::size_t{length};
+  return payload;
+}
+
+std::vector<std::uint8_t> encode_hello(const Hello& hello) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 8 + 4 * 4);
+  put_u32(out, hello.proto);
+  put_u64(out, hello.fingerprint);
+  put_u32(out, hello.clock_dim);
+  put_u32(out, hello.proc_count);
+  put_u32(out, hello.slot_count);
+  put_u32(out, hello.purpose_kind);
+  return out;
+}
+
+Hello decode_hello(std::span<const std::uint8_t> payload) {
+  Cursor c(payload);
+  Hello hello;
+  hello.proto = c.u32();
+  hello.fingerprint = c.u64();
+  hello.clock_dim = c.u32();
+  hello.proc_count = c.u32();
+  hello.slot_count = c.u32();
+  hello.purpose_kind = c.u32();
+  c.expect_end();
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_decide_request(
+    const semantics::ConcreteState& state, std::int64_t scale) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 + 12 + 4 * state.locs.size() +
+              4 * state.data.slot_count() + 8 * state.clocks.size());
+  put_u8(out, kOpDecide);
+  put_i64(out, scale);
+  put_u32(out, static_cast<std::uint32_t>(state.locs.size()));
+  for (const std::uint32_t l : state.locs) put_u32(out, l);
+  put_u32(out, static_cast<std::uint32_t>(state.data.slot_count()));
+  for (const std::int32_t v : state.data.values()) put_i32(out, v);
+  put_u32(out, static_cast<std::uint32_t>(state.clocks.size()));
+  for (const std::int64_t c : state.clocks) put_i64(out, c);
+  return out;
+}
+
+void decode_decide_request(std::span<const std::uint8_t> body,
+                           semantics::ConcreteState& state,
+                           std::int64_t& scale) {
+  Cursor c(body);
+  scale = c.i64();
+  const std::uint32_t nl = c.count(4);
+  state.locs.resize(nl);
+  for (std::uint32_t k = 0; k < nl; ++k) state.locs[k] = c.u32();
+  const std::uint32_t ns = c.count(4);
+  if (state.data.slot_count() == ns) {
+    for (std::uint32_t k = 0; k < ns; ++k) state.data.set(k, c.i32());
+  } else {
+    std::vector<std::int32_t> values(ns);
+    for (std::uint32_t k = 0; k < ns; ++k) values[k] = c.i32();
+    state.data = tsystem::DataState(std::move(values));
+  }
+  const std::uint32_t nc = c.count(8);
+  state.clocks.resize(nc);
+  for (std::uint32_t k = 0; k < nc; ++k) state.clocks[k] = c.i64();
+  c.expect_end();
+}
+
+std::vector<std::uint8_t> encode_move_reply(const game::Move& move) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 1 + 1 + 4 + 1 + 4 + 8);
+  put_u8(out, kStatusOk);
+  put_u8(out, static_cast<std::uint8_t>(move.kind));
+  put_u8(out, move.edge.has_value() ? 1 : 0);
+  put_u32(out, move.edge.value_or(0));
+  put_u8(out, move.rank.has_value() ? 1 : 0);
+  put_u32(out, move.rank.value_or(0));
+  put_i64(out, move.next_decision_ticks);
+  return out;
+}
+
+game::Move decode_move_reply(std::span<const std::uint8_t> payload) {
+  Cursor c(payload);
+  const std::uint8_t status = c.u8();
+  if (status != kStatusOk) {
+    const std::uint32_t n = c.count(1);
+    std::string reason(n, '\0');
+    for (std::uint32_t k = 0; k < n; ++k) reason[k] = static_cast<char>(c.u8());
+    throw ProtocolError("server rejected request: " + reason);
+  }
+  game::Move move;
+  const std::uint8_t kind = c.u8();
+  if (kind > static_cast<std::uint8_t>(game::MoveKind::kUnwinnable)) {
+    throw ProtocolError("bad move kind in reply");
+  }
+  move.kind = static_cast<game::MoveKind>(kind);
+  const bool has_edge = c.u8() != 0;
+  const std::uint32_t edge = c.u32();
+  if (has_edge) move.edge = edge;
+  const bool has_rank = c.u8() != 0;
+  const std::uint32_t rank = c.u32();
+  if (has_rank) move.rank = rank;
+  move.next_decision_ticks = c.i64();
+  c.expect_end();
+  return move;
+}
+
+std::vector<std::uint8_t> encode_error_reply(const std::string& reason) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 4 + reason.size());
+  put_u8(out, kStatusBadRequest);
+  put_u32(out, static_cast<std::uint32_t>(reason.size()));
+  for (const char ch : reason) put_u8(out, static_cast<std::uint8_t>(ch));
+  return out;
+}
+
+}  // namespace tigat::serve

@@ -1,0 +1,71 @@
+#include "util/mmap.h"
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace tigat::util {
+
+namespace {
+
+[[noreturn]] void raise(const char* what, const std::string& path) {
+  throw std::system_error(errno, std::generic_category(),
+                          std::string(what) + " '" + path + "'");
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) raise("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    raise("cannot stat", path);
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    errno = EINVAL;
+    raise("cannot map empty file", path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The fd only anchors the mapping; the mapping itself keeps the file
+  // referenced after close.
+  ::close(fd);
+  if (addr == MAP_FAILED) raise("cannot mmap", path);
+  MappedFile out;
+  out.data_ = static_cast<const std::uint8_t*>(addr);
+  out.size_ = size;
+  return out;
+}
+
+void MappedFile::close() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace tigat::util

@@ -1,0 +1,54 @@
+// MappedFile — a read-only, shared, page-cache-backed view of a file.
+//
+// The zero-copy serving path (`.tgs` v3, decision/view.h) needs the
+// whole table resident as one contiguous byte image without reading it
+// into process-private heap: `mmap(PROT_READ, MAP_SHARED)` gives every
+// serving process the same physical pages, makes cold start O(1) in
+// the table size, and lets the kernel evict and refault pages under
+// memory pressure.  This wrapper owns exactly one mapping: open() maps
+// the entire file, the destructor unmaps, moves transfer ownership
+// (the mapped address is stable across moves, so non-owning views into
+// the bytes stay valid).
+//
+// Errors (missing file, empty file, mmap failure) throw
+// std::system_error carrying errno, so callers can distinguish I/O
+// failures from format errors in the bytes themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tigat::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only in full.  Throws std::system_error on any
+  // OS-level failure (open, fstat, mmap) and for empty files (zero
+  // bytes cannot be mapped; no valid .tgs is empty anyway).
+  [[nodiscard]] static MappedFile open(const std::string& path);
+
+  [[nodiscard]] bool is_open() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+  void close() noexcept;
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tigat::util

@@ -194,7 +194,7 @@ TEST(DecisionEquivalence, FingerprintDistinguishesPurposeKind) {
 
   game::GameSolver solver(light.system, safe_p);
   const DecisionTable table = compile(*solver.solve());
-  EXPECT_EQ(table.data().purpose_kind, 1);
+  EXPECT_EQ(table.purpose_kind(), 1u);
   EXPECT_TRUE(table.matches(light.system, safe_p));
   EXPECT_FALSE(table.matches(light.system, reach_p));
 }
@@ -347,12 +347,12 @@ TEST(DecisionEquivalence, SafetySerializeRoundTrip) {
   const auto solution = solve(light.system, "control: A[] !IUT.Bright");
   game::Strategy strategy(solution);
   const DecisionTable table = compile(*solution);
-  EXPECT_EQ(table.data().purpose_kind, 1);
+  EXPECT_EQ(table.purpose_kind(), 1u);
 
   const auto bytes = to_bytes(table);
   const DecisionTable reloaded = from_bytes(bytes);
   EXPECT_EQ(to_bytes(reloaded), bytes);
-  EXPECT_EQ(reloaded.data().purpose_kind, 1);
+  EXPECT_EQ(reloaded.purpose_kind(), 1u);
   EXPECT_TRUE(reloaded.matches(light.system, solution->purpose()));
 
   util::Rng rng(kSeed);

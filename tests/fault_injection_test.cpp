@@ -338,7 +338,7 @@ class EternalDelaySource final : public decision::DecisionSource {
     move.next_decision_ticks = game::Move::kNoDecision;
     return move;
   }
-  [[nodiscard]] const semantics::TransitionInstance& edge_instance(
+  [[nodiscard]] semantics::TransitionInstance edge_instance(
       std::uint32_t) const override {
     throw std::logic_error("EternalDelaySource never picks an edge");
   }

@@ -85,4 +85,81 @@ TEST(RunModelCli, SafetyStrategyServesAndPinsItsModel) {
   std::remove(tgs.c_str());
 }
 
+// ── subcommand forms ────────────────────────────────────────────────
+// `run_model [solve|serve|run|campaign|explain] MODEL` maps 1:1 onto
+// the flag interface and keeps the exit taxonomy; the bare legacy form
+// above stays supported verbatim.
+
+TEST(RunModelCli, SolveSubcommandMatchesLegacyForm) {
+  EXPECT_EQ(run_cli("solve " + kSafetyModel), 0);
+  EXPECT_EQ(run_cli("solve " + kSafetyModel + " \"control: A[] IUT.Off\""),
+            1);
+}
+
+TEST(RunModelCli, UnknownSubcommandIsUsageError) {
+  EXPECT_EQ(run_cli("frobnicate " + kSafetyModel), 1);
+}
+
+TEST(RunModelCli, SolveSubcommandRejectsCampaignFlags) {
+  EXPECT_EQ(run_cli("solve " + kSafetyModel + " --runs=1"), 1);
+}
+
+TEST(RunModelCli, ServeSubcommandRequiresStrategyIn) {
+  EXPECT_EQ(run_cli("serve " + kSafetyModel), 1);
+}
+
+TEST(RunModelCli, SubcommandPipelineRoundTrips) {
+  const std::string tgs =
+      ::testing::TempDir() + "/run_model_cli_sub.tgs";
+  ASSERT_EQ(run_cli("solve " + kSafetyModel + " --strategy-out=" + tgs), 0);
+  EXPECT_EQ(run_cli("serve " + kSafetyModel + " --strategy-in=" + tgs), 0);
+  EXPECT_EQ(run_cli("run " + kSafetyModel + " --strategy-in=" + tgs +
+                    " --pass-ticks=2000"),
+            0);
+  EXPECT_EQ(run_cli("campaign " + kSafetyModel + " --strategy-in=" + tgs +
+                    " --runs=2 --pass-ticks=2000"),
+            0);
+  EXPECT_EQ(run_cli("campaign " + kSafetyModel + " --strategy-in=" + tgs +
+                    " --runs=1 --pass-ticks=2000 --mutant=1"),
+            4);
+  std::remove(tgs.c_str());
+}
+
+// ── .tgs format versioning at the CLI boundary ──────────────────────
+
+// An old-format (v1/v2) strategy file is a "re-solve to migrate"
+// usage/model condition — exit 1 — never the I/O/corruption code 2.
+TEST(RunModelCli, LegacyStrategyFileSaysMigrateNotCorrupt) {
+  const std::string tgs = ::testing::TempDir() + "/run_model_cli_v2.tgs";
+  {
+    // A bare v2 header: magic "TGSD", version 2, zeroed checksum/size.
+    unsigned char stub[24] = {'T', 'G', 'S', 'D', 2, 0, 0, 0};
+    std::FILE* f = std::fopen(tgs.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(stub, 1, sizeof stub, f), sizeof stub);
+    std::fclose(f);
+  }
+  EXPECT_EQ(run_cli("serve " + kSafetyModel + " --strategy-in=" + tgs), 1);
+  std::remove(tgs.c_str());
+}
+
+// A corrupt v3 image (bad checksum) is the I/O/corruption code 2.
+TEST(RunModelCli, CorruptStrategyFileIsIoError) {
+  const std::string tgs =
+      ::testing::TempDir() + "/run_model_cli_corrupt.tgs";
+  ASSERT_EQ(run_cli("solve " + kSafetyModel + " --strategy-out=" + tgs), 0);
+  {
+    std::FILE* f = std::fopen(tgs.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(run_cli("serve " + kSafetyModel + " --strategy-in=" + tgs), 2);
+  std::remove(tgs.c_str());
+}
+
 }  // namespace

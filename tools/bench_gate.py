@@ -147,6 +147,29 @@ def gate_gbench(name, base, cur):
                       f"(limit /{SPEEDUP_RATIO:g})")
 
 
+def gate_serve(base, cur):
+    # bench_serve: the serving-path numbers.  Throughput may shrink at
+    # most SPEEDUP_RATIO and must stay above an absolute floor (the
+    # v3 redesign's acceptance number); cold start may grow at most
+    # TIME_RATIO.  p99 latency is warn-only: shared runners make tail
+    # latency too noisy to hard-gate.
+    ratio_check("serve cold_start_ms", base.get("cold_start_ms"),
+                cur.get("cold_start_ms"), TIME_RATIO)
+    for field in ("decide_per_s", "socket_decide_per_s"):
+        b, c = base.get(field), cur.get(field)
+        if b and c and b > 0:
+            check(f"serve {field}", c >= b / SPEEDUP_RATIO,
+                  f"baseline {b:.0f}/s -> current {c:.0f}/s "
+                  f"(limit /{SPEEDUP_RATIO:g})")
+    floor = float(os.environ.get("BENCH_GATE_SERVE_DECIDE_FLOOR", "1e6"))
+    c = cur.get("decide_per_s")
+    if c is not None:
+        check("serve decide_per_s floor", c >= floor,
+              f"{c:.0f}/s below the {floor:.0f}/s floor")
+    ratio_check("serve decide_p99_ns", base.get("decide_p99_ns"),
+                cur.get("decide_p99_ns"), TIME_RATIO, warn_only=True)
+
+
 def gate_report(name, base, cur):
     # Generic BenchReport: gate any root speedup_vs_walk; everything
     # else is informational.
@@ -164,6 +187,8 @@ def gate_file(path_base, path_cur):
     name = path_base.name
     if base.get("bench") == "table1":
         gate_table1(base, cur)
+    elif base.get("bench") == "serve":
+        gate_serve(base, cur)
     elif "benchmarks" in base:
         gate_gbench(name, base, cur)
     else:

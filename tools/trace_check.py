@@ -15,9 +15,18 @@ Checks, per artifact kind:
   --progress FILE  heartbeat JSONL (one JSON object per line with the
                    tigat_hb / elapsed_s / phase / rss_mb keys); at
                    least one line.
+  --serve FILE     tigat-serve metrics snapshot: same schema/version
+                   as --metrics, the serve.* counters present with
+                   connections/requests positive and errors zero,
+                   decide.latency_ns populated (well-shaped, count > 0,
+                   no more samples than requests), tgs.view.opens
+                   exactly 1 (cold start really was one mmap) and no
+                   tgs.migrations counter (the map path never
+                   deserializes).
 
-Any subset of the flags may be given; CI runs all three against a
-`run_model --trace-out --metrics-out --progress` solve.
+Any subset of the flags may be given; CI runs the first three against
+a `run_model --trace-out --metrics-out --progress` solve and --serve
+against a tigat-serve --metrics-out shutdown snapshot.
 
 Exit code 0 = every requested artifact validated, 1 = any failure.
 """
@@ -122,6 +131,59 @@ def check_metrics(path):
                   f"count = {h.get('count')} vs sum = {sum(counts)}")
 
 
+def check_serve(path):
+    print(f"serve metrics {path}")
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        check("serve metrics parse as JSON", False, str(e))
+        return
+    check("schema is tigat.metrics", doc.get("schema") == "tigat.metrics",
+          f"schema = {doc.get('schema')!r}")
+    check("version is 1", doc.get("version") == 1,
+          f"version = {doc.get('version')!r}")
+    counters = doc.get("counters", {})
+
+    connections = counters.get("serve.connections")
+    requests = counters.get("serve.requests")
+    check("counter serve.connections positive",
+          isinstance(connections, int) and connections > 0,
+          f"value = {connections!r}")
+    check("counter serve.requests positive",
+          isinstance(requests, int) and requests > 0,
+          f"value = {requests!r}")
+    check("counter serve.errors is zero", counters.get("serve.errors") == 0,
+          f"value = {counters.get('serve.errors')!r}")
+
+    # The v3 acceptance number: a daemon's cold start is ONE mmap.
+    check("tgs.view.opens is exactly 1", counters.get("tgs.view.opens") == 1,
+          f"value = {counters.get('tgs.view.opens')!r}")
+    check("no tgs.migrations (map path never deserializes)",
+          "tgs.migrations" not in counters,
+          f"value = {counters.get('tgs.migrations')!r}")
+
+    h = doc.get("histograms", {}).get("decide.latency_ns")
+    check("decide.latency_ns histogram present", isinstance(h, dict))
+    if not isinstance(h, dict):
+        return
+    bounds, counts = h.get("bounds"), h.get("counts")
+    shaped = (isinstance(bounds, list) and isinstance(counts, list)
+              and len(counts) == len(bounds) + 1
+              and bounds == sorted(bounds))
+    check("decide.latency_ns shape", shaped,
+          f"bounds×{len(bounds or [])} counts×{len(counts or [])}")
+    if shaped:
+        total = sum(counts)
+        check("decide.latency_ns count consistent", h.get("count") == total,
+              f"count = {h.get('count')} vs sum = {total}")
+        check("decide.latency_ns populated", total > 0, "zero samples")
+        if isinstance(requests, int):
+            # Every sample is a decide request; pings/info add requests
+            # but no samples.
+            check("decide samples <= serve.requests", total <= requests,
+                  f"{total} samples vs {requests} requests")
+
+
 def check_progress(path):
     print(f"progress {path}")
     try:
@@ -147,9 +209,11 @@ def main():
     ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
     ap.add_argument("--metrics", help="metrics snapshot JSON to validate")
     ap.add_argument("--progress", help="heartbeat JSONL to validate")
+    ap.add_argument("--serve", help="tigat-serve metrics snapshot to validate")
     args = ap.parse_args()
-    if not (args.trace or args.metrics or args.progress):
-        ap.error("give at least one of --trace / --metrics / --progress")
+    if not (args.trace or args.metrics or args.progress or args.serve):
+        ap.error("give at least one of --trace / --metrics / --progress "
+                 "/ --serve")
 
     if args.trace:
         check_trace(args.trace)
@@ -157,6 +221,8 @@ def main():
         check_metrics(args.metrics)
     if args.progress:
         check_progress(args.progress)
+    if args.serve:
+        check_serve(args.serve)
 
     if failures:
         print(f"\n{len(failures)} failure(s)", file=sys.stderr)
